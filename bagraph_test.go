@@ -1,0 +1,233 @@
+package bagraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func ring(t *testing.T, n int) *Graph {
+	t.Helper()
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{U: uint32(i), V: uint32((i + 1) % n)}
+	}
+	g, err := NewGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGraphAndDigraph(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Directed() || g.NumEdges() != 1 {
+		t.Fatal("NewGraph produced wrong graph")
+	}
+	d, err := NewDigraph(3, []Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Directed() {
+		t.Fatal("NewDigraph not directed")
+	}
+	if _, err := NewGraph(1, []Edge{{U: 0, V: 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestConnectedComponentsAllAlgorithms(t *testing.T) {
+	g := ring(t, 40)
+	var ref []uint32
+	for _, alg := range []CCAlgorithm{CCBranchBased, CCBranchAvoiding, CCHybrid, CCUnionFind} {
+		labels, err := ConnectedComponents(g, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if ComponentCount(labels) != 1 {
+			t.Fatalf("%v: ring has %d components", alg, ComponentCount(labels))
+		}
+		if ref == nil {
+			ref = labels
+			continue
+		}
+		for v := range ref {
+			if labels[v] != ref[v] {
+				t.Fatalf("%v: labels differ from reference at %d", alg, v)
+			}
+		}
+	}
+	if _, err := ConnectedComponents(g, CCAlgorithm(99)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCCAlgorithmStrings(t *testing.T) {
+	for _, alg := range []CCAlgorithm{CCBranchBased, CCBranchAvoiding, CCHybrid, CCUnionFind} {
+		if strings.HasPrefix(alg.String(), "CCAlgorithm(") {
+			t.Fatalf("missing name for %d", alg)
+		}
+	}
+}
+
+func TestShortestHopsVariants(t *testing.T) {
+	g := ring(t, 30)
+	var ref []uint32
+	for _, v := range []BFSVariant{BFSBranchBased, BFSBranchAvoiding, BFSDirectionOptimizing} {
+		dist, err := ShortestHops(g, 3, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if dist[3] != 0 || dist[18] != 15 {
+			t.Fatalf("%v: distances wrong: d[3]=%d d[18]=%d", v, dist[3], dist[18])
+		}
+		if ref == nil {
+			ref = dist
+			continue
+		}
+		for i := range ref {
+			if dist[i] != ref[i] {
+				t.Fatalf("%v: distance mismatch at %d", v, i)
+			}
+		}
+	}
+	if _, err := ShortestHops(g, 99, BFSBranchBased); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := ShortestHops(g, 0, BFSVariant(9)); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestUnreachedSentinel(t *testing.T) {
+	g, _ := NewGraph(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	dist, err := ShortestHops(g, 0, BFSBranchAvoiding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != Unreached || dist[3] != Unreached {
+		t.Fatal("other component not marked Unreached")
+	}
+}
+
+func TestPlatformsCatalog(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 7 {
+		t.Fatalf("Platforms() = %v", ps)
+	}
+}
+
+func TestProfileSVReproducesHeadline(t *testing.T) {
+	g, err := CorpusGraph("cond-mat-2005", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := ProfileSV(g, "Haswell", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := ProfileSV(g, "Haswell", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bb.PerIteration) != len(ba.PerIteration) {
+		t.Fatal("pass counts differ")
+	}
+	if bb.TotalMispredictions() <= ba.TotalMispredictions() {
+		t.Fatal("branch-based should mispredict more")
+	}
+	if bb.TotalSeconds() <= ba.TotalSeconds() {
+		t.Fatal("branch-avoiding SV should win on Haswell")
+	}
+	if !ba.BranchAvoiding || bb.BranchAvoiding {
+		t.Fatal("BranchAvoiding flag wrong")
+	}
+	if _, err := ProfileSV(g, "M1", false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestProfileBFSStoreBlowup(t *testing.T) {
+	g, err := CorpusGraph("ldoor", 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := ProfileBFS(g, 0, "Bonnell", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := ProfileBFS(g, 0, "Bonnell", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sBB, sBA uint64
+	for _, it := range bb.PerIteration {
+		sBB += it.Stores
+	}
+	for _, it := range ba.PerIteration {
+		sBA += it.Stores
+	}
+	if sBA < 10*sBB {
+		t.Fatalf("BA stores %d not an order of magnitude above BB %d", sBA, sBB)
+	}
+	// On Bonnell (expensive stores) branch-avoiding BFS must lose.
+	if ba.TotalSeconds() <= bb.TotalSeconds() {
+		t.Fatal("branch-avoiding BFS should lose on Bonnell")
+	}
+	if _, err := ProfileBFS(g, uint32(g.NumVertices()), "Bonnell", true); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+	if _, err := ProfileBFS(g, 0, "M1", false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestCorpusGraphErrors(t *testing.T) {
+	if _, err := CorpusGraph("karate", 0.01, 1); err == nil {
+		t.Fatal("unknown corpus name accepted")
+	}
+	if _, err := CorpusGraph("auto", 2.0, 1); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	g, err := CorpusGraph("coAuthorsDBLP", 0.005, 1)
+	if err != nil || g.NumVertices() == 0 {
+		t.Fatalf("corpus generation failed: %v", err)
+	}
+	if len(CorpusNames()) != 5 {
+		t.Fatal("corpus roster wrong")
+	}
+}
+
+func TestMETISRoundTripViaFacade(t *testing.T) {
+	g := ring(t, 12)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices() != 12 || h.NumEdges() != 12 {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", &buf, ExperimentOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Haswell") {
+		t.Fatal("table1 output missing systems")
+	}
+	if err := RunExperiment("fig99", &buf, ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Experiments()) < 15 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+}

@@ -1,0 +1,330 @@
+package bagraph
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation section (regenerating the exhibit's underlying measurement),
+// plus native wall-clock benchmarks of the branch-based vs branch-avoiding
+// kernels themselves.
+//
+// Run everything:      go test -bench=. -benchmem
+// One exhibit:         go test -bench=BenchmarkFig3 -benchmem
+// Larger corpus scale: go test -bench=. -benchscale 0.05
+//
+// Simulated benchmarks report events per simulated run; native kernel
+// benchmarks measure this machine's wall clock, where the branchless
+// transformation's effect depends on how the Go compiler lowers the inner
+// loops (the paper's §6.1 compiler discussion applies to Go as well).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/cc"
+	"bagraph/internal/exp"
+	"bagraph/internal/graph"
+	"bagraph/internal/perfsim"
+	"bagraph/internal/simkern"
+	"bagraph/internal/uarch"
+)
+
+var benchScale = flag.Float64("benchscale", 0.01, "corpus scale for benchmarks")
+
+// benchOpt restricts simulated sweeps to a representative platform pair so
+// a full -bench=. run stays in minutes; pass -benchscale to grow graphs.
+func benchOpt() exp.Options {
+	return exp.Options{
+		Scale:     *benchScale,
+		Seed:      42,
+		Platforms: []string{"Haswell", "Bonnell"},
+	}
+}
+
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	g, err := CorpusGraph(name, *benchScale, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- Table 1 / Table 2 -------------------------------------------------
+
+func BenchmarkTable1Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table1(io.Discard)
+	}
+}
+
+func BenchmarkTable2Corpus(b *testing.B) {
+	// Regenerating Table 2 measures corpus construction end to end.
+	for i := 0; i < b.N; i++ {
+		if err := exp.Table2(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig 1 / Fig 2 ------------------------------------------------------
+
+func BenchmarkFig1PredictorFSA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig1(io.Discard)
+	}
+}
+
+func BenchmarkFig2LabelPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Fig2(io.Discard)
+	}
+}
+
+// --- Figs 3-5: the SV sweep --------------------------------------------
+
+func benchSVSweep(b *testing.B, render func(io.Writer, []exp.SVRun)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		runs, err := exp.ComputeSV(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(io.Discard, runs)
+	}
+}
+
+func BenchmarkFig3SVTimePerIteration(b *testing.B)  { benchSVSweep(b, exp.Fig3) }
+func BenchmarkFig4SVBranches(b *testing.B)          { benchSVSweep(b, exp.Fig4) }
+func BenchmarkFig5SVMispredictions(b *testing.B)    { benchSVSweep(b, exp.Fig5) }
+func BenchmarkFig9aSVMispredictBounds(b *testing.B) { benchSVSweep(b, exp.Fig9a) }
+
+// --- Figs 6-8: the BFS sweep ---------------------------------------------
+
+func benchBFSSweep(b *testing.B, render func(io.Writer, []exp.BFSRun)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		runs, err := exp.ComputeBFS(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(io.Discard, runs)
+	}
+}
+
+func BenchmarkFig6BFSTimePerLevel(b *testing.B)      { benchBFSSweep(b, exp.Fig6) }
+func BenchmarkFig7BFSBranches(b *testing.B)          { benchBFSSweep(b, exp.Fig7) }
+func BenchmarkFig8BFSMispredictions(b *testing.B)    { benchBFSSweep(b, exp.Fig8) }
+func BenchmarkFig9bBFSMispredictBounds(b *testing.B) { benchBFSSweep(b, exp.Fig9b) }
+
+// --- Fig 10, speedups, hybrid, ablation ----------------------------------
+
+func BenchmarkFig10Correlations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Compute(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.Fig10(io.Discard, res)
+	}
+}
+
+func BenchmarkHeadlineSpeedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Compute(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.Speedups(io.Discard, res)
+	}
+}
+
+func BenchmarkHybridSV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := exp.ComputeSV(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		exp.Hybrid(io.Discard, runs)
+	}
+}
+
+func BenchmarkAblationPredictors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationPredictors(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStoreCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationStoreCost(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCmovCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.AblationCmovCost(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- native kernels (host wall clock) ------------------------------------
+
+// benchEdges reports a custom metric so kernel benchmarks are comparable
+// across graphs.
+func reportEdges(b *testing.B, arcs int64) {
+	b.Helper()
+	b.ReportMetric(float64(arcs), "arcs/op")
+}
+
+func BenchmarkNativeSV(b *testing.B) {
+	for _, name := range CorpusNames() {
+		g := benchGraph(b, name)
+		b.Run(fmt.Sprintf("branch-based/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				labels, _ := cc.SVBranchBased(g)
+				if len(labels) == 0 && g.NumVertices() > 0 {
+					b.Fatal("no labels")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("branch-avoiding/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				labels, _ := cc.SVBranchAvoiding(g)
+				if len(labels) == 0 && g.NumVertices() > 0 {
+					b.Fatal("no labels")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("hybrid/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				labels, _ := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
+				if len(labels) == 0 && g.NumVertices() > 0 {
+					b.Fatal("no labels")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("union-find/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				labels := cc.UnionFind(g)
+				if len(labels) == 0 && g.NumVertices() > 0 {
+					b.Fatal("no labels")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+	}
+}
+
+func BenchmarkNativeBFS(b *testing.B) {
+	for _, name := range CorpusNames() {
+		g := benchGraph(b, name)
+		b.Run(fmt.Sprintf("branch-based/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist, _ := bfs.TopDownBranchBased(g, 0)
+				if len(dist) == 0 {
+					b.Fatal("no distances")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("branch-avoiding/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist, _ := bfs.TopDownBranchAvoiding(g, 0)
+				if len(dist) == 0 {
+					b.Fatal("no distances")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("direction-optimizing/%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist, _ := bfs.DirectionOptimizing(g, 0, 0, 0)
+				if len(dist) == 0 {
+					b.Fatal("no distances")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+	}
+}
+
+// --- simulated kernels (events per run, one platform) --------------------
+
+func BenchmarkSimulatedSV(b *testing.B) {
+	model, _ := uarch.ByName("Haswell")
+	for _, name := range []string{"cond-mat-2005", "auto"} {
+		g := benchGraph(b, name)
+		b.Run("branch-based/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := simkern.SVBranchBased(perfsim.NewDefault(model), g)
+				if r.Iterations == 0 {
+					b.Fatal("no passes")
+				}
+			}
+		})
+		b.Run("branch-avoiding/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := simkern.SVBranchAvoiding(perfsim.NewDefault(model), g)
+				if r.Iterations == 0 {
+					b.Fatal("no passes")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatedBFS(b *testing.B) {
+	model, _ := uarch.ByName("Haswell")
+	g := benchGraph(b, "coAuthorsDBLP")
+	b.Run("branch-based", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := simkern.BFSBranchBased(perfsim.NewDefault(model), g, 0)
+			if r.Reached == 0 {
+				b.Fatal("nothing reached")
+			}
+		}
+	})
+	b.Run("branch-avoiding", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := simkern.BFSBranchAvoiding(perfsim.NewDefault(model), g, 0)
+			if r.Reached == 0 {
+				b.Fatal("nothing reached")
+			}
+		}
+	})
+}
+
+// --- extensions (paper §1's predicted transfers) --------------------------
+
+func BenchmarkExtensionSSSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.ExtensionSSSP(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionBetweenness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.ExtensionBC(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionAPSP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.ExtensionAPSP(io.Discard, benchOpt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command baexp regenerates the tables and figures of "Branch-Avoiding
+// Graph Algorithms" (SPAA 2015) on the simulated machine models.
+//
+// Usage:
+//
+//	baexp -experiment all
+//	baexp -experiment fig3 -scale 0.02 -platforms Haswell,Bonnell
+//	baexp -experiment fig10 -graphs coAuthorsDBLP,cond-mat-2005
+//	baexp -list
+//
+// Scale 1.0 approximates the paper's graph sizes; the default 0.01 keeps
+// a full sweep to seconds. Output is plain text; each figure block
+// mirrors one exhibit of the paper's evaluation section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bagraph"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "exhibit to regenerate (see -list)")
+	scale := flag.Float64("scale", 0.01, "corpus scale in (0, 1]; 1 approximates the paper's sizes")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	graphs := flag.String("graphs", "", "comma-separated corpus subset (default: all five)")
+	platforms := flag.String("platforms", "", "comma-separated platform subset (default: all seven)")
+	list := flag.Bool("list", false, "list experiments, graphs and platforms, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(bagraph.Experiments(), " "))
+		fmt.Println("graphs:     ", strings.Join(bagraph.CorpusNames(), " "))
+		fmt.Println("platforms:  ", strings.Join(bagraph.Platforms(), " "))
+		return
+	}
+
+	opt := bagraph.ExperimentOptions{Scale: *scale, Seed: *seed}
+	if *graphs != "" {
+		opt.Graphs = strings.Split(*graphs, ",")
+	}
+	if *platforms != "" {
+		opt.Platforms = strings.Split(*platforms, ",")
+	}
+	if err := bagraph.RunExperiment(*experiment, os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "baexp:", err)
+		os.Exit(1)
+	}
+}

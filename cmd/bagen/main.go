@@ -1,0 +1,115 @@
+// Command bagen generates synthetic graphs and writes them in METIS
+// (DIMACS-10) format.
+//
+// Usage:
+//
+//	bagen -kind rmat -scale 14 -edgefactor 8 -out rmat14.graph
+//	bagen -kind ba -n 100000 -k 4 -out collab.graph
+//	bagen -kind grid3d -n 64000 -radius 1 -out mesh.graph
+//	bagen -kind corpus -name ldoor -corpusscale 0.05 -out ldoor-small.graph
+//
+// Every generator is deterministic given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"bagraph"
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/metis"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "generator: rmat | ba | gnm | ws | grid2d | grid3d | community | corpus")
+	out := flag.String("out", "", "output file (default: stdout)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+
+	n := flag.Int("n", 1024, "vertex count (ba, gnm, ws, grid2d, grid3d, community)")
+	m := flag.Int64("m", 4096, "edge count (gnm)")
+	k := flag.Int("k", 4, "attachment/neighbor count (ba, ws)")
+	beta := flag.Float64("beta", 0.1, "rewiring probability (ws)")
+	scale := flag.Int("scale", 10, "log2 vertex count (rmat)")
+	edgeFactor := flag.Int("edgefactor", 8, "edges per vertex (rmat)")
+	radius := flag.Int("radius", 1, "box stencil radius (grid3d)")
+	diag := flag.Bool("diag", false, "include diagonals (grid2d)")
+	communities := flag.Int("communities", 16, "community count (community)")
+	intraP := flag.Float64("intrap", 0.3, "intra-community edge probability (community)")
+	name := flag.String("name", "cond-mat-2005", "corpus dataset name (corpus)")
+	corpusScale := flag.Float64("corpusscale", 0.01, "corpus scale in (0,1] (corpus)")
+	flag.Parse()
+
+	g, err := build(*kind, params{
+		n: *n, m: *m, k: *k, beta: *beta, scale: *scale, edgeFactor: *edgeFactor,
+		radius: *radius, diag: *diag, communities: *communities, intraP: *intraP,
+		name: *name, corpusScale: *corpusScale, seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bagen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := metis.Write(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "bagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bagen: wrote %s\n", g)
+}
+
+type params struct {
+	n           int
+	m           int64
+	k           int
+	beta        float64
+	scale       int
+	edgeFactor  int
+	radius      int
+	diag        bool
+	communities int
+	intraP      float64
+	name        string
+	corpusScale float64
+	seed        uint64
+}
+
+func build(kind string, p params) (*graph.Graph, error) {
+	switch kind {
+	case "rmat":
+		return gen.RMAT(p.scale, p.edgeFactor, gen.DefaultRMAT, p.seed), nil
+	case "ba":
+		return gen.BarabasiAlbert(p.n, p.k, p.seed), nil
+	case "gnm":
+		return gen.GNM(p.n, p.m, p.seed), nil
+	case "ws":
+		return gen.WattsStrogatz(p.n, p.k, p.beta, p.seed), nil
+	case "grid2d":
+		side := int(math.Round(math.Sqrt(float64(p.n))))
+		return gen.Grid2D(side, side, p.diag), nil
+	case "grid3d":
+		side := int(math.Round(math.Cbrt(float64(p.n))))
+		return gen.Grid3D(side, side, side, p.radius), nil
+	case "community":
+		cs := p.n / p.communities
+		if cs < 2 {
+			return nil, fmt.Errorf("community size %d too small", cs)
+		}
+		return gen.Community(p.communities, cs, p.intraP, p.n/10, p.seed), nil
+	case "corpus":
+		return bagraph.CorpusGraph(p.name, p.corpusScale, p.seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}

@@ -1,0 +1,94 @@
+// Hybrid SV: the algorithm the paper's §6.2 proposes. Early
+// Shiloach-Vishkin passes churn labels and mispredict heavily (the
+// branch-avoiding kernel wins); late passes are stable and predictable
+// (the branch-based kernel wins). This example locates the crossover on a
+// simulated in-order machine and shows the hybrid beating both parents.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bagraph"
+)
+
+func main() {
+	// auto's structure class: a partitioning mesh whose node ordering
+	// makes SV take several passes — room for a crossover.
+	g, err := bagraph.CorpusGraph("auto", 0.01, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+
+	// Bobcat: a small out-of-order core where the conditional move costs
+	// enough that the branch-based kernel wins the stable tail, yet the
+	// early misprediction-heavy passes still favor branch-avoiding.
+	const platform = "Bobcat"
+	bb, err := bagraph.ProfileSV(g, platform, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ba, err := bagraph.ProfileSV(g, platform, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nper-pass simulated time on %s:\n", platform)
+	fmt.Printf("%5s %14s %14s  %s\n", "pass", "branch-based", "branch-avoid", "faster")
+	crossover := -1
+	for i := range bb.PerIteration {
+		t1 := bb.PerIteration[i].Seconds * 1e6
+		t2 := ba.PerIteration[i].Seconds * 1e6
+		who := "branch-avoiding"
+		if t1 < t2 {
+			who = "branch-based"
+			if crossover < 0 {
+				crossover = i
+			}
+		}
+		fmt.Printf("%5d %12.1fµs %12.1fµs  %s\n", i+1, t1, t2, who)
+	}
+
+	totalBB := bb.TotalSeconds()
+	totalBA := ba.TotalSeconds()
+	fmt.Printf("\npure branch-based:    %8.1fµs\n", totalBB*1e6)
+	fmt.Printf("pure branch-avoiding: %8.1fµs\n", totalBA*1e6)
+
+	if crossover < 0 {
+		fmt.Println("no crossover on this platform/graph; a pure kernel is optimal")
+		return
+	}
+
+	// One-way hybrid: branch-avoiding for passes < k, branch-based after.
+	best, bestK := 0.0, 0
+	for k := 0; k <= len(bb.PerIteration); k++ {
+		total := 0.0
+		for i := range bb.PerIteration {
+			if i < k {
+				total += ba.PerIteration[i].Seconds
+			} else {
+				total += bb.PerIteration[i].Seconds
+			}
+		}
+		if bestK == 0 && k == 0 || total < best {
+			best, bestK = total, k
+		}
+	}
+	fmt.Printf("hybrid (switch at %d): %8.1fµs\n", bestK, best*1e6)
+	pure := totalBB
+	if totalBA < pure {
+		pure = totalBA
+	}
+	fmt.Printf("hybrid vs best pure kernel: %.2fx\n", pure/best)
+
+	// The runnable production version: bagraph.CCHybrid switches
+	// adaptively when label churn drops.
+	labels, err := bagraph.ConnectedComponents(g, bagraph.CCHybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadaptive native hybrid found %d component(s)\n", bagraph.ComponentCount(labels))
+}

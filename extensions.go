@@ -1,0 +1,111 @@
+package bagraph
+
+// Facade for the extension kernels: the algorithm families the paper's
+// §1 predicts its findings extend to (shortest paths, betweenness
+// centrality, APSP).
+
+import (
+	"fmt"
+
+	"bagraph/internal/apsp"
+	"bagraph/internal/bc"
+	"bagraph/internal/graph"
+	"bagraph/internal/sssp"
+)
+
+// WeightedGraph is an immutable CSR graph with non-negative per-edge
+// weights. Construct with NewWeightedGraph.
+type WeightedGraph = graph.Weighted
+
+// WeightedEdge is an edge with a non-negative 32-bit weight.
+type WeightedEdge = graph.WeightedEdge
+
+// InfDistance marks unreachable vertices in weighted shortest-path
+// results.
+const InfDistance = sssp.Inf
+
+// NewWeightedGraph builds an undirected weighted graph; parallel edges
+// collapse to the minimum weight and self-loops are dropped.
+func NewWeightedGraph(n int, edges []WeightedEdge) (*WeightedGraph, error) {
+	return graph.BuildWeighted(n, edges, false, "")
+}
+
+// SSSPAlgorithm selects a single-source shortest-path kernel.
+type SSSPAlgorithm int
+
+// Shortest-path kernels.
+const (
+	// SSSPBellmanFord is the pull-style branch-based Bellman-Ford — the
+	// weighted analogue of the paper's Algorithm 2.
+	SSSPBellmanFord SSSPAlgorithm = iota
+	// SSSPBellmanFordBranchAvoiding relaxes with conditional moves — the
+	// weighted analogue of Algorithm 3.
+	SSSPBellmanFordBranchAvoiding
+	// SSSPDijkstra is the classical heap-based baseline.
+	SSSPDijkstra
+)
+
+// String implements fmt.Stringer.
+func (a SSSPAlgorithm) String() string {
+	switch a {
+	case SSSPBellmanFord:
+		return "bellman-ford"
+	case SSSPBellmanFordBranchAvoiding:
+		return "bellman-ford-branch-avoiding"
+	case SSSPDijkstra:
+		return "dijkstra"
+	default:
+		return fmt.Sprintf("SSSPAlgorithm(%d)", int(a))
+	}
+}
+
+// ShortestPaths returns weighted shortest-path distances from src
+// (InfDistance for unreachable vertices). All algorithms produce
+// identical distances.
+func ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm) ([]uint64, error) {
+	if g.NumVertices() > 0 && int(src) >= g.NumVertices() {
+		return nil, fmt.Errorf("bagraph: source %d out of range for %d vertices", src, g.NumVertices())
+	}
+	switch alg {
+	case SSSPBellmanFord:
+		dist, _ := sssp.BellmanFordBranchBased(g, src)
+		return dist, nil
+	case SSSPBellmanFordBranchAvoiding:
+		dist, _ := sssp.BellmanFordBranchAvoiding(g, src)
+		return dist, nil
+	case SSSPDijkstra:
+		return sssp.Dijkstra(g, src), nil
+	default:
+		return nil, fmt.Errorf("bagraph: unknown SSSP algorithm %v", alg)
+	}
+}
+
+// Betweenness returns the exact betweenness centrality of every vertex.
+// With branchAvoiding the Brandes forward phase uses the paper's
+// conditional-move transformation; results are bit-identical either way.
+func Betweenness(g *Graph, branchAvoiding bool) []float64 {
+	if branchAvoiding {
+		vals, _ := bc.BranchAvoiding(g)
+		return vals
+	}
+	vals, _ := bc.BranchBased(g)
+	return vals
+}
+
+// DistanceSummary aggregates all-pairs distance structure (eccentricities,
+// diameter, radius, mean distance) by running a BFS from every vertex.
+type DistanceSummary = apsp.Result
+
+// AllPairsSummary computes the distance summary using the selected BFS
+// kernel for the |V| sweeps. Only BFSBranchBased and BFSBranchAvoiding
+// are supported.
+func AllPairsSummary(g *Graph, variant BFSVariant) (DistanceSummary, error) {
+	switch variant {
+	case BFSBranchBased:
+		return apsp.Summary(g, apsp.BranchBased), nil
+	case BFSBranchAvoiding:
+		return apsp.Summary(g, apsp.BranchAvoiding), nil
+	default:
+		return DistanceSummary{}, fmt.Errorf("bagraph: unsupported APSP variant %v", variant)
+	}
+}

@@ -1,0 +1,123 @@
+package bagraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func weightedRing(t *testing.T, n int) *WeightedGraph {
+	t.Helper()
+	edges := make([]WeightedEdge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = WeightedEdge{U: uint32(i), V: uint32((i + 1) % n), W: uint32(i%3 + 1)}
+	}
+	g, err := NewWeightedGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestShortestPathsAllAlgorithms(t *testing.T) {
+	g := weightedRing(t, 24)
+	var ref []uint64
+	for _, alg := range []SSSPAlgorithm{SSSPBellmanFord, SSSPBellmanFordBranchAvoiding, SSSPDijkstra} {
+		dist, err := ShortestPaths(g, 0, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if dist[0] != 0 {
+			t.Fatalf("%v: dist[src] = %d", alg, dist[0])
+		}
+		if ref == nil {
+			ref = dist
+			continue
+		}
+		for v := range ref {
+			if dist[v] != ref[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", alg, v, dist[v], ref[v])
+			}
+		}
+	}
+	if _, err := ShortestPaths(g, 99, SSSPDijkstra); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := ShortestPaths(g, 0, SSSPAlgorithm(9)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g, err := NewWeightedGraph(3, []WeightedEdge{{U: 0, V: 1, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ShortestPaths(g, 0, SSSPBellmanFordBranchAvoiding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != InfDistance {
+		t.Fatalf("isolated vertex distance = %d, want InfDistance", dist[2])
+	}
+}
+
+func TestSSSPAlgorithmStrings(t *testing.T) {
+	for _, a := range []SSSPAlgorithm{SSSPBellmanFord, SSSPBellmanFordBranchAvoiding, SSSPDijkstra} {
+		if strings.HasPrefix(a.String(), "SSSPAlgorithm(") {
+			t.Fatalf("missing name for %d", a)
+		}
+	}
+}
+
+func TestBetweennessFacade(t *testing.T) {
+	// Path of 5: interior vertices have positive centrality, endpoints 0.
+	g, _ := NewGraph(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	bb := Betweenness(g, false)
+	ba := Betweenness(g, true)
+	for v := range bb {
+		if bb[v] != ba[v] {
+			t.Fatalf("variants differ at %d", v)
+		}
+	}
+	if bb[0] != 0 || bb[2] <= bb[1] == false && bb[2] != 4 {
+		t.Fatalf("path centralities: %v", bb)
+	}
+	if bb[2] != 4 { // middle of P5: pairs {0,3},{0,4},{1,3},{1,4}
+		t.Fatalf("bc[2] = %v, want 4", bb[2])
+	}
+}
+
+func TestAllPairsSummaryFacade(t *testing.T) {
+	g := ring(t, 10)
+	a, err := AllPairsSummary(g, BFSBranchBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AllPairsSummary(g, BFSBranchAvoiding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Diameter != 5 || b.Diameter != 5 {
+		t.Fatalf("ring diameter = %d/%d, want 5", a.Diameter, b.Diameter)
+	}
+	if a.MeanDistance != b.MeanDistance {
+		t.Fatal("summaries differ between variants")
+	}
+	if _, err := AllPairsSummary(g, BFSDirectionOptimizing); err == nil {
+		t.Fatal("unsupported variant accepted")
+	}
+}
+
+func TestRunExtensionsExperiment(t *testing.T) {
+	var sb strings.Builder
+	err := RunExperiment("extensions", &sb, ExperimentOptions{Scale: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Bellman-Ford", "betweenness", "APSP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extensions output missing %q", want)
+		}
+	}
+}

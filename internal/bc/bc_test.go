@@ -1,0 +1,170 @@
+package bc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+)
+
+func TestPathGraphKnownValues(t *testing.T) {
+	// P4 (0-1-2-3): BC(0)=BC(3)=0; BC(1)=BC(2)=2
+	// (vertex 1 lies on shortest paths {0,2}, {0,3}; likewise vertex 2).
+	g := gen.Path(4)
+	for name, f := range kernels() {
+		bc, _ := f(g)
+		want := []float64{0, 2, 2, 0}
+		for v := range want {
+			if math.Abs(bc[v]-want[v]) > 1e-12 {
+				t.Fatalf("%s: P4 bc = %v, want %v", name, bc, want)
+			}
+		}
+	}
+}
+
+func TestStarKnownValues(t *testing.T) {
+	// Star with center 0 and k leaves: BC(center) = k(k-1)/2.
+	g := gen.Star(8)
+	for name, f := range kernels() {
+		bc, _ := f(g)
+		if math.Abs(bc[0]-21) > 1e-12 { // 7*6/2
+			t.Fatalf("%s: star center bc = %v, want 21", name, bc[0])
+		}
+		for v := 1; v < 8; v++ {
+			if bc[v] != 0 {
+				t.Fatalf("%s: leaf %d bc = %v", name, v, bc[v])
+			}
+		}
+	}
+}
+
+func TestCycleUniform(t *testing.T) {
+	// All vertices of a cycle are equivalent: equal centrality.
+	g := gen.Cycle(9)
+	for name, f := range kernels() {
+		bc, _ := f(g)
+		for v := 1; v < 9; v++ {
+			if math.Abs(bc[v]-bc[0]) > 1e-9 {
+				t.Fatalf("%s: cycle bc not uniform: %v", name, bc)
+			}
+		}
+	}
+}
+
+func kernels() map[string]func(*graph.Graph) ([]float64, Stats) {
+	return map[string]func(*graph.Graph) ([]float64, Stats){
+		"branch-based":    BranchBased,
+		"branch-avoiding": BranchAvoiding,
+	}
+}
+
+func TestVariantsBitIdentical(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Grid2D(5, 6, false),
+		gen.BarabasiAlbert(60, 3, 9),
+		gen.Community(4, 10, 0.5, 15, 2),
+		gen.Disconnected(gen.Path(5), 3),
+	}
+	for _, g := range graphs {
+		bb, _ := BranchBased(g)
+		ba, _ := BranchAvoiding(g)
+		for v := range bb {
+			if bb[v] != ba[v] {
+				t.Fatalf("%s: variants differ at vertex %d: %v vs %v (must be bit-identical)",
+					g, v, bb[v], ba[v])
+			}
+		}
+	}
+}
+
+func TestAgainstBruteForceReference(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Path(7),
+		gen.Cycle(8),
+		gen.Star(9),
+		gen.Grid2D(3, 4, false),
+		gen.Complete(6),
+		gen.GNM(12, 20, 5),
+		gen.Disconnected(gen.Cycle(4), 2),
+	}
+	for _, g := range graphs {
+		for name, f := range kernels() {
+			bc, _ := f(g)
+			if err := Verify(g, bc, 1e-9); err != nil {
+				t.Fatalf("%s on %s: %v", name, g, err)
+			}
+		}
+	}
+}
+
+func TestAgainstReferenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 5 + int(seed%12)
+		g := gen.GNM(n, int64(n), seed)
+		bc, _ := BranchAvoiding(g)
+		return Verify(g, bc, 1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreBlowupInherited pins the extension's finding: the
+// branch-avoiding forward phase inherits the BFS store blow-up, now
+// doubled (distance + sigma writes per edge).
+func TestStoreBlowupInherited(t *testing.T) {
+	g := gen.Grid3D(5, 5, 5, 1)
+	_, bb := BranchBased(g)
+	_, ba := BranchAvoiding(g)
+	if bb.Sources != g.NumVertices() || ba.Sources != g.NumVertices() {
+		t.Fatal("source counts wrong")
+	}
+	// BB: dist stores = reached per source; BA: one per edge traversal.
+	if ba.DistStores < 10*bb.DistStores {
+		t.Fatalf("dist store blow-up only %.1fx", float64(ba.DistStores)/float64(bb.DistStores))
+	}
+	// Sigma: BB writes once per (new or successor) edge; BA per edge.
+	if ba.SigmaStores <= bb.SigmaStores {
+		t.Fatal("sigma stores did not grow")
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	empty := graph.MustBuild(0, nil, graph.Options{})
+	for _, f := range kernels() {
+		bc, st := f(empty)
+		if len(bc) != 0 || st.Sources != 0 {
+			t.Fatal("empty graph mishandled")
+		}
+	}
+	single := graph.MustBuild(1, nil, graph.Options{})
+	for _, f := range kernels() {
+		bc, _ := f(single)
+		if bc[0] != 0 {
+			t.Fatal("single vertex bc nonzero")
+		}
+	}
+	pair := graph.MustBuild(2, []graph.Edge{{U: 0, V: 1}}, graph.Options{})
+	for _, f := range kernels() {
+		bc, _ := f(pair)
+		if bc[0] != 0 || bc[1] != 0 {
+			t.Fatal("edge endpoints have nonzero bc")
+		}
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	g := gen.Path(5)
+	bc, _ := BranchBased(g)
+	bad := make([]float64, len(bc))
+	copy(bad, bc)
+	bad[2] += 1
+	if err := Verify(g, bad, 1e-9); err == nil {
+		t.Fatal("corrupted bc accepted")
+	}
+	if err := Verify(g, bc[:2], 1e-9); err == nil {
+		t.Fatal("short bc accepted")
+	}
+}

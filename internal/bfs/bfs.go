@@ -1,0 +1,302 @@
+// Package bfs implements breadth-first-search kernels: the classical
+// top-down algorithm in branch-based (the paper's Algorithm 4) and
+// branch-avoiding (Algorithm 5) forms, plus a direction-optimizing
+// variant (Beamer et al., the paper's reference [8]) as an extension
+// baseline.
+//
+// One correction to the paper's Algorithm 5 pseudocode, documented because
+// it affects semantics but not the operation mix: the printed CMP compares
+// the neighbor's distance with d[v]. Taken literally that re-enqueues
+// neighbors already discovered in the *next* frontier (their distance
+// d[v]+1 is also greater than d[v]), duplicating queue entries. The
+// accompanying text is unambiguous — "the first [conditional move] will
+// conditionally move the distance to the vertex if it is found for the
+// first time", and the queue grows only "if an element is new" — so the
+// comparison must be against next_level = d[v]+1: a vertex is new exactly
+// when its current distance exceeds next_level (i.e. it is ∞). The kernel
+// below compares against next_level and keeps the paper's per-edge
+// operation mix: one load, one compare, two conditional operations, two
+// stores.
+package bfs
+
+import (
+	"fmt"
+	"time"
+
+	"bagraph/internal/core"
+	"bagraph/internal/graph"
+	"bagraph/internal/queue"
+)
+
+// Inf is the distance assigned to unreached vertices.
+const Inf = ^uint32(0)
+
+// Stats describes one BFS run.
+type Stats struct {
+	// Levels is the number of BFS levels (eccentricity of the root + 1
+	// for the root's own level).
+	Levels int
+	// LevelSizes[i] is the number of vertices at distance i.
+	LevelSizes []int
+	// LevelDurations holds per-level wall-clock times.
+	LevelDurations []time.Duration
+	// Reached is the number of vertices discovered, including the root.
+	Reached int
+	// DistStores counts writes to the distance array; QueueStores counts
+	// writes to the queue array. The branch-avoiding kernel's store
+	// blow-up (the paper's §5.2/§6.3 headline) shows up here.
+	DistStores  uint64
+	QueueStores uint64
+}
+
+// Total returns the summed wall-clock time of all levels.
+func (s Stats) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.LevelDurations {
+		t += d
+	}
+	return t
+}
+
+// TopDownBranchBased runs the classical top-down BFS (Algorithm 4) from
+// root and returns the distance array.
+func TopDownBranchBased(g *graph.Graph, root uint32) ([]uint32, Stats) {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var st Stats
+	if n == 0 {
+		return dist, st
+	}
+	q := queue.New(n)
+	dist[root] = 0
+	st.DistStores++
+	q.Push(root)
+	st.QueueStores++
+
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	buf := q.Buf()
+	head, tail := 0, 1
+	// Per-level accounting: the queue is level-ordered, so levels are
+	// contiguous [head, levelEnd) windows.
+	for head < tail {
+		levelEnd := tail
+		start := time.Now()
+		for head < levelEnd {
+			v := buf[head]
+			head++
+			next := dist[v] + 1
+			for _, w := range adj[offs[v]:offs[v+1]] {
+				if dist[w] == Inf {
+					dist[w] = next
+					st.DistStores++
+					buf[tail] = w
+					st.QueueStores++
+					tail++
+				}
+			}
+		}
+		st.LevelDurations = append(st.LevelDurations, time.Since(start))
+		st.LevelSizes = append(st.LevelSizes, levelEnd-lastLevelStart(st))
+		st.Levels++
+	}
+	st.Reached = tail
+	return dist, st
+}
+
+// lastLevelStart returns the queue index where the level just accounted
+// for began, derived from the sizes recorded so far.
+func lastLevelStart(st Stats) int {
+	total := 0
+	for _, s := range st.LevelSizes {
+		total += s
+	}
+	return total
+}
+
+// TopDownBranchAvoiding runs the branch-avoiding top-down BFS
+// (Algorithm 5): every traversed edge unconditionally writes the neighbor
+// to the queue slot at the tail and writes the neighbor's distance back;
+// conditional moves select the new distance and advance the tail only
+// when the neighbor was undiscovered. Stores grow from O(|V|) to O(|E|).
+func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var st Stats
+	if n == 0 {
+		return dist, st
+	}
+	q := queue.New(n)
+	dist[root] = 0
+	st.DistStores++
+	q.Push(root)
+	st.QueueStores++
+
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	buf := q.Buf()
+	head, tail := 0, 1
+	for head < tail {
+		levelEnd := tail
+		start := time.Now()
+		for head < levelEnd {
+			v := buf[head]
+			head++
+			next := dist[v] + 1
+			for _, w := range adj[offs[v]:offs[v+1]] {
+				temp := dist[w]
+				// Unconditional store "outside" the queue; overwritten if
+				// w is not new (§5.2).
+				buf[tail] = w
+				st.QueueStores++
+				// isNew = all-ones iff temp > next, i.e. w undiscovered.
+				isNew := core.MaskGreater32(temp, next)
+				temp = core.Select32(isNew, next, temp)
+				tail += core.Bit(isNew)
+				dist[w] = temp
+				st.DistStores++
+			}
+		}
+		st.LevelDurations = append(st.LevelDurations, time.Since(start))
+		st.LevelSizes = append(st.LevelSizes, levelEnd-lastLevelStart(st))
+		st.Levels++
+	}
+	st.Reached = tail
+	return dist, st
+}
+
+// DirectionOptimizing runs Beamer-style direction-optimizing BFS: top-down
+// while the frontier is small, switching to bottom-up sweeps when the
+// frontier's edge volume crosses |E|/alpha, and back when the frontier
+// shrinks below |V|/beta. This is the modern baseline the paper cites as
+// [8]; it is included as an extension to position the branch-avoiding
+// variants against, and for validating the top-down kernels at scale.
+func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32, Stats) {
+	if alpha <= 0 {
+		alpha = 15
+	}
+	if beta <= 0 {
+		beta = 18
+	}
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var st Stats
+	if n == 0 {
+		return dist, st
+	}
+	frontier := make([]uint32, 0, n)
+	nextFrontier := make([]uint32, 0, n)
+	dist[root] = 0
+	st.DistStores++
+	frontier = append(frontier, root)
+	st.QueueStores++
+	level := uint32(0)
+	arcs := g.NumArcs()
+	adj := g.Adjacency()
+	offs := g.Offsets()
+
+	for len(frontier) > 0 {
+		start := time.Now()
+		st.LevelSizes = append(st.LevelSizes, len(frontier))
+		st.Reached += len(frontier)
+
+		// Frontier edge volume decides the direction.
+		var volume int64
+		for _, v := range frontier {
+			volume += int64(offs[v+1] - offs[v])
+		}
+		nextFrontier = nextFrontier[:0]
+		if volume > arcs/int64(alpha) && len(frontier) > n/beta {
+			// Bottom-up: every undiscovered vertex scans its neighbors
+			// for a parent in the frontier.
+			for v := 0; v < n; v++ {
+				if dist[v] != Inf {
+					continue
+				}
+				for _, w := range adj[offs[v]:offs[v+1]] {
+					if dist[w] == level {
+						dist[v] = level + 1
+						st.DistStores++
+						nextFrontier = append(nextFrontier, uint32(v))
+						st.QueueStores++
+						break
+					}
+				}
+			}
+		} else {
+			for _, v := range frontier {
+				for _, w := range adj[offs[v]:offs[v+1]] {
+					if dist[w] == Inf {
+						dist[w] = level + 1
+						st.DistStores++
+						nextFrontier = append(nextFrontier, w)
+						st.QueueStores++
+					}
+				}
+			}
+		}
+		frontier, nextFrontier = nextFrontier, frontier
+		level++
+		st.Levels++
+		st.LevelDurations = append(st.LevelDurations, time.Since(start))
+	}
+	return dist, st
+}
+
+// Verify checks that dist is a valid BFS distance labeling of g from
+// root: d[root]=0, unreached vertices are Inf, every edge spans at most
+// one level, and every reached non-root vertex has a neighbor exactly one
+// level closer.
+func Verify(g *graph.Graph, root uint32, dist []uint32) error {
+	n := g.NumVertices()
+	if len(dist) != n {
+		return fmt.Errorf("bfs: %d distances for %d vertices", len(dist), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if dist[root] != 0 {
+		return fmt.Errorf("bfs: dist[root=%d] = %d", root, dist[root])
+	}
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		for _, v := range g.Neighbors(uint32(u)) {
+			dv := dist[v]
+			if du == Inf && dv == Inf {
+				continue
+			}
+			if du == Inf || dv == Inf {
+				return fmt.Errorf("bfs: edge (%d,%d) spans reached/unreached", u, v)
+			}
+			diff := int64(du) - int64(dv)
+			if diff < -1 || diff > 1 {
+				return fmt.Errorf("bfs: edge (%d,%d) spans levels %d and %d", u, v, du, dv)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if dist[v] == Inf || dist[v] == 0 {
+			continue
+		}
+		hasParent := false
+		for _, w := range g.Neighbors(uint32(v)) {
+			if dist[w] == dist[v]-1 {
+				hasParent = true
+				break
+			}
+		}
+		if !hasParent {
+			return fmt.Errorf("bfs: vertex %d at level %d has no parent", v, dist[v])
+		}
+	}
+	return nil
+}

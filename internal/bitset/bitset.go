@@ -1,0 +1,137 @@
+// Package bitset implements a dense fixed-capacity bitset.
+//
+// BFS frontiers and visited sets are the primary users. The representation
+// is a flat []uint64, one bit per element, which keeps the memory footprint
+// at |V|/8 bytes and makes clearing between searches a memclr.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset with capacity for n elements, all cleared.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set (the size of the universe).
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// TestAndSet sets bit i and reports whether it was previously set.
+func (s *Set) TestAndSet(i int) bool {
+	w, b := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	old := s.words[w]&b != 0
+	s.words[w] |= b
+	return old
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i >= s.n {
+		return -1
+	}
+	if i < 0 {
+		i = 0
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Union sets s = s ∪ t. The sets must have the same capacity.
+func (s *Set) Union(t *Set) {
+	if s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Intersect sets s = s ∩ t. The sets must have the same capacity.
+func (s *Set) Intersect(t *Set) {
+	if s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// CopyFrom copies t into s. The sets must have the same capacity.
+func (s *Set) CopyFrom(t *Set) {
+	if s.n != t.n {
+		panic("bitset: capacity mismatch")
+	}
+	copy(s.words, t.words)
+}

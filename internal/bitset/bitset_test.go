@@ -1,0 +1,168 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/xrand"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	for i := 0; i < 200; i++ {
+		want := i%3 == 0
+		if got := s.Test(i); got != want {
+			t.Fatalf("Test(%d) = %v, want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 200; i += 3 {
+		s.Clear(i)
+	}
+	if s.Any() {
+		t.Fatal("set not empty after clearing all bits")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestTestAndSet(t *testing.T) {
+	s := New(64)
+	if s.TestAndSet(10) {
+		t.Fatal("TestAndSet on clear bit returned true")
+	}
+	if !s.TestAndSet(10) {
+		t.Fatal("TestAndSet on set bit returned false")
+	}
+	if !s.Test(10) {
+		t.Fatal("bit 10 not set after TestAndSet")
+	}
+}
+
+func TestCountMatchesManual(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + int(seed%300)
+		s := New(n)
+		want := 0
+		marked := make([]bool, n)
+		for i := 0; i < n/2+1; i++ {
+			k := r.Intn(n)
+			if !marked[k] {
+				marked[k] = true
+				want++
+			}
+			s.Set(k)
+		}
+		return s.Count() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachOrderAndCompleteness(t *testing.T) {
+	s := New(300)
+	want := []int{0, 1, 63, 64, 65, 127, 128, 255, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order mismatch at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	s.Set(5)
+	s.Set(64)
+	s.Set(199)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {200, -1}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	empty := New(100)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty set = %d, want -1", got)
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+
+	u := New(128)
+	u.CopyFrom(a)
+	u.Union(b)
+	for i, want := range map[int]bool{1: true, 2: true, 3: true, 4: false} {
+		if u.Test(i) != want {
+			t.Errorf("union bit %d = %v, want %v", i, u.Test(i), want)
+		}
+	}
+
+	x := New(128)
+	x.CopyFrom(a)
+	x.Intersect(b)
+	if !x.Test(2) || x.Count() != 1 {
+		t.Errorf("intersection wrong: count=%d", x.Count())
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"union":     func() { New(10).Union(New(11)) },
+		"intersect": func() { New(10).Intersect(New(11)) },
+		"copy":      func() { New(10).CopyFrom(New(11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched capacity did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(500)
+	for i := 0; i < 500; i += 7 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		if got := New(n).Len(); got != n {
+			t.Errorf("New(%d).Len() = %d", n, got)
+		}
+	}
+}

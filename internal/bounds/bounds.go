@@ -1,0 +1,68 @@
+// Package bounds implements the paper's analytic misprediction bounds —
+// the black reference lines of Fig. 9.
+//
+// All bounds assume the 2-bit predictor model of §3 and are expressed in
+// total mispredictions for a complete kernel run.
+//
+// Shiloach-Vishkin (§4.1): with d passes of the while loop over a graph
+// with |V| vertices,
+//
+//   - the while test contributes at most 3 misses (lemma 2, d+1 evals);
+//   - the per-vertex for loop is one repeated loop executed d times:
+//     at most d+2 misses (lemma 3);
+//   - the neighbor for loop is executed |V| times per pass: ≈ |V| misses
+//     per pass (corollary 1), d·(|V|+... ) in total;
+//   - the if has no input-independent bound (it is the term the
+//     branch-avoiding algorithm eliminates).
+//
+// The lower bound used to normalize Fig. 9(a) is therefore the loop
+// floor: d·|V| + d + 3 — what an ideal branch-avoiding kernel cannot go
+// below, since every adjacency-list exit costs about one miss.
+//
+// BFS (§5.1): for a traversal reaching |V̂| vertices, the while loop is
+// O(1), the neighbor for loop contributes ≈ |V̂| misses, and the if
+// contributes between 0 (perfectly predictable) and ≈ 2·|V̂| (oscillating
+// between the weak states). The paper's Fig. 9(b) lower bound is |V̂| and
+// the upper bound 3·|V̂| + O(1).
+package bounds
+
+// SVLowerBound returns the misprediction floor for a Shiloach-Vishkin run
+// with the given vertex count and number of while-loop passes: the
+// loop-structure misses that remain after all data-dependent branches are
+// eliminated.
+func SVLowerBound(numVertices, passes int) uint64 {
+	if numVertices < 0 || passes < 0 {
+		panic("bounds: negative arguments")
+	}
+	return uint64(passes)*uint64(numVertices) + uint64(passes) + 3
+}
+
+// BFSLowerBound returns the misprediction floor for a top-down BFS that
+// reached the given number of vertices: ≈ one neighbor-loop exit miss per
+// dequeued vertex (§5.1), plus the O(1) while-loop misses.
+func BFSLowerBound(reached int) uint64 {
+	if reached < 0 {
+		panic("bounds: negative reached count")
+	}
+	return uint64(reached) + 3
+}
+
+// BFSUpperBound returns the paper's upper bound for the branch-based
+// top-down BFS: the for-loop's ≈|V̂| misses plus up to 2·|V̂| from the
+// discovery if oscillating between weak predictor states — 3·|V̂| + O(1)
+// in total.
+func BFSUpperBound(reached int) uint64 {
+	if reached < 0 {
+		panic("bounds: negative reached count")
+	}
+	return 3*uint64(reached) + 8
+}
+
+// Ratio returns observed/bound as a float, the normalization used by both
+// panels of Fig. 9. A zero bound yields 0.
+func Ratio(observed, bound uint64) float64 {
+	if bound == 0 {
+		return 0
+	}
+	return float64(observed) / float64(bound)
+}

@@ -1,0 +1,116 @@
+package bounds
+
+import (
+	"testing"
+
+	"bagraph/internal/corpus"
+	"bagraph/internal/simkern"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/perfsim"
+	"bagraph/internal/uarch"
+)
+
+func TestBoundFormulas(t *testing.T) {
+	if got := SVLowerBound(100, 5); got != 5*100+5+3 {
+		t.Fatalf("SVLowerBound = %d", got)
+	}
+	if got := BFSLowerBound(100); got != 103 {
+		t.Fatalf("BFSLowerBound = %d", got)
+	}
+	if got := BFSUpperBound(100); got != 308 {
+		t.Fatalf("BFSUpperBound = %d", got)
+	}
+}
+
+func TestBoundsPanicOnNegative(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sv":    func() { SVLowerBound(-1, 1) },
+		"bfslo": func() { BFSLowerBound(-1) },
+		"bfshi": func() { BFSUpperBound(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(300, 100) != 3 {
+		t.Fatal("Ratio wrong")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Fatal("zero bound not handled")
+	}
+}
+
+func machine() *perfsim.Machine {
+	m, _ := uarch.ByName("Haswell")
+	return perfsim.NewDefault(m)
+}
+
+// TestSVBoundsHold reproduces Fig. 9(a)'s structure on simulated runs:
+// the branch-avoiding kernel sits near the lower bound (ratio ≈ 1)
+// while the branch-based kernel sits clearly above it.
+func TestSVBoundsHold(t *testing.T) {
+	for _, d := range corpus.All() {
+		g := d.Generate(0.003, 7)
+		rBB := simkern.SVBranchBased(machine(), g)
+		rBA := simkern.SVBranchAvoiding(machine(), g)
+		lb := SVLowerBound(g.NumVertices(), rBA.Iterations)
+
+		baRatio := Ratio(rBA.PerIter.Total().Mispredicts, lb)
+		bbRatio := Ratio(rBB.PerIter.Total().Mispredicts, lb)
+
+		if baRatio > 1.2 || baRatio < 0.3 {
+			t.Errorf("%s: branch-avoiding SV at %.2f× lower bound, want ≈1", d.Name, baRatio)
+		}
+		if bbRatio <= baRatio {
+			t.Errorf("%s: branch-based SV (%.2f×) not above branch-avoiding (%.2f×)", d.Name, bbRatio, baRatio)
+		}
+	}
+}
+
+// TestBFSBoundsHold reproduces Fig. 9(b): branch-avoiding BFS near the
+// lower bound, branch-based between the bounds (with modest slack for the
+// O(1) terms the paper's bound absorbs).
+func TestBFSBoundsHold(t *testing.T) {
+	for _, d := range corpus.All() {
+		g := d.Generate(0.003, 7)
+		rBB := simkern.BFSBranchBased(machine(), g, 0)
+		rBA := simkern.BFSBranchAvoiding(machine(), g, 0)
+
+		lb := BFSLowerBound(rBB.Reached)
+		ub := BFSUpperBound(rBB.Reached)
+
+		baM := rBA.PerLevel.Total().Mispredicts
+		bbM := rBB.PerLevel.Total().Mispredicts
+
+		if r := Ratio(baM, lb); r > 1.25 {
+			t.Errorf("%s: branch-avoiding BFS at %.2f× lower bound", d.Name, r)
+		}
+		if bbM <= baM {
+			t.Errorf("%s: branch-based BFS mispredicts (%d) not above branch-avoiding (%d)", d.Name, bbM, baM)
+		}
+		if bbM > ub+ub/10 {
+			t.Errorf("%s: branch-based BFS mispredicts %d exceed upper bound %d", d.Name, bbM, ub)
+		}
+	}
+}
+
+// TestSVBoundTracksPasses: the bound scales linearly with passes, so a
+// high-diameter graph (more passes) has a proportionally larger floor.
+func TestSVBoundTracksPasses(t *testing.T) {
+	g := gen.Path(300)
+	r := simkern.SVBranchAvoiding(machine(), g)
+	lb := SVLowerBound(g.NumVertices(), r.Iterations)
+	got := r.PerIter.Total().Mispredicts
+	if ratio := Ratio(got, lb); ratio > 1.2 || ratio < 0.3 {
+		t.Fatalf("path graph BA ratio %.2f (misses %d, bound %d)", ratio, got, lb)
+	}
+}

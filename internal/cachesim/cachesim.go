@@ -1,0 +1,134 @@
+// Package cachesim simulates a multi-level set-associative LRU cache
+// hierarchy.
+//
+// The paper's timing discussion (Table 1 lists each system's cache
+// geometry; §6.4 weighs memory behaviour against branch behaviour) needs
+// loads and stores priced by where they hit. The simulator models up to
+// three inclusive levels with 64-byte lines, true-LRU replacement within a
+// set, and write-allocate stores. Writeback traffic is not modeled — the
+// kernels under study are read-dominated and the paper's store argument is
+// about buffer pressure, which the timing model prices per store instead.
+package cachesim
+
+import "fmt"
+
+// LineBytes is the cache line size used throughout (64 bytes, as on every
+// system in the paper's Table 1).
+const LineBytes = 64
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity; must be a multiple of Ways*LineBytes
+	Ways      int // associativity
+}
+
+// Valid reports whether the configuration is internally consistent.
+func (c Config) Valid() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	}
+	setBytes := c.Ways * LineBytes
+	if c.SizeBytes%setBytes != 0 {
+		return fmt.Errorf("cachesim: size %d not a multiple of way set %d", c.SizeBytes, setBytes)
+	}
+	sets := c.SizeBytes / setBytes
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type level struct {
+	tags    []uint64 // sets × ways; tag 0 means empty (tags are shifted+1)
+	numSets int
+	ways    int
+	mask    uint64
+}
+
+func newLevel(c Config) *level {
+	sets := c.SizeBytes / (c.Ways * LineBytes)
+	return &level{
+		tags:    make([]uint64, sets*c.Ways),
+		numSets: sets,
+		ways:    c.Ways,
+		mask:    uint64(sets - 1),
+	}
+}
+
+// access looks up the line; on hit it refreshes LRU order and returns
+// true. On miss it installs the line (evicting LRU) and returns false.
+func (l *level) access(line uint64) bool {
+	set := int(line & l.mask)
+	base := set * l.ways
+	tag := line + 1 // avoid the empty sentinel 0
+	ways := l.tags[base : base+l.ways]
+	for i, t := range ways {
+		if t == tag {
+			// Move to front (MRU at index 0).
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	// Miss: evict LRU (last slot), install as MRU.
+	copy(ways[1:], ways[:l.ways-1])
+	ways[0] = tag
+	return false
+}
+
+func (l *level) reset() {
+	for i := range l.tags {
+		l.tags[i] = 0
+	}
+}
+
+// Hierarchy is a stack of cache levels backed by memory. Level 1 is
+// checked first; a miss at level i is looked up (and filled) at level i+1.
+type Hierarchy struct {
+	levels []*level
+}
+
+// NewHierarchy builds a hierarchy from the given level configurations,
+// ordered L1 first. Zero levels is valid and models an uncached machine.
+func NewHierarchy(configs ...Config) (*Hierarchy, error) {
+	h := &Hierarchy{}
+	for _, c := range configs {
+		if err := c.Valid(); err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, newLevel(c))
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy that panics on configuration errors.
+func MustNewHierarchy(configs ...Config) *Hierarchy {
+	h, err := NewHierarchy(configs...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Access performs one memory access at the byte address and returns the
+// level that served it: 1-based cache level, or Levels()+1 for memory.
+// Lines are installed in every level on the refill path (inclusive fill).
+func (h *Hierarchy) Access(addr uint64) int {
+	line := addr / LineBytes
+	for i, l := range h.levels {
+		if l.access(line) {
+			return i + 1
+		}
+	}
+	return len(h.levels) + 1
+}
+
+// Reset invalidates every line.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		l.reset()
+	}
+}

@@ -1,0 +1,174 @@
+package cachesim
+
+import (
+	"testing"
+
+	"bagraph/internal/xrand"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{SizeBytes: 32 * 1024, Ways: 8}
+	if err := good.Valid(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 4},
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 2},       // not a multiple of way set
+		{SizeBytes: 3 * 64 * 2, Ways: 2}, // 3 sets: not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Valid(); err == nil {
+			t.Errorf("invalid config accepted: %+v", c)
+		}
+	}
+}
+
+func TestNewHierarchyRejectsBadConfig(t *testing.T) {
+	if _, err := NewHierarchy(Config{SizeBytes: 7, Ways: 3}); err == nil {
+		t.Fatal("NewHierarchy accepted invalid config")
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := MustNewHierarchy(Config{SizeBytes: 1024, Ways: 2})
+	if lvl := h.Access(0); lvl != 2 {
+		t.Fatalf("cold access served at level %d, want memory (2)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 1 {
+		t.Fatalf("warm access served at level %d, want L1", lvl)
+	}
+	// Same line, different byte.
+	if lvl := h.Access(63); lvl != 1 {
+		t.Fatalf("same-line access served at level %d, want L1", lvl)
+	}
+	// Next line: cold again.
+	if lvl := h.Access(64); lvl != 2 {
+		t.Fatalf("next-line access served at level %d, want memory", lvl)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, 2 sets => 4 lines capacity.
+	h := MustNewHierarchy(Config{SizeBytes: 4 * LineBytes, Ways: 2})
+	// Three lines mapping to the same set (stride = 2 lines): A, B, C.
+	a, b, c := uint64(0), uint64(2*LineBytes), uint64(4*LineBytes)
+	h.Access(a)
+	h.Access(b)
+	h.Access(c) // evicts a (LRU)
+	if lvl := h.Access(b); lvl != 1 {
+		t.Fatalf("b evicted unexpectedly (level %d)", lvl)
+	}
+	if lvl := h.Access(a); lvl == 1 {
+		t.Fatal("a should have been evicted (LRU)")
+	}
+}
+
+func TestLRUTouchRefreshesRecency(t *testing.T) {
+	h := MustNewHierarchy(Config{SizeBytes: 4 * LineBytes, Ways: 2})
+	a, b, c := uint64(0), uint64(2*LineBytes), uint64(4*LineBytes)
+	h.Access(a)
+	h.Access(b)
+	h.Access(a) // refresh a; b becomes LRU
+	h.Access(c) // evicts b
+	if lvl := h.Access(a); lvl != 1 {
+		t.Fatal("refreshed line a was evicted")
+	}
+	if lvl := h.Access(b); lvl == 1 {
+		t.Fatal("stale line b survived eviction")
+	}
+}
+
+func TestTwoLevelFill(t *testing.T) {
+	h := MustNewHierarchy(
+		Config{SizeBytes: 2 * LineBytes, Ways: 1}, // tiny L1: 2 lines
+		Config{SizeBytes: 64 * LineBytes, Ways: 4},
+	)
+	if h.Levels() != 2 {
+		t.Fatalf("Levels = %d", h.Levels())
+	}
+	// Fill: first touch goes to memory (level 3).
+	if lvl := h.Access(0); lvl != 3 {
+		t.Fatalf("cold access level %d, want 3", lvl)
+	}
+	// Evict it from L1 by touching the conflicting line.
+	h.Access(2 * LineBytes) // same L1 set (direct-mapped, 2 sets)
+	// Now address 0 must miss L1 but hit L2.
+	if lvl := h.Access(0); lvl != 2 {
+		t.Fatalf("access after L1 eviction served at %d, want L2", lvl)
+	}
+}
+
+func TestResetColdens(t *testing.T) {
+	h := MustNewHierarchy(Config{SizeBytes: 1024, Ways: 2})
+	h.Access(128)
+	h.Reset()
+	if lvl := h.Access(128); lvl != 2 {
+		t.Fatalf("post-Reset access level %d, want memory", lvl)
+	}
+}
+
+func TestZeroLevelHierarchy(t *testing.T) {
+	h := MustNewHierarchy()
+	if lvl := h.Access(0); lvl != 1 {
+		t.Fatalf("uncached hierarchy served at %d, want 1 (memory)", lvl)
+	}
+}
+
+func TestWorkingSetFitsCapacity(t *testing.T) {
+	// A working set smaller than the cache must achieve a 100% hit rate
+	// after the first pass, for any access order.
+	h := MustNewHierarchy(Config{SizeBytes: 32 * 1024, Ways: 8})
+	lines := 256 // 16 KB < 32 KB
+	r := xrand.New(9)
+	// Warm.
+	for i := 0; i < lines; i++ {
+		h.Access(uint64(i * LineBytes))
+	}
+	// Random probes must all hit.
+	for i := 0; i < 10000; i++ {
+		addr := uint64(r.Intn(lines) * LineBytes)
+		if lvl := h.Access(addr); lvl != 1 {
+			t.Fatalf("fit working set missed at access %d (level %d)", i, lvl)
+		}
+	}
+}
+
+func TestStreamingMissesDominate(t *testing.T) {
+	// A working set 16x the cache, streamed cyclically, must miss every
+	// time with LRU (the classic LRU worst case).
+	h := MustNewHierarchy(Config{SizeBytes: 8 * 1024, Ways: 4})
+	lines := 16 * 8 * 1024 / LineBytes
+	misses := 0
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			if h.Access(uint64(i*LineBytes)) != 1 {
+				misses++
+			}
+		}
+	}
+	if misses != 2*lines {
+		t.Fatalf("cyclic streaming: %d misses, want %d", misses, 2*lines)
+	}
+}
+
+func BenchmarkAccessHot(b *testing.B) {
+	h := MustNewHierarchy(
+		Config{SizeBytes: 32 * 1024, Ways: 8},
+		Config{SizeBytes: 256 * 1024, Ways: 8},
+		Config{SizeBytes: 8 << 20, Ways: 16},
+	)
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i%512) * LineBytes)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	h := MustNewHierarchy(
+		Config{SizeBytes: 32 * 1024, Ways: 8},
+		Config{SizeBytes: 256 * 1024, Ways: 8},
+	)
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i) * LineBytes)
+	}
+}

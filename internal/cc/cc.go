@@ -1,0 +1,339 @@
+// Package cc implements connected-components kernels: the paper's
+// Shiloach-Vishkin label-propagation algorithm in branch-based
+// (Algorithm 2) and branch-avoiding (Algorithm 3) forms, the hybrid
+// algorithm the paper's §6.2 proposes, and two independent baselines
+// (union-find and BFS labeling) used to cross-validate results.
+//
+// All SV variants converge to the same canonical labeling: every vertex
+// carries the minimum vertex id of its connected component.
+//
+// Two deliberate deviations from the paper's pseudocode, both documented
+// here because they affect instruction counts, not results:
+//
+//  1. Algorithm 2 compares cu ≤ cv; taken literally with the change flag
+//     set inside the branch the loop never terminates (equal labels keep
+//     signalling change). We use the strict cu < cv, which is what any
+//     working implementation (including the paper's measured assembly,
+//     judging by its termination) must do.
+//  2. Algorithm 2 never refreshes cv after a label improvement; we keep
+//     cv current (cv ← cu on the taken path), matching the "minimum label
+//     among itself and its neighbors" semantics stated in the text.
+package cc
+
+import (
+	"fmt"
+	"time"
+
+	"bagraph/internal/core"
+	"bagraph/internal/graph"
+)
+
+// Stats describes one SV run.
+type Stats struct {
+	// Iterations is the number of passes of the outer while loop,
+	// including the final pass that observes no change.
+	Iterations int
+	// IterDurations holds the wall-clock time of each pass.
+	IterDurations []time.Duration
+	// IterChanges holds the number of vertices whose label changed in
+	// each pass.
+	IterChanges []int
+	// LabelStores counts writes to the label array.
+	LabelStores uint64
+}
+
+// Total returns the summed wall-clock time of all passes.
+func (s Stats) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.IterDurations {
+		t += d
+	}
+	return t
+}
+
+func initLabels(n int) []uint32 {
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	return labels
+}
+
+// SVBranchBased runs the branch-based Shiloach-Vishkin kernel
+// (Algorithm 2): the inner loop branches on every label comparison.
+func SVBranchBased(g *graph.Graph) ([]uint32, Stats) {
+	n := g.NumVertices()
+	labels := initLabels(n)
+	var st Stats
+	adj := g.Adjacency()
+	offs := g.Offsets()
+
+	for change := true; change; {
+		change = false
+		changed := 0
+		start := time.Now()
+		for v := 0; v < n; v++ {
+			cv := labels[v]
+			cv0 := cv
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				cu := labels[u]
+				if cu < cv {
+					cv = cu
+					labels[v] = cu
+					st.LabelStores++
+					change = true
+				}
+			}
+			if cv != cv0 {
+				changed++
+			}
+		}
+		st.IterDurations = append(st.IterDurations, time.Since(start))
+		st.IterChanges = append(st.IterChanges, changed)
+		st.Iterations++
+	}
+	return labels, st
+}
+
+// SVBranchAvoiding runs the branch-avoiding Shiloach-Vishkin kernel
+// (Algorithm 3): the label comparison feeds an arithmetic conditional
+// move; the only branches left are the loop tests. Every vertex writes its
+// label exactly once per pass, so LabelStores is Iterations × |V|.
+func SVBranchAvoiding(g *graph.Graph) ([]uint32, Stats) {
+	n := g.NumVertices()
+	labels := initLabels(n)
+	var st Stats
+	adj := g.Adjacency()
+	offs := g.Offsets()
+
+	for change := uint32(1); change != 0; {
+		change = 0
+		changed := 0
+		start := time.Now()
+		for v := 0; v < n; v++ {
+			cinit := labels[v]
+			cv := cinit
+			for _, u := range adj[offs[v]:offs[v+1]] {
+				cu := labels[u]
+				// cv ← min(cv, cu) via mask select: no data branch.
+				m := core.MaskLess32(cu, cv)
+				cv = core.Select32(m, cu, cv)
+			}
+			labels[v] = cv
+			st.LabelStores++
+			diff := cv ^ cinit
+			change |= diff
+			// Branch-free change tally: diff != 0 contributes 1.
+			changed += core.Bit(^core.MaskEqual32(diff, 0))
+		}
+		st.IterDurations = append(st.IterDurations, time.Since(start))
+		st.IterChanges = append(st.IterChanges, changed)
+		st.Iterations++
+	}
+	return labels, st
+}
+
+// HybridOptions configures SVHybrid.
+type HybridOptions struct {
+	// SwitchIteration forces the switch from branch-avoiding to
+	// branch-based at the given pass (0-based). Negative means adaptive.
+	SwitchIteration int
+	// ChangeFraction is the adaptive threshold: once the fraction of
+	// vertices that changed label in a pass drops below it, the labels
+	// have mostly stabilized, the comparison branch has become
+	// predictable, and the kernel switches to the branch-based loop. The
+	// paper's §6.2 observes a single crossover point, which makes this
+	// one-way switch sound. Zero means the default of 2%.
+	ChangeFraction float64
+}
+
+// SVHybrid is the algorithm the paper's §6.2 proposes: run the
+// branch-avoiding kernel in the early, misprediction-heavy passes and the
+// branch-based kernel once labels stabilize.
+func SVHybrid(g *graph.Graph, opt HybridOptions) ([]uint32, Stats) {
+	n := g.NumVertices()
+	labels := initLabels(n)
+	var st Stats
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	threshold := opt.ChangeFraction
+	if threshold == 0 {
+		threshold = 0.02
+	}
+
+	avoiding := true
+	for change := true; change; {
+		if opt.SwitchIteration >= 0 && st.Iterations >= opt.SwitchIteration {
+			avoiding = false
+		}
+		change = false
+		changed := 0
+		start := time.Now()
+		if avoiding {
+			var diffAccum uint32
+			for v := 0; v < n; v++ {
+				cinit := labels[v]
+				cv := cinit
+				for _, u := range adj[offs[v]:offs[v+1]] {
+					cu := labels[u]
+					m := core.MaskLess32(cu, cv)
+					cv = core.Select32(m, cu, cv)
+				}
+				labels[v] = cv
+				st.LabelStores++
+				diff := cv ^ cinit
+				diffAccum |= diff
+				changed += core.Bit(^core.MaskEqual32(diff, 0))
+			}
+			change = diffAccum != 0
+		} else {
+			for v := 0; v < n; v++ {
+				cv := labels[v]
+				cv0 := cv
+				for _, u := range adj[offs[v]:offs[v+1]] {
+					cu := labels[u]
+					if cu < cv {
+						cv = cu
+						labels[v] = cu
+						st.LabelStores++
+						change = true
+					}
+				}
+				if cv != cv0 {
+					changed++
+				}
+			}
+		}
+		st.IterDurations = append(st.IterDurations, time.Since(start))
+		st.IterChanges = append(st.IterChanges, changed)
+		st.Iterations++
+		if opt.SwitchIteration < 0 && avoiding && float64(changed) < threshold*float64(n) {
+			avoiding = false
+		}
+	}
+	return labels, st
+}
+
+// UnionFind computes components with a weighted quick-union with path
+// halving — an independent baseline for cross-validating the SV kernels.
+// Labels are canonicalized to the minimum vertex id per component.
+func UnionFind(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	parent := make([]uint32, n)
+	rank := make([]uint8, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	find := func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			ru, rv := find(uint32(u)), find(v)
+			if ru == rv {
+				continue
+			}
+			if rank[ru] < rank[rv] {
+				ru, rv = rv, ru
+			}
+			parent[rv] = ru
+			if rank[ru] == rank[rv] {
+				rank[ru]++
+			}
+		}
+	}
+	// Canonicalize to min id per component.
+	minID := make([]uint32, n)
+	for i := range minID {
+		minID[i] = ^uint32(0)
+	}
+	for v := 0; v < n; v++ {
+		r := find(uint32(v))
+		if uint32(v) < minID[r] {
+			minID[r] = uint32(v)
+		}
+	}
+	labels := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		labels[v] = minID[find(uint32(v))]
+	}
+	return labels
+}
+
+// ViaBFS computes components by sweeping vertices in ascending order and
+// flood-filling each unvisited one. Because the sweep is ascending, every
+// component is labeled with its minimum vertex id — the same canonical
+// form the SV kernels converge to.
+func ViaBFS(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	const unset = ^uint32(0)
+	for i := range labels {
+		labels[i] = unset
+	}
+	queue := make([]uint32, 0, n)
+	for s := 0; s < n; s++ {
+		if labels[s] != unset {
+			continue
+		}
+		root := uint32(s)
+		labels[s] = root
+		queue = append(queue[:0], root)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.Neighbors(v) {
+				if labels[w] == unset {
+					labels[w] = root
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// CountComponents returns the number of distinct labels.
+func CountComponents(labels []uint32) int {
+	seen := make(map[uint32]struct{})
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ComponentSizes returns the size of each component keyed by label.
+func ComponentSizes(labels []uint32) map[uint32]int {
+	sizes := make(map[uint32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// Verify checks that labels is the canonical min-id component labeling of
+// g: endpoints of every edge agree, every label is the minimum id of its
+// component, and the labeling matches an independently computed one.
+func Verify(g *graph.Graph, labels []uint32) error {
+	n := g.NumVertices()
+	if len(labels) != n {
+		return fmt.Errorf("cc: %d labels for %d vertices", len(labels), n)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(uint32(u)) {
+			if labels[u] != labels[v] {
+				return fmt.Errorf("cc: edge (%d,%d) spans labels %d,%d", u, v, labels[u], labels[v])
+			}
+		}
+	}
+	ref := ViaBFS(g)
+	for v := 0; v < n; v++ {
+		if labels[v] != ref[v] {
+			return fmt.Errorf("cc: vertex %d labeled %d, reference %d", v, labels[v], ref[v])
+		}
+	}
+	return nil
+}

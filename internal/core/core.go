@@ -1,0 +1,76 @@
+// Package core provides the branch-avoiding primitives that are the
+// paper's central technique: data-dependent selections computed with
+// arithmetic masks instead of conditional branches.
+//
+// The paper implements its kernels in assembly so that comparisons feed
+// conditional moves (CMOVcc on x86-64, predicated instructions on ARM)
+// rather than conditional jumps. Go provides no intrinsic for CMOV and the
+// compiler only sometimes lowers an if to one (the same compiler problem
+// the paper's §6.1 describes), so these helpers construct the select from
+// a comparison mask explicitly:
+//
+//	mask = all-ones if the condition holds, else zero
+//	out  = (a AND mask) OR (b AND NOT mask)
+//
+// Every helper is straight-line code: no conditional branch appears in
+// the compiled function body, so the branch-misprediction cost of a
+// data-dependent condition is structurally eliminated.
+package core
+
+// MaskLess32 returns 0xFFFFFFFF when a < b (unsigned), else 0, without
+// branching. The subtraction is widened to int64 so the full uint32 range
+// is handled.
+func MaskLess32(a, b uint32) uint32 {
+	return uint32((int64(a) - int64(b)) >> 63)
+}
+
+// MaskGreater32 returns 0xFFFFFFFF when a > b (unsigned), else 0.
+func MaskGreater32(a, b uint32) uint32 {
+	return MaskLess32(b, a)
+}
+
+// MaskLessEq32 returns 0xFFFFFFFF when a <= b (unsigned), else 0.
+func MaskLessEq32(a, b uint32) uint32 {
+	return ^MaskLess32(b, a)
+}
+
+// MaskEqual32 returns 0xFFFFFFFF when a == b, else 0.
+func MaskEqual32(a, b uint32) uint32 {
+	d := int64(a ^ b)
+	// d == 0 iff equal; (d-1)>>63 is all-ones only when d == 0 given
+	// 0 <= d < 2^32.
+	return uint32((d - 1) >> 63)
+}
+
+// Select32 returns a when mask is all-ones and b when mask is zero. Any
+// other mask blends bits and is a caller error.
+func Select32(mask, a, b uint32) uint32 {
+	return (a & mask) | (b &^ mask)
+}
+
+// Min32 returns the unsigned minimum of a and b without branching — the
+// conditional-move at the heart of the branch-avoiding Shiloach-Vishkin
+// kernel (Algorithm 3).
+func Min32(a, b uint32) uint32 {
+	m := MaskLess32(a, b)
+	return Select32(m, a, b)
+}
+
+// Max32 returns the unsigned maximum of a and b without branching.
+func Max32(a, b uint32) uint32 {
+	m := MaskLess32(a, b)
+	return Select32(m, b, a)
+}
+
+// CondAssignLess32 performs *dst = val when val < *dst, without branching.
+func CondAssignLess32(dst *uint32, val uint32) {
+	m := MaskLess32(val, *dst)
+	*dst = Select32(m, val, *dst)
+}
+
+// Bit returns 1 when mask is all-ones, 0 when mask is zero — the
+// conditional-add operand used by the branch-avoiding BFS (Algorithm 5's
+// COND_ADD on the queue length).
+func Bit(mask uint32) int {
+	return int(mask & 1)
+}

@@ -1,0 +1,47 @@
+package core
+
+// 64-bit branch-avoiding primitives, used by the weighted-kernel
+// extensions (Bellman-Ford relaxation, betweenness accumulation). The
+// mask construction mirrors the 32-bit versions but operates on values
+// the caller guarantees fit in 63 bits (distances are capped by
+// MaxDist64), so signed subtraction cannot overflow.
+
+// MaxDist64 is the largest distance value the 64-bit primitives accept:
+// 2^62 - 1. Path lengths are sums of uint32 weights over at most 2^31
+// vertices, far below this cap; the Inf sentinel used by the shortest-path
+// kernels is 2^62.
+const MaxDist64 = 1<<62 - 1
+
+// MaskLess64 returns all-ones when a < b, else 0, for a, b ≤ 2^62.
+func MaskLess64(a, b uint64) uint64 {
+	return uint64((int64(a) - int64(b)) >> 63)
+}
+
+// MaskGreater64 returns all-ones when a > b, else 0, for a, b ≤ 2^62.
+func MaskGreater64(a, b uint64) uint64 {
+	return MaskLess64(b, a)
+}
+
+// MaskEqual64 returns all-ones when a == b, else 0.
+func MaskEqual64(a, b uint64) uint64 {
+	d := a ^ b
+	// Branchless "d == 0": OR together all bits of d, then the low bit of
+	// (d|-d)>>63 is 1 exactly when d != 0.
+	nonzero := (d | -d) >> 63
+	return nonzero - 1
+}
+
+// Select64 returns a when mask is all-ones and b when mask is zero.
+func Select64(mask, a, b uint64) uint64 {
+	return (a & mask) | (b &^ mask)
+}
+
+// Min64 returns the minimum of a and b without branching, for a, b ≤ 2^62.
+func Min64(a, b uint64) uint64 {
+	return Select64(MaskLess64(a, b), a, b)
+}
+
+// Bit64 returns 1 when mask is all-ones, 0 when mask is zero.
+func Bit64(mask uint64) uint64 {
+	return mask & 1
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var edge64 = []uint64{0, 1, 2, MaxDist64, MaxDist64 - 1, 1 << 61, 1 << 40}
+
+func TestMaskLess64Edges(t *testing.T) {
+	for _, a := range edge64 {
+		for _, b := range edge64 {
+			want := uint64(0)
+			if a < b {
+				want = ^uint64(0)
+			}
+			if got := MaskLess64(a, b); got != want {
+				t.Errorf("MaskLess64(%d, %d) = %#x, want %#x", a, b, got, want)
+			}
+			if got, w := MaskGreater64(a, b) == ^uint64(0), a > b; got != w {
+				t.Errorf("MaskGreater64(%d, %d) wrong", a, b)
+			}
+			if got, w := MaskEqual64(a, b) == ^uint64(0), a == b; got != w {
+				t.Errorf("MaskEqual64(%d, %d) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestMin64Property(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= MaxDist64 + 1
+		b %= MaxDist64 + 1
+		want := a
+		if b < a {
+			want = b
+		}
+		return Min64(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskEqual64FullRange(t *testing.T) {
+	// MaskEqual64 has no range restriction; check extremes.
+	f := func(a, b uint64) bool {
+		got := MaskEqual64(a, b) == ^uint64(0)
+		return got == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelect64AndBit64(t *testing.T) {
+	if Select64(^uint64(0), 3, 9) != 3 || Select64(0, 3, 9) != 9 {
+		t.Fatal("Select64 wrong")
+	}
+	if Bit64(^uint64(0)) != 1 || Bit64(0) != 0 {
+		t.Fatal("Bit64 wrong")
+	}
+}

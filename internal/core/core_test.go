@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The edge values that break naive 32-bit mask arithmetic.
+var edgeValues = []uint32{0, 1, 2, math.MaxUint32, math.MaxUint32 - 1, 1 << 31, 1<<31 - 1, 1<<31 + 1}
+
+func TestMaskLess32Edges(t *testing.T) {
+	for _, a := range edgeValues {
+		for _, b := range edgeValues {
+			want := uint32(0)
+			if a < b {
+				want = math.MaxUint32
+			}
+			if got := MaskLess32(a, b); got != want {
+				t.Errorf("MaskLess32(%d, %d) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskVariantsEdges(t *testing.T) {
+	for _, a := range edgeValues {
+		for _, b := range edgeValues {
+			if got, want := MaskGreater32(a, b) == math.MaxUint32, a > b; got != want {
+				t.Errorf("MaskGreater32(%d, %d) wrong", a, b)
+			}
+			if got, want := MaskLessEq32(a, b) == math.MaxUint32, a <= b; got != want {
+				t.Errorf("MaskLessEq32(%d, %d) wrong", a, b)
+			}
+			if got, want := MaskEqual32(a, b) == math.MaxUint32, a == b; got != want {
+				t.Errorf("MaskEqual32(%d, %d) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestMasksAreAllOrNothing(t *testing.T) {
+	f := func(a, b uint32) bool {
+		for _, m := range []uint32{MaskLess32(a, b), MaskGreater32(a, b), MaskLessEq32(a, b), MaskEqual32(a, b)} {
+			if m != 0 && m != math.MaxUint32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelect32(t *testing.T) {
+	if Select32(math.MaxUint32, 7, 9) != 7 {
+		t.Error("all-ones mask must select a")
+	}
+	if Select32(0, 7, 9) != 9 {
+		t.Error("zero mask must select b")
+	}
+}
+
+func TestMin32MatchesBranchyProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		want := a
+		if b < a {
+			want = b
+		}
+		return Min32(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMax32MatchesBranchyProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		want := a
+		if b > a {
+			want = b
+		}
+		return Max32(a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxEdges(t *testing.T) {
+	for _, a := range edgeValues {
+		for _, b := range edgeValues {
+			if Min32(a, b) != min(a, b) {
+				t.Errorf("Min32(%d, %d) = %d", a, b, Min32(a, b))
+			}
+			if Max32(a, b) != max(a, b) {
+				t.Errorf("Max32(%d, %d) = %d", a, b, Max32(a, b))
+			}
+		}
+	}
+}
+
+func TestCondAssignLess32(t *testing.T) {
+	f := func(dst, val uint32) bool {
+		got := dst
+		CondAssignLess32(&got, val)
+		want := dst
+		if val < dst {
+			want = val
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	if Bit(math.MaxUint32) != 1 || Bit(0) != 0 {
+		t.Fatal("Bit conversion wrong")
+	}
+}
+
+func BenchmarkMin32Branchless(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = Min32(sink^uint32(i), uint32(i)*2654435761)
+	}
+	_ = sink
+}
+
+func branchyMin(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkMin32Branchy(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink = branchyMin(sink^uint32(i), uint32(i)*2654435761)
+	}
+	_ = sink
+}

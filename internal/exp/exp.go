@@ -1,0 +1,233 @@
+// Package exp drives the paper's experiments: every table and figure of
+// the evaluation section (§6) has a runner here that prints the same
+// rows/series the paper reports, using the simulated machines of
+// internal/perfsim and the corpus of internal/corpus.
+//
+// The figures in the paper are per-iteration (SV) or per-level (BFS)
+// curves of time, branches and branch mispredictions, normalized within
+// each subplot to the fastest iteration of the branch-based kernel, with
+// the whole-run speedup annotated. The runners reproduce exactly that
+// normalization; curves are rendered as sparklines plus first/min/last
+// values so shapes and crossovers are visible in text.
+package exp
+
+import (
+	"fmt"
+
+	"bagraph/internal/corpus"
+	"bagraph/internal/graph"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/perfsim"
+	"bagraph/internal/simkern"
+	"bagraph/internal/uarch"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the corpus graphs; 1.0 approximates the paper's
+	// sizes. The default 0.01 keeps a full 7-platform sweep in seconds.
+	Scale float64
+	// Seed drives every generator.
+	Seed uint64
+	// Graphs selects corpus datasets by name (default: all five).
+	Graphs []string
+	// Platforms selects uarch models by name (default: all seven).
+	Platforms []string
+	// Root is the BFS source vertex.
+	Root uint32
+}
+
+// WithDefaults fills unset fields.
+func (o Options) WithDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.01
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if len(o.Graphs) == 0 {
+		o.Graphs = corpus.Names()
+	}
+	if len(o.Platforms) == 0 {
+		o.Platforms = uarch.Names()
+	}
+	return o
+}
+
+func (o Options) platforms() ([]uarch.Model, error) {
+	models := make([]uarch.Model, 0, len(o.Platforms))
+	for _, name := range o.Platforms {
+		m, ok := uarch.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown platform %q (known: %v)", name, uarch.Names())
+		}
+		models = append(models, m)
+	}
+	return models, nil
+}
+
+func (o Options) graphs() ([]*graph.Graph, error) {
+	ds, err := corpus.Subset(o.Graphs)
+	if err != nil {
+		return nil, err
+	}
+	gs := make([]*graph.Graph, len(ds))
+	for i, d := range ds {
+		gs[i] = d.Generate(o.Scale, o.Seed)
+	}
+	return gs, nil
+}
+
+// SVRun holds one (platform, graph) Shiloach-Vishkin measurement: the
+// per-iteration event series of both kernels and their per-iteration
+// simulated times.
+type SVRun struct {
+	Platform   string
+	Graph      string
+	Vertices   int
+	Arcs       int64
+	Iterations int
+	BB, BA     perfcount.Series
+	// BBTime/BATime are simulated seconds per iteration.
+	BBTime, BATime []float64
+}
+
+// Speedup returns total branch-based time over total branch-avoiding time
+// (the number annotated in each Fig. 3 subplot; >1 means branch-avoiding
+// wins).
+func (r SVRun) Speedup() float64 {
+	return sum(r.BBTime) / sum(r.BATime)
+}
+
+// BFSRun holds one (platform, graph) BFS measurement.
+type BFSRun struct {
+	Platform       string
+	Graph          string
+	Vertices       int
+	Arcs           int64
+	Levels         int
+	Reached        int
+	LevelSizes     []int
+	EdgesPerLevel  []int64
+	BB, BA         perfcount.Series
+	BBTime, BATime []float64
+}
+
+// Speedup returns total branch-based time over total branch-avoiding time
+// (the Fig. 6 subplot annotation; <1 means branch-avoiding loses).
+func (r BFSRun) Speedup() float64 {
+	return sum(r.BBTime) / sum(r.BATime)
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func secondsPer(model uarch.Model, series perfcount.Series) []float64 {
+	out := make([]float64, len(series))
+	for i, c := range series {
+		out[i] = model.Seconds(c)
+	}
+	return out
+}
+
+// Results caches the expensive simulated sweeps so multiple figures can
+// share one computation.
+type Results struct {
+	Opt Options
+	SV  []SVRun
+	BFS []BFSRun
+}
+
+// ComputeSV runs the SV sweep: every selected graph on every selected
+// platform, branch-based and branch-avoiding, on fresh machines.
+func ComputeSV(opt Options) ([]SVRun, error) {
+	opt = opt.WithDefaults()
+	models, err := opt.platforms()
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return nil, err
+	}
+	var runs []SVRun
+	for _, g := range graphs {
+		for _, model := range models {
+			rBB := simkern.SVBranchBased(perfsim.NewDefault(model), g)
+			rBA := simkern.SVBranchAvoiding(perfsim.NewDefault(model), g)
+			if rBB.Iterations != rBA.Iterations {
+				return nil, fmt.Errorf("exp: SV variants disagree on %s/%s: %d vs %d passes",
+					model.Name, g.Name(), rBB.Iterations, rBA.Iterations)
+			}
+			runs = append(runs, SVRun{
+				Platform:   model.Name,
+				Graph:      g.Name(),
+				Vertices:   g.NumVertices(),
+				Arcs:       g.NumArcs(),
+				Iterations: rBB.Iterations,
+				BB:         rBB.PerIter,
+				BA:         rBA.PerIter,
+				BBTime:     secondsPer(model, rBB.PerIter),
+				BATime:     secondsPer(model, rBA.PerIter),
+			})
+		}
+	}
+	return runs, nil
+}
+
+// ComputeBFS runs the BFS sweep.
+func ComputeBFS(opt Options) ([]BFSRun, error) {
+	opt = opt.WithDefaults()
+	models, err := opt.platforms()
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := opt.graphs()
+	if err != nil {
+		return nil, err
+	}
+	var runs []BFSRun
+	for _, g := range graphs {
+		root := opt.Root
+		if int(root) >= g.NumVertices() {
+			root = 0
+		}
+		for _, model := range models {
+			rBB := simkern.BFSBranchBased(perfsim.NewDefault(model), g, root)
+			rBA := simkern.BFSBranchAvoiding(perfsim.NewDefault(model), g, root)
+			runs = append(runs, BFSRun{
+				Platform:      model.Name,
+				Graph:         g.Name(),
+				Vertices:      g.NumVertices(),
+				Arcs:          g.NumArcs(),
+				Levels:        rBB.Levels,
+				Reached:       rBB.Reached,
+				LevelSizes:    rBB.LevelSizes,
+				EdgesPerLevel: rBB.EdgesPerLevel,
+				BB:            rBB.PerLevel,
+				BA:            rBA.PerLevel,
+				BBTime:        secondsPer(model, rBB.PerLevel),
+				BATime:        secondsPer(model, rBA.PerLevel),
+			})
+		}
+	}
+	return runs, nil
+}
+
+// Compute runs both sweeps.
+func Compute(opt Options) (*Results, error) {
+	sv, err := ComputeSV(opt)
+	if err != nil {
+		return nil, err
+	}
+	bfs, err := ComputeBFS(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{Opt: opt.WithDefaults(), SV: sv, BFS: bfs}, nil
+}

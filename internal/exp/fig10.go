@@ -1,0 +1,162 @@
+package exp
+
+// Fig. 10: pairwise correlations among time (T), instructions (I),
+// branches (B), mispredictions (M), loads (L) and stores (S), measured
+// per edge traversal, with one sample per (graph, iteration/level). The
+// paper reports per-platform coefficients plus a pooled coefficient; the
+// headline observations are:
+//
+//   - SV: mispredictions correlate with time more strongly than loads and
+//     stores do;
+//   - BFS: stores correlate with time about as strongly as mispredictions
+//     (which is why trading branches for stores does not pay off).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bagraph/internal/perfcount"
+	"bagraph/internal/report"
+	"bagraph/internal/stats"
+)
+
+// metricNames are Fig. 10's six quantities, in the paper's order.
+var metricNames = []string{"T", "I", "B", "M", "L", "S"}
+
+// sample is one per-edge-normalized observation.
+type sample [6]float64
+
+func newSample(seconds float64, c perfcount.Counters, edges float64) sample {
+	if edges <= 0 {
+		edges = 1
+	}
+	return sample{
+		seconds * 1e9 / edges, // T: ns per edge
+		float64(c.Instructions) / edges,
+		float64(c.Branches) / edges,
+		float64(c.Mispredicts) / edges,
+		float64(c.Loads) / edges,
+		float64(c.Stores) / edges,
+	}
+}
+
+// svSamples extracts branch-based per-iteration samples grouped by
+// platform (Fig. 10 plots the branch-based kernels).
+func svSamples(runs []SVRun) map[string][]sample {
+	out := map[string][]sample{}
+	for _, r := range runs {
+		edges := float64(r.Arcs)
+		for i, c := range r.BB {
+			out[r.Platform] = append(out[r.Platform], newSample(r.BBTime[i], c, edges))
+		}
+	}
+	return out
+}
+
+func bfsSamples(runs []BFSRun) map[string][]sample {
+	out := map[string][]sample{}
+	for _, r := range runs {
+		for i, c := range r.BB {
+			edges := 1.0
+			if i < len(r.EdgesPerLevel) {
+				edges = float64(r.EdgesPerLevel[i])
+			}
+			out[r.Platform] = append(out[r.Platform], newSample(r.BBTime[i], c, edges))
+		}
+	}
+	return out
+}
+
+func corrWithTime(samples []sample) []float64 {
+	t := column(samples, 0)
+	out := make([]float64, len(metricNames)-1)
+	for j := 1; j < len(metricNames); j++ {
+		out[j-1] = stats.Pearson(t, column(samples, j))
+	}
+	return out
+}
+
+func column(samples []sample, j int) []float64 {
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s[j]
+	}
+	return xs
+}
+
+// CorrelationSummary holds the correlation-with-time coefficients for one
+// algorithm, per platform and pooled, for programmatic checks.
+type CorrelationSummary struct {
+	// PerPlatform[name][k] is corr(T, metricNames[k+1]) on that platform.
+	PerPlatform map[string][]float64
+	// Pooled[k] is the correlation across all platforms' samples.
+	Pooled []float64
+}
+
+// Metric returns the pooled correlation of time with the named metric
+// ("I", "B", "M", "L" or "S").
+func (c CorrelationSummary) Metric(name string) (float64, bool) {
+	for j, n := range metricNames[1:] {
+		if n == name {
+			return c.Pooled[j], true
+		}
+	}
+	return 0, false
+}
+
+func summarize(byPlatform map[string][]sample) CorrelationSummary {
+	s := CorrelationSummary{PerPlatform: map[string][]float64{}}
+	var all []sample
+	for p, samples := range byPlatform {
+		s.PerPlatform[p] = corrWithTime(samples)
+		all = append(all, samples...)
+	}
+	s.Pooled = corrWithTime(all)
+	return s
+}
+
+// SVCorrelations computes the Fig. 10(a) summary.
+func SVCorrelations(runs []SVRun) CorrelationSummary { return summarize(svSamples(runs)) }
+
+// BFSCorrelations computes the Fig. 10(b) summary.
+func BFSCorrelations(runs []BFSRun) CorrelationSummary { return summarize(bfsSamples(runs)) }
+
+func renderCorr(w io.Writer, title string, s CorrelationSummary) {
+	t := report.NewTable(title, "Platform", "corr(T,I)", "corr(T,B)", "corr(T,M)", "corr(T,L)", "corr(T,S)")
+	names := make([]string, 0, len(s.PerPlatform))
+	for p := range s.PerPlatform {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	row := func(label string, cs []float64) {
+		cells := []string{label}
+		for _, c := range cs {
+			cells = append(cells, fmt.Sprintf("%.3f", c))
+		}
+		t.Add(cells...)
+	}
+	for _, p := range names {
+		row(p, s.PerPlatform[p])
+	}
+	row("pooled", s.Pooled)
+	t.Render(w)
+}
+
+// Fig10 renders both correlation panels.
+func Fig10(w io.Writer, res *Results) {
+	report.Section(w, "Fig 10: correlation of per-edge time with hardware events (branch-based kernels)")
+	sv := SVCorrelations(res.SV)
+	bfs := BFSCorrelations(res.BFS)
+	renderCorr(w, "(a) Shiloach-Vishkin", sv)
+	fmt.Fprintln(w)
+	renderCorr(w, "(b) top-down BFS", bfs)
+
+	mSV, _ := sv.Metric("M")
+	lSV, _ := sv.Metric("L")
+	sSV, _ := sv.Metric("S")
+	mBFS, _ := bfs.Metric("M")
+	sBFS, _ := bfs.Metric("S")
+	fmt.Fprintf(w, "\nSV:  corr(T,M)=%.3f vs corr(T,L)=%.3f, corr(T,S)=%.3f — mispredictions dominate\n", mSV, lSV, sSV)
+	fmt.Fprintf(w, "BFS: corr(T,S)=%.3f vs corr(T,M)=%.3f — stores rival mispredictions\n", sBFS, mBFS)
+}

@@ -1,0 +1,293 @@
+package exp
+
+// Renderers for the paper's tables and figures. Each function writes the
+// textual equivalent of one exhibit to w.
+
+import (
+	"fmt"
+	"io"
+
+	"bagraph/internal/bounds"
+	"bagraph/internal/corpus"
+	"bagraph/internal/gen"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/predictor"
+	"bagraph/internal/report"
+	"bagraph/internal/uarch"
+)
+
+// Table1 prints the system catalog (paper Table 1) plus the simulation
+// cost parameters this reproduction adds.
+func Table1(w io.Writer) {
+	report.Section(w, "Table 1: Systems used in experiments")
+	t := report.NewTable("",
+		"Microarchitecture", "ISA", "Processor", "GHz", "L1", "L2", "L3", "DRAM",
+		"CPI", "MissPenalty", "CmovExtra", "StoreCost")
+	for _, m := range uarch.Systems() {
+		l3 := "-"
+		if m.HasL3() {
+			l3 = fmt.Sprintf("%d KB", m.L3.SizeBytes>>10)
+		}
+		t.AddF(m.Name, m.ISA, m.Processor, m.FreqGHz,
+			fmt.Sprintf("%d KB", m.L1.SizeBytes>>10),
+			fmt.Sprintf("%d KB", m.L2.SizeBytes>>10), l3, m.DRAM,
+			m.CPI, m.MispredictPenalty, m.CondMoveExtra, m.StoreCost)
+	}
+	t.Render(w)
+}
+
+// Table2 prints the graph corpus (paper Table 2) with both the paper's
+// sizes and the generated stand-in sizes at the selected scale.
+func Table2(w io.Writer, opt Options) error {
+	opt = opt.WithDefaults()
+	report.Section(w, fmt.Sprintf("Table 2: Graph corpus (DIMACS-10 stand-ins, scale %g)", opt.Scale))
+	t := report.NewTable("",
+		"Name", "Type", "|V| (paper)", "|E| (paper)", "|V| (gen)", "|E| (gen)", "deg (paper)", "deg (gen)", "diam (gen)")
+	ds, err := corpus.Subset(opt.Graphs)
+	if err != nil {
+		return err
+	}
+	for _, d := range ds {
+		g := d.Generate(opt.Scale, opt.Seed)
+		t.AddF(d.Name, d.Class, d.PaperV, d.PaperE,
+			g.NumVertices(), g.NumEdges(),
+			2*float64(d.PaperE)/float64(d.PaperV), g.Degrees().Mean,
+			g.PseudoDiameter())
+	}
+	t.Render(w)
+	return nil
+}
+
+// Fig1 prints the 2-bit predictor finite-state automaton (paper Fig. 1).
+func Fig1(w io.Writer) {
+	report.Section(w, "Fig 1: 2-bit branch predictor FSA")
+	t := report.NewTable("", "State", "Predicts", "on Taken ->", "on Not-Taken ->")
+	states := []predictor.State{
+		predictor.StronglyNotTaken, predictor.WeaklyNotTaken,
+		predictor.WeaklyTaken, predictor.StronglyTaken,
+	}
+	for _, s := range states {
+		pred := "not taken"
+		if s.Predict() {
+			pred = "taken"
+		}
+		t.Add(s.String(), pred, s.Next(true).String(), s.Next(false).String())
+	}
+	t.Render(w)
+}
+
+// Fig2 demonstrates component-label propagation over SV iterations on a
+// small connected graph (paper Fig. 2): each row is the label array after
+// one pass.
+func Fig2(w io.Writer) {
+	report.Section(w, "Fig 2: connected-component id propagation across SV iterations")
+	// A ring of 8 vertices with ids scrambled so propagation takes
+	// several passes, mirroring the paper's multi-step convergence.
+	g := gen.Cycle(8)
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i)
+	}
+	fmt.Fprintf(w, "graph: %s\n", g)
+	fmt.Fprintf(w, "pass 0 (init): %v\n", labels)
+	for pass := 1; ; pass++ {
+		change := false
+		for v := 0; v < n; v++ {
+			cv := labels[v]
+			for _, u := range g.Neighbors(uint32(v)) {
+				if labels[u] < cv {
+					cv = labels[u]
+					labels[v] = cv
+					change = true
+				}
+			}
+		}
+		if !change {
+			fmt.Fprintf(w, "pass %d: %v (no change; converged, %d component)\n",
+				pass, labels, countDistinct(labels))
+			break
+		}
+		fmt.Fprintf(w, "pass %d: %v\n", pass, labels)
+	}
+}
+
+func countDistinct(labels []uint32) int {
+	seen := map[uint32]struct{}{}
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// seriesRatios normalizes a per-iteration float series by the minimum of
+// the reference series, the paper's figure normalization.
+func seriesRatios(vals []float64, refMin float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v / refMin
+	}
+	return out
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func firstMinLast(xs []float64) (first, min, last float64) {
+	return xs[0], minOf(xs), xs[len(xs)-1]
+}
+
+// svSeries extracts a per-iteration metric from an SVRun.
+func svMetric(series perfcount.Series, pick func(perfcount.Counters) float64) []float64 {
+	out := make([]float64, len(series))
+	for i, c := range series {
+		out[i] = pick(c)
+	}
+	return out
+}
+
+// renderPerIterFigure renders one Fig-3-style block: for each
+// (platform, graph), the BB and BA per-iteration curves normalized to
+// min(BB), with the totals ratio annotated.
+func renderPerIterFigure(w io.Writer, title, unit string, rows []perIterRow) {
+	report.Section(w, title)
+	t := report.NewTable(fmt.Sprintf("curves normalized to min of branch-based %s; ratio = total BB / total BA", unit),
+		"Platform", "Graph", "iters", "branch-based", "first/min/last", "branch-avoiding", "first/min/last", "ratio")
+	for _, r := range rows {
+		nbb := seriesRatios(r.bb, minOf(r.bb))
+		nba := seriesRatios(r.ba, minOf(r.bb))
+		f1, m1, l1 := firstMinLast(nbb)
+		f2, m2, l2 := firstMinLast(nba)
+		t.Add(r.platform, r.graph, fmt.Sprint(len(r.bb)),
+			report.Sparkline(nbb), fmt.Sprintf("%.2f/%.2f/%.2f", f1, m1, l1),
+			report.Sparkline(nba), fmt.Sprintf("%.2f/%.2f/%.2f", f2, m2, l2),
+			report.Ratio(sum(r.bb)/sum(r.ba)))
+	}
+	t.Render(w)
+}
+
+type perIterRow struct {
+	platform, graph string
+	bb, ba          []float64
+}
+
+func svRows(runs []SVRun, pick func(SVRun) (bb, ba []float64)) []perIterRow {
+	rows := make([]perIterRow, len(runs))
+	for i, r := range runs {
+		bb, ba := pick(r)
+		rows[i] = perIterRow{r.Platform, r.Graph, bb, ba}
+	}
+	return rows
+}
+
+func bfsRows(runs []BFSRun, pick func(BFSRun) (bb, ba []float64)) []perIterRow {
+	rows := make([]perIterRow, len(runs))
+	for i, r := range runs {
+		bb, ba := pick(r)
+		rows[i] = perIterRow{r.Platform, r.Graph, bb, ba}
+	}
+	return rows
+}
+
+// Fig3 renders SV time per iteration (paper Fig. 3).
+func Fig3(w io.Writer, runs []SVRun) {
+	renderPerIterFigure(w, "Fig 3: Shiloach-Vishkin time per iteration", "time",
+		svRows(runs, func(r SVRun) ([]float64, []float64) { return r.BBTime, r.BATime }))
+}
+
+// Fig4 renders SV branches per iteration (paper Fig. 4).
+func Fig4(w io.Writer, runs []SVRun) {
+	pickB := func(c perfcount.Counters) float64 { return float64(c.Branches) }
+	renderPerIterFigure(w, "Fig 4: Shiloach-Vishkin branches per iteration", "branches",
+		svRows(runs, func(r SVRun) ([]float64, []float64) {
+			return svMetric(r.BB, pickB), svMetric(r.BA, pickB)
+		}))
+}
+
+// Fig5 renders SV branch mispredictions per iteration (paper Fig. 5).
+func Fig5(w io.Writer, runs []SVRun) {
+	pickM := func(c perfcount.Counters) float64 { return float64(c.Mispredicts) }
+	renderPerIterFigure(w, "Fig 5: Shiloach-Vishkin mispredictions per iteration", "mispredictions",
+		svRows(runs, func(r SVRun) ([]float64, []float64) {
+			return svMetric(r.BB, pickM), svMetric(r.BA, pickM)
+		}))
+}
+
+// Fig6 renders BFS time per level (paper Fig. 6).
+func Fig6(w io.Writer, runs []BFSRun) {
+	renderPerIterFigure(w, "Fig 6: top-down BFS time per level", "time",
+		bfsRows(runs, func(r BFSRun) ([]float64, []float64) { return r.BBTime, r.BATime }))
+}
+
+// Fig7 renders BFS branches per level (paper Fig. 7).
+func Fig7(w io.Writer, runs []BFSRun) {
+	pickB := func(c perfcount.Counters) float64 { return float64(c.Branches) }
+	renderPerIterFigure(w, "Fig 7: top-down BFS branches per level", "branches",
+		bfsRows(runs, func(r BFSRun) ([]float64, []float64) {
+			return svMetric(r.BB, pickB), svMetric(r.BA, pickB)
+		}))
+}
+
+// Fig8 renders BFS mispredictions per level (paper Fig. 8).
+func Fig8(w io.Writer, runs []BFSRun) {
+	pickM := func(c perfcount.Counters) float64 { return float64(c.Mispredicts) }
+	renderPerIterFigure(w, "Fig 8: top-down BFS mispredictions per level", "mispredictions",
+		bfsRows(runs, func(r BFSRun) ([]float64, []float64) {
+			return svMetric(r.BB, pickM), svMetric(r.BA, pickM)
+		}))
+}
+
+// Fig9a renders SV total mispredictions relative to the analytic lower
+// bound (paper Fig. 9a): the branch-avoiding kernel should sit near 1.0.
+func Fig9a(w io.Writer, runs []SVRun) {
+	report.Section(w, "Fig 9a: SV branch mispredictions relative to lower bound (y=1)")
+	t := report.NewTable("", "Platform", "Graph", "lower bound", "branch-based", "branch-avoiding")
+	for _, r := range runs {
+		lb := bounds.SVLowerBound(r.Vertices, r.Iterations)
+		t.Add(r.Platform, r.Graph, fmt.Sprint(lb),
+			fmt.Sprintf("%.2f", bounds.Ratio(r.BB.Total().Mispredicts, lb)),
+			fmt.Sprintf("%.2f", bounds.Ratio(r.BA.Total().Mispredicts, lb)))
+	}
+	t.Render(w)
+}
+
+// Fig9b renders BFS total mispredictions relative to the analytic bounds
+// (paper Fig. 9b): lower bound at 1, upper bound at 3.
+func Fig9b(w io.Writer, runs []BFSRun) {
+	report.Section(w, "Fig 9b: BFS branch mispredictions relative to lower bound (y=1, upper bound y=3)")
+	t := report.NewTable("", "Platform", "Graph", "lower bound", "branch-based", "branch-avoiding")
+	for _, r := range runs {
+		lb := bounds.BFSLowerBound(r.Reached)
+		t.Add(r.Platform, r.Graph, fmt.Sprint(lb),
+			fmt.Sprintf("%.2f", bounds.Ratio(r.BB.Total().Mispredicts, lb)),
+			fmt.Sprintf("%.2f", bounds.Ratio(r.BA.Total().Mispredicts, lb)))
+	}
+	t.Render(w)
+}
+
+// Speedups prints the whole-run BB/BA time ratios per platform and graph —
+// the numbers annotated in each subplot of Figs. 3 and 6.
+func Speedups(w io.Writer, res *Results) {
+	report.Section(w, "Headline speedups (branch-based time / branch-avoiding time; >1 favors branch-avoiding)")
+	t := report.NewTable("", "Platform", "Graph", "SV speedup", "BFS speedup")
+	bfsIdx := map[string]BFSRun{}
+	for _, r := range res.BFS {
+		bfsIdx[r.Platform+"/"+r.Graph] = r
+	}
+	for _, r := range res.SV {
+		b, ok := bfsIdx[r.Platform+"/"+r.Graph]
+		bfsCell := "-"
+		if ok {
+			bfsCell = report.Ratio(b.Speedup())
+		}
+		t.Add(r.Platform, r.Graph, report.Ratio(r.Speedup()), bfsCell)
+	}
+	t.Render(w)
+}

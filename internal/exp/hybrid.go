@@ -1,0 +1,75 @@
+package exp
+
+// The hybrid experiment: the paper's §6.2 observes that when the two SV
+// kernels cross, there is a single crossover iteration — branch-avoiding
+// is faster early (labels churn, the comparison branch is unpredictable)
+// and branch-based late (labels stable, the branch is free). A hybrid that
+// switches kernels at the crossover dominates both. This module evaluates
+// that claim on the simulated per-iteration times: for each (platform,
+// graph) it finds the switch point that minimizes total time and compares
+// the hybrid against both pure kernels.
+
+import (
+	"fmt"
+	"io"
+
+	"bagraph/internal/report"
+)
+
+// HybridResult describes the optimal switch for one (platform, graph).
+type HybridResult struct {
+	Platform, Graph string
+	// Switch is the first iteration executed branch-based (0 = pure
+	// branch-based, Iterations = pure branch-avoiding).
+	Switch     int
+	Iterations int
+	// BBTotal, BATotal, HybridTotal are simulated seconds.
+	BBTotal, BATotal, HybridTotal float64
+}
+
+// SpeedupVsBest returns hybrid gain over the better pure kernel (≥ 1 by
+// construction).
+func (h HybridResult) SpeedupVsBest() float64 {
+	best := h.BBTotal
+	if h.BATotal < best {
+		best = h.BATotal
+	}
+	return best / h.HybridTotal
+}
+
+// HybridPlan computes the optimal one-way BA→BB switch point from a run's
+// per-iteration times.
+func HybridPlan(r SVRun) HybridResult {
+	n := r.Iterations
+	// prefixBA[k] = time of running BA for the first k iterations.
+	best := HybridResult{
+		Platform: r.Platform, Graph: r.Graph, Iterations: n,
+		BBTotal: sum(r.BBTime), BATotal: sum(r.BATime),
+	}
+	bestTotal := 0.0
+	for k := 0; k <= n; k++ {
+		total := sum(r.BATime[:k]) + sum(r.BBTime[k:])
+		if k == 0 || total < bestTotal {
+			bestTotal = total
+			best.Switch = k
+		}
+	}
+	best.HybridTotal = bestTotal
+	return best
+}
+
+// Hybrid renders the §6.2 hybrid experiment.
+func Hybrid(w io.Writer, runs []SVRun) {
+	report.Section(w, "Hybrid SV (paper §6.2): switch branch-avoiding -> branch-based at the crossover")
+	t := report.NewTable("", "Platform", "Graph", "iters", "switch@", "BB total", "BA total", "hybrid", "vs best pure")
+	for _, r := range runs {
+		h := HybridPlan(r)
+		t.Add(h.Platform, h.Graph,
+			fmt.Sprint(h.Iterations), fmt.Sprint(h.Switch),
+			fmt.Sprintf("%.3gms", h.BBTotal*1e3),
+			fmt.Sprintf("%.3gms", h.BATotal*1e3),
+			fmt.Sprintf("%.3gms", h.HybridTotal*1e3),
+			report.Ratio(h.SpeedupVsBest()))
+	}
+	t.Render(w)
+}

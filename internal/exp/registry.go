@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one named experiment.
+type Runner func(w io.Writer, opt Options) error
+
+// Registry maps experiment names (as used by cmd/baexp -experiment) to
+// runners. "all" runs every exhibit sharing one computed sweep.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(w io.Writer, _ Options) error { Table1(w); return nil },
+		"table2": Table2,
+		"fig1":   func(w io.Writer, _ Options) error { Fig1(w); return nil },
+		"fig2":   func(w io.Writer, _ Options) error { Fig2(w); return nil },
+		"fig3":   withSV(func(w io.Writer, runs []SVRun) { Fig3(w, runs) }),
+		"fig4":   withSV(func(w io.Writer, runs []SVRun) { Fig4(w, runs) }),
+		"fig5":   withSV(func(w io.Writer, runs []SVRun) { Fig5(w, runs) }),
+		"fig6":   withBFS(func(w io.Writer, runs []BFSRun) { Fig6(w, runs) }),
+		"fig7":   withBFS(func(w io.Writer, runs []BFSRun) { Fig7(w, runs) }),
+		"fig8":   withBFS(func(w io.Writer, runs []BFSRun) { Fig8(w, runs) }),
+		"fig9a":  withSV(func(w io.Writer, runs []SVRun) { Fig9a(w, runs) }),
+		"fig9b":  withBFS(func(w io.Writer, runs []BFSRun) { Fig9b(w, runs) }),
+		"fig10": func(w io.Writer, opt Options) error {
+			res, err := Compute(opt)
+			if err != nil {
+				return err
+			}
+			Fig10(w, res)
+			return nil
+		},
+		"speedups": func(w io.Writer, opt Options) error {
+			res, err := Compute(opt)
+			if err != nil {
+				return err
+			}
+			Speedups(w, res)
+			return nil
+		},
+		"hybrid":     withSV(func(w io.Writer, runs []SVRun) { Hybrid(w, runs) }),
+		"ablation":   Ablations,
+		"extensions": Extensions,
+		"all":        All,
+	}
+}
+
+func withSV(f func(io.Writer, []SVRun)) Runner {
+	return func(w io.Writer, opt Options) error {
+		runs, err := ComputeSV(opt)
+		if err != nil {
+			return err
+		}
+		f(w, runs)
+		return nil
+	}
+}
+
+func withBFS(f func(io.Writer, []BFSRun)) Runner {
+	return func(w io.Writer, opt Options) error {
+		runs, err := ComputeBFS(opt)
+		if err != nil {
+			return err
+		}
+		f(w, runs)
+		return nil
+	}
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes a named experiment.
+func Run(name string, w io.Writer, opt Options) error {
+	r, ok := Registry()[name]
+	if !ok {
+		return fmt.Errorf("exp: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(w, opt)
+}
+
+// All regenerates every exhibit, computing the simulated sweeps once.
+func All(w io.Writer, opt Options) error {
+	Table1(w)
+	if err := Table2(w, opt); err != nil {
+		return err
+	}
+	Fig1(w)
+	Fig2(w)
+	res, err := Compute(opt)
+	if err != nil {
+		return err
+	}
+	Fig3(w, res.SV)
+	Fig4(w, res.SV)
+	Fig5(w, res.SV)
+	Fig6(w, res.BFS)
+	Fig7(w, res.BFS)
+	Fig8(w, res.BFS)
+	Fig9a(w, res.SV)
+	Fig9b(w, res.BFS)
+	Fig10(w, res)
+	Speedups(w, res)
+	Hybrid(w, res.SV)
+	if err := Ablations(w, opt); err != nil {
+		return err
+	}
+	return Extensions(w, opt)
+}

@@ -1,0 +1,302 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/graph"
+)
+
+func validate(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s failed validation: %v", g.Name(), err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(10)
+	validate(t, g)
+	if g.NumVertices() != 10 || g.NumEdges() != 9 {
+		t.Fatalf("path10: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.PseudoDiameter() != 9 || !g.IsConnected() {
+		t.Fatal("path10 shape wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(8)
+	validate(t, g)
+	if g.NumEdges() != 8 {
+		t.Fatalf("cycle8 edges = %d", g.NumEdges())
+	}
+	st := g.Degrees()
+	if st.Min != 2 || st.Max != 2 {
+		t.Fatalf("cycle degrees: %+v", st)
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(50)
+	validate(t, g)
+	if g.Degree(0) != 49 {
+		t.Fatalf("star center degree = %d", g.Degree(0))
+	}
+	if g.PseudoDiameter() != 2 {
+		t.Fatalf("star diameter = %d", g.PseudoDiameter())
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(12)
+	validate(t, g)
+	if g.NumEdges() != 66 {
+		t.Fatalf("K12 edges = %d", g.NumEdges())
+	}
+	st := g.Degrees()
+	if st.Min != 11 || st.Max != 11 {
+		t.Fatalf("K12 degrees: %+v", st)
+	}
+}
+
+func TestGNMExactEdgeCount(t *testing.T) {
+	g := GNM(500, 2000, 42)
+	validate(t, g)
+	if g.NumEdges() != 2000 {
+		t.Fatalf("GNM edges = %d, want 2000", g.NumEdges())
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("GNM vertices = %d", g.NumVertices())
+	}
+}
+
+func TestGNMDeterministic(t *testing.T) {
+	a := GNM(200, 800, 7)
+	b := GNM(200, 800, 7)
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("same-seed GNM differ in size")
+	}
+	for v := 0; v < 200; v++ {
+		na, nb := a.Neighbors(uint32(v)), b.Neighbors(uint32(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d: neighbor counts differ", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d neighbor %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestGNMSeedSensitivity(t *testing.T) {
+	a := GNM(200, 800, 1)
+	b := GNM(200, 800, 2)
+	diff := false
+	for v := 0; v < 200 && !diff; v++ {
+		na, nb := a.Neighbors(uint32(v)), b.Neighbors(uint32(v))
+		if len(na) != len(nb) {
+			diff = true
+			break
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical GNM graphs")
+	}
+}
+
+func TestGNMPanicsWhenOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GNM with m > max did not panic")
+		}
+	}()
+	GNM(4, 100, 1)
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, DefaultRMAT, 3)
+	validate(t, g)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("rmat vertices = %d", g.NumVertices())
+	}
+	// Dedup drops some edges; expect within (50%, 100%] of nominal.
+	nominal := int64(8 * 1024)
+	if g.NumEdges() <= nominal/2 || g.NumEdges() > nominal {
+		t.Fatalf("rmat edges = %d, nominal %d", g.NumEdges(), nominal)
+	}
+	// Skew: max degree far above mean.
+	st := g.Degrees()
+	if float64(st.Max) < 4*st.Mean {
+		t.Fatalf("rmat not skewed: max=%d mean=%.1f", st.Max, st.Mean)
+	}
+}
+
+func TestRMATBadParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RMAT with bad params did not panic")
+		}
+	}()
+	RMAT(4, 2, RMATParams{A: 0.9, B: 0.9, C: 0.1, D: 0.1}, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 9)
+	validate(t, g)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("BA vertices = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("BA graph must be connected by construction")
+	}
+	st := g.Degrees()
+	if st.Min < 4-1 { // arrivals bring k edges; seed clique has k
+		t.Fatalf("BA min degree = %d", st.Min)
+	}
+	// Power-law tail: hubs should greatly exceed the mean.
+	if float64(st.Max) < 5*st.Mean {
+		t.Fatalf("BA lacks hubs: max=%d mean=%.1f", st.Max, st.Mean)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BarabasiAlbert(3, 5) did not panic")
+		}
+	}()
+	BarabasiAlbert(3, 5, 1)
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(1000, 3, 0.1, 17)
+	validate(t, g)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("WS vertices = %d", g.NumVertices())
+	}
+	// beta=0 gives the pure ring lattice with diameter ~n/(2k).
+	ring := WattsStrogatz(100, 2, 0, 1)
+	validate(t, ring)
+	st := ring.Degrees()
+	if st.Min != 4 || st.Max != 4 {
+		t.Fatalf("ring lattice degrees: %+v", st)
+	}
+	if d := ring.PseudoDiameter(); d != 25 {
+		t.Fatalf("ring lattice diameter = %d, want 25", d)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WattsStrogatz(4, 2) did not panic")
+		}
+	}()
+	WattsStrogatz(4, 2, 0.1, 1)
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(10, 12, false)
+	validate(t, g)
+	if g.NumVertices() != 120 {
+		t.Fatalf("grid vertices = %d", g.NumVertices())
+	}
+	// Interior degree 4, corner degree 2.
+	wantEdges := int64(10*11 + 9*12)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("grid edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if g.PseudoDiameter() != 10+12-2 {
+		t.Fatalf("grid diameter = %d", g.PseudoDiameter())
+	}
+
+	moore := Grid2D(5, 5, true)
+	validate(t, moore)
+	if moore.Degrees().Max != 8 {
+		t.Fatalf("moore grid max degree = %d", moore.Degrees().Max)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(6, 5, 4, 1)
+	validate(t, g)
+	if g.NumVertices() != 120 {
+		t.Fatalf("grid3d vertices = %d", g.NumVertices())
+	}
+	st := g.Degrees()
+	if st.Max != 26 {
+		t.Fatalf("grid3d interior degree = %d, want 26", st.Max)
+	}
+	if st.Min != 7 {
+		t.Fatalf("grid3d corner degree = %d, want 7", st.Min)
+	}
+	if !g.IsConnected() {
+		t.Fatal("grid3d disconnected")
+	}
+}
+
+func TestGrid3DRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid3D radius 0 did not panic")
+		}
+	}()
+	Grid3D(2, 2, 2, 0)
+}
+
+func TestCommunity(t *testing.T) {
+	g := Community(10, 30, 0.5, 100, 5)
+	validate(t, g)
+	if g.NumVertices() != 300 {
+		t.Fatalf("community vertices = %d", g.NumVertices())
+	}
+	if !g.IsConnected() {
+		t.Fatal("community graph must be connected via ring links")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := Disconnected(Cycle(10), 3)
+	validate(t, g)
+	if g.NumVertices() != 30 || g.NumEdges() != 30 {
+		t.Fatalf("disconnected: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.IsConnected() {
+		t.Fatal("disjoint copies reported connected")
+	}
+	if g.Reached(0) != 10 {
+		t.Fatalf("component size = %d", g.Reached(0))
+	}
+}
+
+func TestDisconnectedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Disconnected k=0 did not panic")
+		}
+	}()
+	Disconnected(Path(2), 0)
+}
+
+func TestGeneratorsAlwaysValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20 + int(seed%100)
+		g := GNM(n, int64(n), seed)
+		if g.Validate() != nil {
+			return false
+		}
+		b := BarabasiAlbert(n, 3, seed)
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+
+	"bagraph/internal/graph"
+)
+
+// Offset3 is a relative (dx, dy, dz) stencil offset.
+type Offset3 struct {
+	DX, DY, DZ int
+}
+
+// Grid3DStencil generates an nx×ny×nz lattice where each vertex connects
+// to the given relative offsets (and, implicitly, their negations —
+// undirected symmetrization adds the reverse arcs). Offsets must be
+// non-zero and distinct. This generalization of Grid3D lets the corpus
+// match the mean degree of specific FEM matrices: e.g. audikw1's ≈81
+// average degree comes from a (2,2,1)-box stencil, ldoor's ≈48 from a
+// (2,1,1)-box.
+func Grid3DStencil(nx, ny, nz int, offsets []Offset3, name string) *graph.Graph {
+	if len(offsets) == 0 {
+		panic("gen: empty stencil")
+	}
+	seen := make(map[Offset3]struct{}, len(offsets))
+	for _, o := range offsets {
+		if o == (Offset3{}) {
+			panic("gen: zero stencil offset")
+		}
+		if _, dup := seen[o]; dup {
+			panic("gen: duplicate stencil offset")
+		}
+		seen[o] = struct{}{}
+	}
+	n := nx * ny * nz
+	idx := func(x, y, z int) uint32 { return uint32((z*ny+y)*nx + x) }
+	edges := make([]graph.Edge, 0, n*len(offsets))
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				for _, o := range offsets {
+					X, Y, Z := x+o.DX, y+o.DY, z+o.DZ
+					if X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz {
+						continue
+					}
+					edges = append(edges, graph.Edge{U: idx(x, y, z), V: idx(X, Y, Z)})
+				}
+			}
+		}
+	}
+	if name == "" {
+		name = fmt.Sprintf("stencil3d-%dx%dx%d", nx, ny, nz)
+	}
+	return graph.MustBuild(n, edges, graph.Options{Name: name})
+}
+
+// BoxStencil returns the "forward half" of a box stencil with the given
+// per-axis radii: all offsets within the box except the origin, keeping
+// one representative per ± pair (the builder symmetrizes). A box with
+// radii (rx, ry, rz) yields vertex degree (2rx+1)(2ry+1)(2rz+1) − 1 in the
+// lattice interior.
+func BoxStencil(rx, ry, rz int) []Offset3 {
+	if rx < 0 || ry < 0 || rz < 0 || (rx == 0 && ry == 0 && rz == 0) {
+		panic("gen: invalid box radii")
+	}
+	var out []Offset3
+	for dz := 0; dz <= rz; dz++ {
+		for dy := -ry; dy <= ry; dy++ {
+			for dx := -rx; dx <= rx; dx++ {
+				if dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)) {
+					continue
+				}
+				out = append(out, Offset3{dx, dy, dz})
+			}
+		}
+	}
+	return out
+}
+
+// FaceEdgeStencil returns the forward half of the 3-D stencil connecting
+// the 6 face neighbors plus the 8 in-plane (xy and xz) edge diagonals —
+// 14 neighbors per interior vertex, approximating the connectivity of
+// tetrahedral partitioning meshes like the paper's "auto" graph
+// (average degree ≈ 14.8).
+func FaceEdgeStencil() []Offset3 {
+	return []Offset3{
+		{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, // faces (forward half)
+		{1, 1, 0}, {1, -1, 0}, // xy diagonals
+		{1, 0, 1}, {-1, 0, 1}, // xz diagonals
+	}
+}

@@ -1,0 +1,120 @@
+package gen
+
+import "testing"
+
+func TestBoxStencilDegrees(t *testing.T) {
+	cases := []struct {
+		rx, ry, rz int
+		wantDegree int
+	}{
+		{1, 1, 1, 26},  // trilinear FEM stencil
+		{2, 1, 1, 44},  // ldoor-class
+		{2, 2, 1, 74},  // audikw1-class
+		{1, 0, 0, 2},   // 1-D 3-point
+		{2, 2, 2, 124}, // radius-2 box
+	}
+	for _, c := range cases {
+		offs := BoxStencil(c.rx, c.ry, c.rz)
+		// The forward half must contain exactly degree/2 offsets.
+		if len(offs)*2 != c.wantDegree {
+			t.Errorf("BoxStencil(%d,%d,%d): %d forward offsets, want %d",
+				c.rx, c.ry, c.rz, len(offs), c.wantDegree/2)
+		}
+	}
+}
+
+func TestBoxStencilForwardHalfOnly(t *testing.T) {
+	offs := BoxStencil(2, 2, 1)
+	seen := map[Offset3]bool{}
+	for _, o := range offs {
+		if seen[o] {
+			t.Fatalf("duplicate offset %v", o)
+		}
+		seen[o] = true
+		// The negation must NOT appear (the builder symmetrizes).
+		if seen[Offset3{-o.DX, -o.DY, -o.DZ}] {
+			t.Fatalf("offset %v and its negation both present", o)
+		}
+	}
+}
+
+func TestBoxStencilPanics(t *testing.T) {
+	for _, r := range [][3]int{{0, 0, 0}, {-1, 1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BoxStencil(%v) did not panic", r)
+				}
+			}()
+			BoxStencil(r[0], r[1], r[2])
+		}()
+	}
+}
+
+func TestGrid3DStencilMatchesGrid3D(t *testing.T) {
+	// Grid3DStencil with the radius-1 box must reproduce Grid3D(r=1).
+	a := Grid3D(5, 4, 3, 1)
+	b := Grid3DStencil(5, 4, 3, BoxStencil(1, 1, 1), "")
+	if a.NumArcs() != b.NumArcs() || a.NumVertices() != b.NumVertices() {
+		t.Fatalf("stencil grid differs from Grid3D: %s vs %s", a, b)
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(uint32(v)), b.Neighbors(uint32(v))
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestGrid3DStencilInteriorDegree(t *testing.T) {
+	g := Grid3DStencil(9, 9, 9, FaceEdgeStencil(), "tet")
+	if g.Name() != "tet" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Degrees().Max; got != 14 {
+		t.Fatalf("face+edge stencil interior degree = %d, want 14", got)
+	}
+	if !g.IsConnected() {
+		t.Fatal("stencil mesh disconnected")
+	}
+}
+
+func TestGrid3DStencilDefaultName(t *testing.T) {
+	g := Grid3DStencil(3, 3, 3, BoxStencil(1, 1, 1), "")
+	if g.Name() == "" {
+		t.Fatal("empty default name")
+	}
+}
+
+func TestGrid3DStencilPanics(t *testing.T) {
+	cases := map[string][]Offset3{
+		"empty":     {},
+		"zero":      {{0, 0, 0}},
+		"duplicate": {{1, 0, 0}, {1, 0, 0}},
+	}
+	for name, offs := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s stencil did not panic", name)
+				}
+			}()
+			Grid3DStencil(3, 3, 3, offs, "")
+		}()
+	}
+}
+
+func TestFaceEdgeStencilShape(t *testing.T) {
+	offs := FaceEdgeStencil()
+	if len(offs) != 7 {
+		t.Fatalf("forward half has %d offsets, want 7 (degree 14)", len(offs))
+	}
+}

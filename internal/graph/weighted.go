@@ -1,0 +1,132 @@
+package graph
+
+// Weighted graphs for the shortest-path extensions. Weights are carried
+// in a flat array aligned with the CSR adjacency array, so weighted
+// kernels keep the same memory behaviour as the unweighted ones plus one
+// extra load per edge.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// WeightedEdge is an edge with a non-negative 32-bit weight.
+type WeightedEdge struct {
+	U, V uint32
+	W    uint32
+}
+
+// Weighted is an immutable CSR graph with per-arc weights. It embeds
+// *Graph, so all structural queries apply.
+type Weighted struct {
+	*Graph
+	weights []uint32 // aligned with Adjacency()
+}
+
+// ArcWeights exposes the per-arc weight array, aligned with Adjacency().
+// Shared storage; do not modify.
+func (g *Weighted) ArcWeights() []uint32 { return g.weights }
+
+// NeighborWeights returns v's adjacency list and the matching weights.
+func (g *Weighted) NeighborWeights(v uint32) ([]uint32, []uint32) {
+	offs := g.Offsets()
+	return g.Adjacency()[offs[v]:offs[v+1]], g.weights[offs[v]:offs[v+1]]
+}
+
+// BuildWeighted constructs a weighted CSR graph. For undirected graphs
+// each edge contributes both arcs with the same weight. Parallel edges
+// collapse to the minimum weight (the only sensible choice for
+// shortest-path kernels); self-loops are dropped.
+func BuildWeighted(n int, edges []WeightedEdge, directed bool, name string) (*Weighted, error) {
+	if n < 0 {
+		return nil, errors.New("graph: negative vertex count")
+	}
+	type warc struct {
+		u, v, w uint32
+	}
+	arcs := make([]warc, 0, len(edges)*2)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+		if e.U == e.V {
+			continue
+		}
+		arcs = append(arcs, warc{e.U, e.V, e.W})
+		if !directed {
+			arcs = append(arcs, warc{e.V, e.U, e.W})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		if arcs[i].v != arcs[j].v {
+			return arcs[i].v < arcs[j].v
+		}
+		return arcs[i].w < arcs[j].w
+	})
+	// Dedup keeping the minimum weight (first after the sort).
+	out := arcs[:0]
+	for i, a := range arcs {
+		if i > 0 && a.u == arcs[i-1].u && a.v == arcs[i-1].v {
+			continue
+		}
+		out = append(out, a)
+	}
+	arcs = out
+
+	g := &Graph{
+		offs:     make([]int64, n+1),
+		adj:      make([]uint32, len(arcs)),
+		directed: directed,
+		name:     name,
+	}
+	weights := make([]uint32, len(arcs))
+	for i, a := range arcs {
+		g.offs[a.u+1]++
+		g.adj[i] = a.v
+		weights[i] = a.w
+	}
+	for v := 0; v < n; v++ {
+		g.offs[v+1] += g.offs[v]
+	}
+	return &Weighted{Graph: g, weights: weights}, nil
+}
+
+// MustBuildWeighted is BuildWeighted that panics on error.
+func MustBuildWeighted(n int, edges []WeightedEdge, directed bool, name string) *Weighted {
+	g, err := BuildWeighted(n, edges, directed, name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AttachWeights wraps an existing graph with per-arc weights produced by
+// fn(u, v). fn must be symmetric for undirected graphs (fn(u,v) ==
+// fn(v,u)) so both arcs of an edge carry the same weight; this is the
+// caller's responsibility and is checked for undirected inputs.
+func AttachWeights(g *Graph, fn func(u, v uint32) uint32) (*Weighted, error) {
+	weights := make([]uint32, g.NumArcs())
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		offs := g.Offsets()
+		for j := offs[u]; j < offs[u+1]; j++ {
+			weights[j] = fn(uint32(u), g.Adjacency()[j])
+		}
+	}
+	w := &Weighted{Graph: g, weights: weights}
+	if !g.Directed() {
+		for u := 0; u < n; u++ {
+			adj, ws := w.NeighborWeights(uint32(u))
+			for i, v := range adj {
+				if fn(v, uint32(u)) != ws[i] {
+					return nil, fmt.Errorf("graph: asymmetric weight for edge (%d,%d)", u, v)
+				}
+			}
+		}
+	}
+	return w, nil
+}

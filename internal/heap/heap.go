@@ -1,0 +1,124 @@
+// Package heap implements an indexed binary min-heap with decrease-key,
+// the priority queue behind the Dijkstra baseline used to cross-validate
+// the Bellman-Ford kernels.
+package heap
+
+// Min is an indexed min-heap over item ids [0, n) with uint64 priorities.
+// Each id may be present at most once; DecreaseKey addresses items by id.
+type Min struct {
+	ids  []uint32 // heap order
+	prio []uint64 // priority per heap slot
+	pos  []int32  // id -> heap slot, -1 if absent
+}
+
+// NewMin returns a heap with capacity for ids [0, n).
+func NewMin(n int) *Min {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Min{pos: pos}
+}
+
+// Len returns the number of items in the heap.
+func (h *Min) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently in the heap.
+func (h *Min) Contains(id uint32) bool { return h.pos[id] >= 0 }
+
+// Push inserts id with the given priority. It panics if id is already
+// present.
+func (h *Min) Push(id uint32, prio uint64) {
+	if h.pos[id] >= 0 {
+		panic("heap: duplicate push")
+	}
+	h.ids = append(h.ids, id)
+	h.prio = append(h.prio, prio)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the item with the smallest priority. It panics
+// on an empty heap.
+func (h *Min) Pop() (id uint32, prio uint64) {
+	if len(h.ids) == 0 {
+		panic("heap: pop from empty heap")
+	}
+	id, prio = h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	h.pos[id] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return id, prio
+}
+
+// DecreaseKey lowers id's priority. It panics if id is absent or the new
+// priority is larger than the current one.
+func (h *Min) DecreaseKey(id uint32, prio uint64) {
+	slot := h.pos[id]
+	if slot < 0 {
+		panic("heap: decrease-key on absent id")
+	}
+	if prio > h.prio[slot] {
+		panic("heap: decrease-key increases priority")
+	}
+	h.prio[slot] = prio
+	h.up(int(slot))
+}
+
+// PushOrDecrease inserts id or lowers its priority, whichever applies;
+// it reports whether the heap changed (a larger priority is a no-op).
+func (h *Min) PushOrDecrease(id uint32, prio uint64) bool {
+	slot := h.pos[id]
+	if slot < 0 {
+		h.Push(id, prio)
+		return true
+	}
+	if prio >= h.prio[slot] {
+		return false
+	}
+	h.prio[slot] = prio
+	h.up(int(slot))
+	return true
+}
+
+func (h *Min) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *Min) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Min) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < n && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,125 @@
+package heap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/xrand"
+)
+
+func TestPushPopSorted(t *testing.T) {
+	h := NewMin(10)
+	prios := []uint64{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for id, p := range prios {
+		h.Push(uint32(id), p)
+	}
+	if h.Len() != 10 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for want := uint64(0); want < 10; want++ {
+		_, p := h.Pop()
+		if p != want {
+			t.Fatalf("pop priority %d, want %d", p, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestDecreaseKeyReorders(t *testing.T) {
+	h := NewMin(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	if id, p := h.Pop(); id != 2 || p != 5 {
+		t.Fatalf("pop = (%d, %d), want (2, 5)", id, p)
+	}
+}
+
+func TestPushOrDecrease(t *testing.T) {
+	h := NewMin(2)
+	if !h.PushOrDecrease(0, 10) {
+		t.Fatal("initial push reported no-op")
+	}
+	if h.PushOrDecrease(0, 15) {
+		t.Fatal("priority increase reported as change")
+	}
+	if !h.PushOrDecrease(0, 5) {
+		t.Fatal("decrease reported no-op")
+	}
+	if _, p := h.Pop(); p != 5 {
+		t.Fatalf("priority = %d, want 5", p)
+	}
+}
+
+func TestContains(t *testing.T) {
+	h := NewMin(4)
+	h.Push(2, 1)
+	if !h.Contains(2) || h.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	h.Pop()
+	if h.Contains(2) {
+		t.Fatal("popped id still contained")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"pop empty":   func() { NewMin(1).Pop() },
+		"dup push":    func() { h := NewMin(2); h.Push(0, 1); h.Push(0, 2) },
+		"dk absent":   func() { NewMin(2).DecreaseKey(0, 1) },
+		"dk increase": func() { h := NewMin(2); h.Push(0, 1); h.DecreaseKey(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: popping everything yields priorities in sorted order, for
+// random insert/decrease sequences.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(200)
+		h := NewMin(n)
+		current := make(map[uint32]uint64)
+		for i := 0; i < n; i++ {
+			id := uint32(r.Intn(n))
+			p := r.Uint64() % 1000
+			if cur, ok := current[id]; ok {
+				if p < cur {
+					h.DecreaseKey(id, p)
+					current[id] = p
+				}
+				continue
+			}
+			h.Push(id, p)
+			current[id] = p
+		}
+		var want []uint64
+		for _, p := range current {
+			want = append(want, p)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			_, p := h.Pop()
+			if p != w {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

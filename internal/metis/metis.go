@@ -1,0 +1,126 @@
+// Package metis reads and writes the METIS graph format used by the 10th
+// DIMACS Implementation Challenge — the distribution format of the
+// paper's Table 2 graphs.
+//
+// Format: an optional run of '%' comment lines, a header "n m [fmt]", and
+// then n lines where line i lists the (1-indexed) neighbors of vertex i.
+// m is the number of undirected edges. Only the unweighted format (fmt
+// absent or "0"/"00"/"000") is supported; weighted variants return a
+// descriptive error rather than silently dropping weights.
+package metis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bagraph/internal/graph"
+)
+
+// Read parses a METIS graph.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	header, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("metis: missing header: %w", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("metis: malformed header %q", header)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("metis: bad vertex count %q", fields[0])
+	}
+	m, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("metis: bad edge count %q", fields[1])
+	}
+	if len(fields) >= 3 {
+		if fmtCode := strings.TrimLeft(fields[2], "0"); fmtCode != "" {
+			return nil, fmt.Errorf("metis: weighted format %q not supported", fields[2])
+		}
+	}
+
+	edges := make([]graph.Edge, 0, m)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("metis: adjacency line for vertex %d: %w", v+1, err)
+		}
+		for _, tok := range strings.Fields(line) {
+			w, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("metis: vertex %d: bad neighbor %q", v+1, tok)
+			}
+			if w < 1 || w > n {
+				return nil, fmt.Errorf("metis: vertex %d: neighbor %d out of range [1, %d]", v+1, w, n)
+			}
+			// Each undirected edge appears on both endpoint lines; keep
+			// the canonical direction and let the builder symmetrize.
+			if v+1 <= w {
+				edges = append(edges, graph.Edge{U: uint32(v), V: uint32(w - 1)})
+			}
+		}
+	}
+
+	g, err := graph.Build(n, edges, graph.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("metis: %w", err)
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("metis: header declares %d edges, adjacency lists contain %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// nextDataLine returns the next non-comment line, which may be empty (an
+// isolated vertex has an empty adjacency line). Comment lines start with
+// '%'.
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// Write serializes g in METIS format. The graph must be undirected.
+func Write(w io.Writer, g *graph.Graph) error {
+	if g.Directed() {
+		return fmt.Errorf("metis: directed graphs are not representable")
+	}
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		fmt.Fprintf(bw, "%% %s\n", g.Name())
+	}
+	fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges())
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		nb := g.Neighbors(uint32(v))
+		for i, u := range nb {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(u) + 1)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

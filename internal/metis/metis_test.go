@@ -1,0 +1,121 @@
+package metis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+)
+
+func TestReadSimple(t *testing.T) {
+	// Triangle plus a pendant: 4 vertices, 4 edges.
+	input := `% a comment
+4 4
+2 3
+1 3 4
+1 2
+2
+`
+	g, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 3) || g.HasEdge(0, 3) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadIsolatedVertexEmptyLine(t *testing.T) {
+	input := "3 1\n2\n1\n\n"
+	g, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("vertex 3 degree = %d", g.Degree(2))
+	}
+}
+
+func TestReadUnweightedFmtCode(t *testing.T) {
+	input := "2 1 0\n2\n1\n"
+	if _, err := Read(strings.NewReader(input)); err != nil {
+		t.Fatalf("fmt code 0 rejected: %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "x y\n",
+		"one field":       "4\n",
+		"weighted":        "2 1 11\n2 5\n1 5\n",
+		"neighbor oob":    "2 1\n3\n1\n",
+		"neighbor zero":   "2 1\n0\n1\n",
+		"bad token":       "2 1\nfoo\n1\n",
+		"missing lines":   "3 2\n2\n",
+		"edge count lies": "3 5\n2\n1 3\n2\n",
+		"negative n":      "-1 0\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Path(12),
+		gen.Star(9),
+		gen.Grid2D(4, 5, true),
+		gen.GNM(40, 90, 3),
+		graph.MustBuild(5, []graph.Edge{{U: 0, V: 1}}, graph.Options{Name: "mostly-isolated"}),
+	}
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g, err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", g, err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+			t.Fatalf("%s: round trip changed size", g)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(uint32(v)), h.Neighbors(uint32(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d degree changed", g, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d adjacency changed", g, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteRejectsDirected(t *testing.T) {
+	g := graph.MustBuild(2, []graph.Edge{{U: 0, V: 1}}, graph.Options{Directed: true})
+	if err := Write(&bytes.Buffer{}, g); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func TestWriteEmitsNameComment(t *testing.T) {
+	g := gen.Path(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "% path3\n") {
+		t.Fatalf("output missing name comment: %q", buf.String())
+	}
+}

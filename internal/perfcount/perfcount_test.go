@@ -1,0 +1,65 @@
+package perfcount
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample(k uint64) Counters {
+	return Counters{
+		Instructions: 10 * k, Branches: 4 * k, Mispredicts: k,
+		Loads: 3 * k, Stores: 2 * k, CondMoves: k,
+		L1: 4 * k, L2: k, L3: 0, Mem: 0,
+	}
+}
+
+func TestAddAndDeltaInverse(t *testing.T) {
+	a := sample(3)
+	b := sample(5)
+	sum := a
+	sum.Add(b)
+	if got := sum.Delta(a); got != b {
+		t.Fatalf("Delta(Add) mismatch: %+v != %+v", got, b)
+	}
+	if got := sum.Delta(b); got != a {
+		t.Fatalf("Delta(Add) mismatch: %+v != %+v", got, a)
+	}
+}
+
+func TestMemOps(t *testing.T) {
+	c := Counters{Loads: 7, Stores: 5}
+	if c.MemOps() != 12 {
+		t.Fatalf("MemOps = %d", c.MemOps())
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := Counters{Branches: 200, Mispredicts: 50}
+	if c.MissRate() != 0.25 {
+		t.Fatalf("MissRate = %v", c.MissRate())
+	}
+	if (Counters{}).MissRate() != 0 {
+		t.Fatal("empty MissRate should be 0")
+	}
+}
+
+func TestSeriesTotal(t *testing.T) {
+	s := Series{sample(1), sample(2), sample(4)}
+	total := s.Total()
+	want := sample(7)
+	if total != want {
+		t.Fatalf("Series.Total = %+v, want %+v", total, want)
+	}
+	if (Series{}).Total() != (Counters{}) {
+		t.Fatal("empty series total nonzero")
+	}
+}
+
+func TestStringMentionsEvents(t *testing.T) {
+	s := sample(2).String()
+	for _, field := range []string{"I=", "B=", "M=", "L=", "S="} {
+		if !strings.Contains(s, field) {
+			t.Errorf("String() missing %q: %s", field, s)
+		}
+	}
+}

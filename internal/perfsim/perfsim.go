@@ -1,0 +1,173 @@
+// Package perfsim provides the instrumented machine the kernels in
+// internal/simkern run against.
+//
+// The paper instruments hand-written assembly with hardware performance
+// counters. This package replaces the hardware with a deterministic
+// model: every abstract machine operation (load, store, ALU op,
+// conditional move, conditional branch) is recorded in a
+// perfcount.Counters snapshot; loads and stores walk a simulated cache
+// hierarchy; conditional branches run through a branch-prediction unit
+// (the paper's 2-bit model by default). A uarch.Model then prices the
+// event stream in cycles.
+//
+// Kernels allocate address Regions for each of their arrays so that the
+// cache simulation sees the same spatial locality the real kernels have:
+// CSR offsets, adjacency, labels, distances and the queue live in
+// disjoint, line-aligned address ranges.
+package perfsim
+
+import (
+	"bagraph/internal/cachesim"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/predictor"
+	"bagraph/internal/uarch"
+)
+
+// Region is a simulated array: a base address plus element stride. The
+// zero value is invalid; obtain Regions from Machine.Alloc.
+type Region struct {
+	base uint64
+	elem uint64
+}
+
+// Addr returns the simulated byte address of element i.
+func (r Region) Addr(i int64) uint64 { return r.base + uint64(i)*r.elem }
+
+// ElemBytes returns the element stride in bytes.
+func (r Region) ElemBytes() int { return int(r.elem) }
+
+// Machine is one simulated core: a microarchitecture cost model, a branch
+// prediction unit, a private cache hierarchy, and an event counter set.
+type Machine struct {
+	model     uarch.Model
+	bp        predictor.Unit
+	cache     *cachesim.Hierarchy
+	numLevels int
+	c         perfcount.Counters
+	brk       uint64 // allocation cursor
+}
+
+// New returns a machine with cold caches, an untrained predictor and zero
+// counters.
+func New(model uarch.Model, bp predictor.Unit) *Machine {
+	return &Machine{
+		model:     model,
+		bp:        bp,
+		cache:     model.NewCache(),
+		numLevels: 2 + b2i(model.HasL3()),
+		brk:       1 << 20, // leave a low guard region unallocated
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Model returns the machine's cost model.
+func (m *Machine) Model() uarch.Model { return m.model }
+
+// Predictor returns the machine's branch-prediction unit.
+func (m *Machine) Predictor() predictor.Unit { return m.bp }
+
+// Alloc reserves a simulated array of count elements of elemBytes each.
+// Regions are page-aligned and separated by a guard page so that distinct
+// arrays never share a cache line.
+func (m *Machine) Alloc(elemBytes int, count int64) Region {
+	if elemBytes <= 0 || count < 0 {
+		panic("perfsim: invalid allocation")
+	}
+	const page = 4096
+	r := Region{base: m.brk, elem: uint64(elemBytes)}
+	size := uint64(elemBytes) * uint64(count)
+	m.brk += (size + 2*page - 1) / page * page
+	return r
+}
+
+func (m *Machine) touch(addr uint64) {
+	lvl := m.cache.Access(addr)
+	switch {
+	case lvl == 1:
+		m.c.L1++
+	case lvl == 2:
+		m.c.L2++
+	case lvl == 3 && m.numLevels >= 3:
+		m.c.L3++
+	default:
+		m.c.Mem++
+	}
+}
+
+// Load records a memory read of element i of r.
+func (m *Machine) Load(r Region, i int64) {
+	m.c.Instructions++
+	m.c.Loads++
+	m.touch(r.Addr(i))
+}
+
+// Store records a memory write of element i of r (write-allocate).
+func (m *Machine) Store(r Region, i int64) {
+	m.c.Instructions++
+	m.c.Stores++
+	m.touch(r.Addr(i))
+}
+
+// ALU records n plain register-to-register instructions.
+func (m *Machine) ALU(n int) {
+	m.c.Instructions += uint64(n)
+}
+
+// CondMove records one predicated operation (conditional move or
+// conditional add). Predicated operations are not branches: they never
+// consult the predictor and cannot mispredict — the whole point of the
+// paper's transformation.
+func (m *Machine) CondMove() {
+	m.c.Instructions++
+	m.c.CondMoves++
+}
+
+// Branch records a conditional branch at the given static site with the
+// resolved direction, consulting and training the prediction unit. It
+// returns taken unchanged so call sites read naturally:
+//
+//	if m.Branch(siteIf, cu < cv) { ... }
+func (m *Machine) Branch(site int, taken bool) bool {
+	m.c.Instructions++
+	m.c.Branches++
+	if predictor.Observe(m.bp, site, taken) {
+		m.c.Mispredicts++
+	}
+	return taken
+}
+
+// Counters returns the current event snapshot.
+func (m *Machine) Counters() perfcount.Counters { return m.c }
+
+// Cycles prices the machine's total event stream under its model.
+func (m *Machine) Cycles() float64 { return m.model.Cycles(m.c) }
+
+// Seconds prices the machine's total event stream in simulated seconds.
+func (m *Machine) Seconds() float64 { return m.model.Seconds(m.c) }
+
+// ResetCounters zeroes the counters, keeping cache and predictor state
+// (used between measurement phases).
+func (m *Machine) ResetCounters() { m.c = perfcount.Counters{} }
+
+// ResetAll restores the machine to power-on state: cold caches, untrained
+// predictor, zero counters. Allocations are preserved.
+func (m *Machine) ResetAll() {
+	m.cache.Reset()
+	m.bp.Reset()
+	m.c = perfcount.Counters{}
+}
+
+// NumCacheLevels returns the number of cache levels in the hierarchy.
+func (m *Machine) NumCacheLevels() int { return m.numLevels }
+
+// NewDefault returns a machine with the given model and the paper's 2-bit
+// predictor initialized to Weakly-Not-Taken.
+func NewDefault(model uarch.Model) *Machine {
+	return New(model, predictor.NewTwoBit(predictor.WeaklyNotTaken))
+}

@@ -1,0 +1,211 @@
+package perfsim
+
+import (
+	"testing"
+
+	"bagraph/internal/cachesim"
+	"bagraph/internal/predictor"
+	"bagraph/internal/uarch"
+)
+
+func haswell() uarch.Model {
+	m, ok := uarch.ByName("Haswell")
+	if !ok {
+		panic("missing Haswell model")
+	}
+	return m
+}
+
+func TestAllocDisjointRegions(t *testing.T) {
+	m := NewDefault(haswell())
+	a := m.Alloc(4, 1000)
+	b := m.Alloc(8, 1000)
+	endA := a.Addr(999) + 4
+	if b.Addr(0) < endA {
+		t.Fatalf("regions overlap: a ends %#x, b starts %#x", endA, b.Addr(0))
+	}
+	if b.Addr(0)%cachesim.LineBytes != 0 {
+		t.Fatalf("region not line aligned: %#x", b.Addr(0))
+	}
+	if a.ElemBytes() != 4 || b.ElemBytes() != 8 {
+		t.Fatal("element strides wrong")
+	}
+}
+
+func TestAllocPanicsOnBadArgs(t *testing.T) {
+	m := NewDefault(haswell())
+	for _, f := range []func(){
+		func() { m.Alloc(0, 10) },
+		func() { m.Alloc(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Alloc did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegionAddressing(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 100)
+	if r.Addr(1)-r.Addr(0) != 4 {
+		t.Fatal("stride wrong")
+	}
+	if r.Addr(16)-r.Addr(0) != 64 {
+		t.Fatal("16 4-byte elements must span one line")
+	}
+}
+
+func TestEventCounting(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 64)
+	m.Load(r, 0)
+	m.Load(r, 1)
+	m.Store(r, 2)
+	m.ALU(3)
+	m.CondMove()
+	m.Branch(0, true)
+
+	c := m.Counters()
+	if c.Loads != 2 || c.Stores != 1 || c.CondMoves != 1 || c.Branches != 1 {
+		t.Fatalf("counts wrong: %+v", c)
+	}
+	// loads+stores+alu+cmov+branch = 2+1+3+1+1 = 8 instructions.
+	if c.Instructions != 8 {
+		t.Fatalf("Instructions = %d, want 8", c.Instructions)
+	}
+	if c.L1+c.L2+c.L3+c.Mem != c.Loads+c.Stores {
+		t.Fatalf("cache level breakdown %d+%d+%d+%d != memops %d",
+			c.L1, c.L2, c.L3, c.Mem, c.Loads+c.Stores)
+	}
+}
+
+func TestCacheLocalityVisible(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 1024)
+	// First touch of a line misses; the 15 subsequent elements on the
+	// same line hit L1.
+	for i := int64(0); i < 16; i++ {
+		m.Load(r, i)
+	}
+	c := m.Counters()
+	if c.Mem != 1 {
+		t.Fatalf("Mem = %d, want exactly 1 cold miss", c.Mem)
+	}
+	if c.L1 != 15 {
+		t.Fatalf("L1 = %d, want 15 same-line hits", c.L1)
+	}
+}
+
+func TestBranchTrainsPredictor(t *testing.T) {
+	m := NewDefault(haswell())
+	// Take site 0 repeatedly: after warmup no more misses.
+	for i := 0; i < 10; i++ {
+		m.Branch(0, true)
+	}
+	warm := m.Counters().Mispredicts
+	for i := 0; i < 100; i++ {
+		m.Branch(0, true)
+	}
+	if got := m.Counters().Mispredicts; got != warm {
+		t.Fatalf("trained branch still missing: %d -> %d", warm, got)
+	}
+	// And the return value must echo the direction.
+	if !m.Branch(1, true) || m.Branch(1, false) {
+		t.Fatal("Branch did not return its direction")
+	}
+}
+
+func TestCondMoveNeverMispredicts(t *testing.T) {
+	m := NewDefault(haswell())
+	for i := 0; i < 1000; i++ {
+		m.CondMove()
+	}
+	c := m.Counters()
+	if c.Mispredicts != 0 || c.Branches != 0 {
+		t.Fatalf("CondMove affected branch counters: %+v", c)
+	}
+	if c.CondMoves != 1000 {
+		t.Fatalf("CondMoves = %d", c.CondMoves)
+	}
+}
+
+func TestResetCountersKeepsState(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 64)
+	m.Load(r, 0) // cold miss, installs line
+	for i := 0; i < 5; i++ {
+		m.Branch(0, true) // train
+	}
+	m.ResetCounters()
+	if m.Counters() != (m.Counters().Delta(m.Counters())) {
+		t.Fatal("counters not zeroed")
+	}
+	// Cache state preserved: same line now hits L1.
+	m.Load(r, 0)
+	if c := m.Counters(); c.L1 != 1 || c.Mem != 0 {
+		t.Fatalf("cache state lost on ResetCounters: %+v", c)
+	}
+	// Predictor state preserved: trained branch must not miss.
+	m.Branch(0, true)
+	if m.Counters().Mispredicts != 0 {
+		t.Fatal("predictor state lost on ResetCounters")
+	}
+}
+
+func TestResetAllColdens(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 64)
+	m.Load(r, 0)
+	m.ResetAll()
+	m.Load(r, 0)
+	if c := m.Counters(); c.Mem != 1 {
+		t.Fatalf("ResetAll kept cache warm: %+v", c)
+	}
+}
+
+func TestCyclesPositiveAndModelConsistent(t *testing.T) {
+	m := NewDefault(haswell())
+	r := m.Alloc(4, 256)
+	for i := int64(0); i < 256; i++ {
+		m.Load(r, i)
+		m.Branch(0, i%2 == 0) // pathological branch: lots of misses
+	}
+	if m.Cycles() <= 0 {
+		t.Fatal("non-positive cycles")
+	}
+	if got, want := m.Cycles(), m.Model().Cycles(m.Counters()); got != want {
+		t.Fatalf("Machine.Cycles %v != model pricing %v", got, want)
+	}
+	if m.Seconds() <= 0 {
+		t.Fatal("non-positive seconds")
+	}
+}
+
+func TestTwoLevelModelLevels(t *testing.T) {
+	bob, _ := uarch.ByName("Bobcat")
+	m := NewDefault(bob)
+	if m.NumCacheLevels() != 2 {
+		t.Fatalf("Bobcat levels = %d", m.NumCacheLevels())
+	}
+	r := m.Alloc(4, 64)
+	m.Load(r, 0)
+	c := m.Counters()
+	// No L3 on Bobcat: cold miss must land in Mem, never L3.
+	if c.L3 != 0 || c.Mem != 1 {
+		t.Fatalf("2-level breakdown wrong: %+v", c)
+	}
+}
+
+func TestCustomPredictorUnit(t *testing.T) {
+	m := New(haswell(), predictor.NewStatic(true))
+	m.Branch(0, false)
+	m.Branch(0, false)
+	if c := m.Counters(); c.Mispredicts != 2 {
+		t.Fatalf("static-taken unit should miss every not-taken branch: %+v", c)
+	}
+}

@@ -1,0 +1,95 @@
+package predictor
+
+// This file implements the loop-branch analysis of the paper's §3.2: a
+// "simple sequential loop" (Algorithm 1) whose conditional test is
+// evaluated n+1 times — taken n times, then not-taken once to exit. The
+// helpers simulate a 2-bit counter over such traces so the lemmas can be
+// verified exhaustively and reused by internal/bounds.
+
+// LoopResult describes one execution of a simple loop's conditional branch
+// under a 2-bit predictor.
+type LoopResult struct {
+	// Misses is the number of mispredicted evaluations of the loop test.
+	Misses int
+	// Final is the predictor state after the loop exits.
+	Final State
+}
+
+// SimulateLoop runs the conditional test of a simple loop with body count
+// n (n taken evaluations followed by one not-taken), starting from the
+// given predictor state.
+func SimulateLoop(initial State, n int) LoopResult {
+	if n < 0 {
+		panic("predictor: negative loop count")
+	}
+	s := initial
+	misses := 0
+	for i := 0; i < n; i++ {
+		if !s.Predict() {
+			misses++
+		}
+		s = s.Next(true)
+	}
+	if s.Predict() {
+		misses++
+	}
+	s = s.Next(false)
+	return LoopResult{Misses: misses, Final: s}
+}
+
+// SimulateNestedLoop runs an inner loop executed k times with the given
+// per-execution body counts (lemma 3's setting: the same static branch is
+// re-entered k times). len(counts) must equal k; counts[i] is the body
+// count of execution i. The initial state applies to the first execution
+// only — subsequent executions inherit the state left by the previous one.
+func SimulateNestedLoop(initial State, counts []int) LoopResult {
+	s := initial
+	misses := 0
+	for _, n := range counts {
+		r := SimulateLoop(s, n)
+		misses += r.Misses
+		s = r.Final
+	}
+	return LoopResult{Misses: misses, Final: s}
+}
+
+// SimulateTrace feeds an arbitrary outcome sequence to a 2-bit counter and
+// returns the misprediction count and final state.
+func SimulateTrace(initial State, outcomes []bool) LoopResult {
+	s := initial
+	misses := 0
+	for _, taken := range outcomes {
+		if s.Predict() != taken {
+			misses++
+		}
+		s = s.Next(taken)
+	}
+	return LoopResult{Misses: misses, Final: s}
+}
+
+// WorstCaseLoopMisses returns the paper's bound on loop-test mispredictions
+// for a single simple loop with body count n (§3.2): 3 for n ≥ 3 (lemma
+// 2), and the exact worst cases for small n (lemmas 4–6).
+func WorstCaseLoopMisses(n int) int {
+	switch n {
+	case 0:
+		return 1 // lemma 4
+	case 1:
+		return 2 // lemma 5
+	case 2:
+		return 3 // lemma 6
+	default:
+		return 3 // lemma 2
+	}
+}
+
+// NestedLoopMissBound returns lemma 3's bound for an inner loop executed k
+// times: up to 3 misses on the first execution and 1 on each of the
+// remaining k-1, i.e. k+2 (assuming n ≥ 3 on the first execution and
+// n ≥ 1 afterwards).
+func NestedLoopMissBound(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return k + 2
+}

@@ -1,0 +1,289 @@
+// Package predictor implements the branch-prediction models of the paper's
+// Section 3.
+//
+// The central model is the 2-bit saturating counter of Fig. 1: four states
+// (Strongly-Not-Taken, Weakly-Not-Taken, Weakly-Taken, Strongly-Taken);
+// each resolved branch moves the state one step toward the observed
+// direction, and the prediction is the direction of the current half of
+// the state space. The paper assumes one such counter per static branch
+// with no eviction ("enough branch state storage", §3.1); TwoBitUnit
+// implements exactly that.
+//
+// For the ablation experiments the package also provides a 1-bit predictor
+// (footnote 3 of the paper), static always-taken/never-taken predictors,
+// and a gshare-style two-level predictor with a finite table — the class
+// of predictor real hardware implements, used to show the 2-bit model's
+// bounds remain the operative ones (the paper's Fig. 9 argument).
+package predictor
+
+import "fmt"
+
+// State is a 2-bit saturating counter state, ordered so that increments
+// move toward StronglyTaken.
+type State uint8
+
+// The four FSA states of the paper's Fig. 1.
+const (
+	StronglyNotTaken State = iota
+	WeaklyNotTaken
+	WeaklyTaken
+	StronglyTaken
+)
+
+// String implements fmt.Stringer with the paper's state names.
+func (s State) String() string {
+	switch s {
+	case StronglyNotTaken:
+		return "Strongly-Not-Taken"
+	case WeaklyNotTaken:
+		return "Weakly-Not-Taken"
+	case WeaklyTaken:
+		return "Weakly-Taken"
+	case StronglyTaken:
+		return "Strongly-Taken"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Predict returns the predicted direction in state s: taken in the two
+// Taken states, not-taken otherwise.
+func (s State) Predict() bool { return s >= WeaklyTaken }
+
+// Next returns the successor state after resolving a branch with the given
+// direction — one step toward the observed direction, saturating at the
+// strong states. This is exactly the edge set of the paper's Fig. 1.
+func (s State) Next(taken bool) State {
+	if taken {
+		if s == StronglyTaken {
+			return StronglyTaken
+		}
+		return s + 1
+	}
+	if s == StronglyNotTaken {
+		return StronglyNotTaken
+	}
+	return s - 1
+}
+
+// Valid reports whether s is one of the four defined states.
+func (s State) Valid() bool { return s <= StronglyTaken }
+
+// Unit models the branch-prediction hardware for a set of static branch
+// sites. Each kernel enumerates its static conditional branches as small
+// integer site ids (mirroring the paper's per-branch analysis of the
+// while/for/if branches).
+type Unit interface {
+	// Predict returns the predicted direction for the site's next branch.
+	Predict(site int) bool
+	// Update trains the unit with the site's resolved direction.
+	Update(site int, taken bool)
+	// Reset restores the power-on state.
+	Reset()
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Observe performs one predict-update cycle and reports whether the branch
+// was mispredicted.
+func Observe(u Unit, site int, taken bool) bool {
+	miss := u.Predict(site) != taken
+	u.Update(site, taken)
+	return miss
+}
+
+// TwoBitUnit is the paper's model: an unbounded table of per-site 2-bit
+// saturating counters (no eviction). The initial state of every counter is
+// configurable; the paper's worst-case analyses start from
+// StronglyNotTaken.
+type TwoBitUnit struct {
+	states  []State
+	initial State
+}
+
+// NewTwoBit returns a TwoBitUnit whose counters power on in the given
+// state.
+func NewTwoBit(initial State) *TwoBitUnit {
+	if !initial.Valid() {
+		panic("predictor: invalid initial state")
+	}
+	return &TwoBitUnit{initial: initial}
+}
+
+func (u *TwoBitUnit) ensure(site int) {
+	for len(u.states) <= site {
+		u.states = append(u.states, u.initial)
+	}
+}
+
+// Predict implements Unit.
+func (u *TwoBitUnit) Predict(site int) bool {
+	u.ensure(site)
+	return u.states[site].Predict()
+}
+
+// Update implements Unit.
+func (u *TwoBitUnit) Update(site int, taken bool) {
+	u.ensure(site)
+	u.states[site] = u.states[site].Next(taken)
+}
+
+// Reset implements Unit.
+func (u *TwoBitUnit) Reset() { u.states = u.states[:0] }
+
+// Name implements Unit.
+func (u *TwoBitUnit) Name() string { return "2bit" }
+
+// StateOf returns the current counter state for a site (the initial state
+// if the site has never been observed).
+func (u *TwoBitUnit) StateOf(site int) State {
+	if site < len(u.states) {
+		return u.states[site]
+	}
+	return u.initial
+}
+
+// SetState forces a site's counter, for constructing analysis scenarios.
+func (u *TwoBitUnit) SetState(site int, s State) {
+	if !s.Valid() {
+		panic("predictor: invalid state")
+	}
+	u.ensure(site)
+	u.states[site] = s
+}
+
+// OneBitUnit predicts that each branch repeats its previous direction
+// (footnote 3 in the paper). Sites power on predicting not-taken.
+type OneBitUnit struct {
+	last []bool
+}
+
+// NewOneBit returns a 1-bit last-direction predictor.
+func NewOneBit() *OneBitUnit { return &OneBitUnit{} }
+
+func (u *OneBitUnit) ensure(site int) {
+	for len(u.last) <= site {
+		u.last = append(u.last, false)
+	}
+}
+
+// Predict implements Unit.
+func (u *OneBitUnit) Predict(site int) bool {
+	u.ensure(site)
+	return u.last[site]
+}
+
+// Update implements Unit.
+func (u *OneBitUnit) Update(site int, taken bool) {
+	u.ensure(site)
+	u.last[site] = taken
+}
+
+// Reset implements Unit.
+func (u *OneBitUnit) Reset() { u.last = u.last[:0] }
+
+// Name implements Unit.
+func (u *OneBitUnit) Name() string { return "1bit" }
+
+// StaticUnit always predicts one direction and never learns. The
+// always-taken variant models the cheapest possible hardware.
+type StaticUnit struct {
+	taken bool
+}
+
+// NewStatic returns a static predictor with the given fixed prediction.
+func NewStatic(taken bool) *StaticUnit { return &StaticUnit{taken: taken} }
+
+// Predict implements Unit.
+func (u *StaticUnit) Predict(int) bool { return u.taken }
+
+// Update implements Unit.
+func (u *StaticUnit) Update(int, bool) {}
+
+// Reset implements Unit.
+func (u *StaticUnit) Reset() {}
+
+// Name implements Unit.
+func (u *StaticUnit) Name() string {
+	if u.taken {
+		return "static-taken"
+	}
+	return "static-not-taken"
+}
+
+// GShareUnit is a two-level adaptive predictor: a global branch-history
+// register XORed with the site id indexes a finite table of 2-bit
+// counters. Unlike TwoBitUnit this models destructive aliasing between
+// branches, the effect real hardware adds on top of the paper's idealized
+// model.
+type GShareUnit struct {
+	historyBits uint
+	tableBits   uint
+	history     uint64
+	table       []State
+}
+
+// NewGShare returns a gshare predictor with 2^tableBits counters and the
+// given global history length. historyBits must not exceed tableBits.
+func NewGShare(historyBits, tableBits uint) *GShareUnit {
+	if tableBits == 0 || tableBits > 24 || historyBits > tableBits {
+		panic("predictor: invalid gshare geometry")
+	}
+	u := &GShareUnit{historyBits: historyBits, tableBits: tableBits}
+	u.table = make([]State, 1<<tableBits)
+	for i := range u.table {
+		u.table[i] = WeaklyNotTaken
+	}
+	return u
+}
+
+func (u *GShareUnit) index(site int) int {
+	mask := uint64(1)<<u.tableBits - 1
+	h := u.history & (uint64(1)<<u.historyBits - 1)
+	return int((uint64(site) ^ h) & mask)
+}
+
+// Predict implements Unit.
+func (u *GShareUnit) Predict(site int) bool {
+	return u.table[u.index(site)].Predict()
+}
+
+// Update implements Unit.
+func (u *GShareUnit) Update(site int, taken bool) {
+	i := u.index(site)
+	u.table[i] = u.table[i].Next(taken)
+	u.history <<= 1
+	if taken {
+		u.history |= 1
+	}
+}
+
+// Reset implements Unit.
+func (u *GShareUnit) Reset() {
+	u.history = 0
+	for i := range u.table {
+		u.table[i] = WeaklyNotTaken
+	}
+}
+
+// Name implements Unit.
+func (u *GShareUnit) Name() string {
+	return fmt.Sprintf("gshare-h%d-t%d", u.historyBits, u.tableBits)
+}
+
+// Factory constructs fresh predictor units; the experiment harness uses it
+// to give every simulated run an untrained unit.
+type Factory func() Unit
+
+// Catalog returns the named predictor factories used by the ablation
+// experiment. "2bit" is the paper's model and the default everywhere else.
+func Catalog() map[string]Factory {
+	return map[string]Factory{
+		"2bit":             func() Unit { return NewTwoBit(WeaklyNotTaken) },
+		"2bit-worst":       func() Unit { return NewTwoBit(StronglyNotTaken) },
+		"1bit":             func() Unit { return NewOneBit() },
+		"static-taken":     func() Unit { return NewStatic(true) },
+		"static-not-taken": func() Unit { return NewStatic(false) },
+		"gshare":           func() Unit { return NewGShare(12, 14) },
+	}
+}

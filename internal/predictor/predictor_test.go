@@ -1,0 +1,489 @@
+package predictor
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/xrand"
+)
+
+// TestFSATransitionTable pins the complete edge set of the paper's Fig. 1.
+func TestFSATransitionTable(t *testing.T) {
+	cases := []struct {
+		from  State
+		taken bool
+		want  State
+	}{
+		{StronglyNotTaken, false, StronglyNotTaken},
+		{StronglyNotTaken, true, WeaklyNotTaken},
+		{WeaklyNotTaken, false, StronglyNotTaken},
+		{WeaklyNotTaken, true, WeaklyTaken},
+		{WeaklyTaken, false, WeaklyNotTaken},
+		{WeaklyTaken, true, StronglyTaken},
+		{StronglyTaken, false, WeaklyTaken},
+		{StronglyTaken, true, StronglyTaken},
+	}
+	for _, c := range cases {
+		if got := c.from.Next(c.taken); got != c.want {
+			t.Errorf("%v --taken=%v--> %v, want %v", c.from, c.taken, got, c.want)
+		}
+	}
+}
+
+func TestStatePredictions(t *testing.T) {
+	for s, want := range map[State]bool{
+		StronglyNotTaken: false,
+		WeaklyNotTaken:   false,
+		WeaklyTaken:      true,
+		StronglyTaken:    true,
+	} {
+		if s.Predict() != want {
+			t.Errorf("%v.Predict() = %v, want %v", s, s.Predict(), want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{StronglyNotTaken, WeaklyNotTaken, WeaklyTaken, StronglyTaken} {
+		if !strings.Contains(s.String(), "Taken") {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if State(9).String() != "State(9)" {
+		t.Errorf("invalid state String() = %q", State(9).String())
+	}
+	if State(9).Valid() {
+		t.Error("State(9) reported valid")
+	}
+}
+
+var allStates = []State{StronglyNotTaken, WeaklyNotTaken, WeaklyTaken, StronglyTaken}
+
+// TestLemma1 — for n ≥ 3 the final state is Weakly-Taken from any start.
+func TestLemma1(t *testing.T) {
+	for _, s0 := range allStates {
+		for n := 3; n <= 40; n++ {
+			r := SimulateLoop(s0, n)
+			if r.Final != WeaklyTaken {
+				t.Fatalf("lemma 1 violated: start %v, n=%d, final %v", s0, n, r.Final)
+			}
+		}
+	}
+}
+
+// TestLemma2 — for n ≥ 3 the loop test incurs between 1 and 3 misses,
+// worst case exactly 3 from Strongly-Not-Taken.
+func TestLemma2(t *testing.T) {
+	for _, s0 := range allStates {
+		for n := 3; n <= 40; n++ {
+			r := SimulateLoop(s0, n)
+			if r.Misses < 1 || r.Misses > 3 {
+				t.Fatalf("lemma 2 violated: start %v, n=%d, misses=%d", s0, n, r.Misses)
+			}
+		}
+	}
+	if r := SimulateLoop(StronglyNotTaken, 10); r.Misses != 3 {
+		t.Fatalf("worst case from SNT: misses=%d, want 3", r.Misses)
+	}
+	// From any taken state the only miss is the final not-taken exit.
+	if r := SimulateLoop(StronglyTaken, 10); r.Misses != 1 {
+		t.Fatalf("from ST: misses=%d, want 1", r.Misses)
+	}
+}
+
+// TestLemma3 — k executions of the inner loop incur at most k+2 misses
+// (≤3 on the first, exactly 1 on each subsequent with n ≥ 1).
+func TestLemma3(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		k := 2 + r.Intn(50)
+		counts := make([]int, k)
+		counts[0] = 3 + r.Intn(20)
+		for i := 1; i < k; i++ {
+			counts[i] = 1 + r.Intn(20)
+		}
+		for _, s0 := range allStates {
+			res := SimulateNestedLoop(s0, counts)
+			if res.Misses > NestedLoopMissBound(k) {
+				return false
+			}
+			if res.Final != WeaklyTaken {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCorollary1 — for large k the miss count is approximately k: exactly
+// 1 per execution once warmed up.
+func TestCorollary1(t *testing.T) {
+	k := 1000
+	counts := make([]int, k)
+	for i := range counts {
+		counts[i] = 5
+	}
+	res := SimulateNestedLoop(StronglyNotTaken, counts)
+	if res.Misses < k || res.Misses > k+2 {
+		t.Fatalf("corollary 1: misses=%d for k=%d, want within [k, k+2]", res.Misses, k)
+	}
+}
+
+// TestLemma4 — n=0: predictor moves toward SNT, never lands in ST, and
+// incurs 0 or 1 misses.
+func TestLemma4(t *testing.T) {
+	for _, s0 := range allStates {
+		r := SimulateLoop(s0, 0)
+		if r.Misses != 0 && r.Misses != 1 {
+			t.Errorf("lemma 4: start %v misses=%d", s0, r.Misses)
+		}
+		if r.Final == StronglyTaken {
+			t.Errorf("lemma 4: start %v ended Strongly-Taken", s0)
+		}
+		if r.Final.Next(false) != r.Final && r.Final >= s0 && s0 != StronglyNotTaken {
+			// The state must have moved toward not-taken (decreased),
+			// except when already saturated at SNT.
+			t.Errorf("lemma 4: start %v did not move toward SNT (final %v)", s0, r.Final)
+		}
+	}
+}
+
+// TestLemma5 — n=1: the predictor returns to its initial state with 1 or 2
+// misses. The paper states this for the loop-context-reachable states
+// (after any prior loop execution the counter sits in {SNT, WNT, WT}, by
+// lemmas 1 and 4); from Strongly-Taken the saturation on the taken edge
+// breaks the symmetry and the counter ends at Weakly-Taken instead. The
+// test pins both behaviours.
+func TestLemma5(t *testing.T) {
+	for _, s0 := range []State{StronglyNotTaken, WeaklyNotTaken, WeaklyTaken} {
+		r := SimulateLoop(s0, 1)
+		if r.Final != s0 {
+			t.Errorf("lemma 5: start %v final %v, want return to start", s0, r.Final)
+		}
+		if r.Misses < 1 || r.Misses > 2 {
+			t.Errorf("lemma 5: start %v misses=%d", s0, r.Misses)
+		}
+	}
+	r := SimulateLoop(StronglyTaken, 1)
+	if r.Final != WeaklyTaken || r.Misses != 1 {
+		t.Errorf("lemma 5 ST corner: final %v misses %d, want Weakly-Taken with 1 miss", r.Final, r.Misses)
+	}
+}
+
+// TestLemma6 — n=2: final state is weak, with 1 to 3 misses.
+func TestLemma6(t *testing.T) {
+	for _, s0 := range allStates {
+		r := SimulateLoop(s0, 2)
+		if r.Final != WeaklyTaken && r.Final != WeaklyNotTaken {
+			t.Errorf("lemma 6: start %v final %v", s0, r.Final)
+		}
+		if r.Misses < 1 || r.Misses > 3 {
+			t.Errorf("lemma 6: start %v misses=%d", s0, r.Misses)
+		}
+	}
+}
+
+func TestWorstCaseLoopMissesMatchesSimulation(t *testing.T) {
+	for n := 0; n <= 50; n++ {
+		worst := 0
+		for _, s0 := range allStates {
+			if m := SimulateLoop(s0, n).Misses; m > worst {
+				worst = m
+			}
+		}
+		if want := WorstCaseLoopMisses(n); worst != want {
+			t.Errorf("n=%d: simulated worst %d, bound %d", n, worst, want)
+		}
+	}
+}
+
+func TestSimulateLoopNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SimulateLoop(-1) did not panic")
+		}
+	}()
+	SimulateLoop(WeaklyTaken, -1)
+}
+
+func TestSimulateTraceAgainstManual(t *testing.T) {
+	// Alternating T/NT from WNT: every prediction wrong until the counter
+	// oscillates; verify against hand-computed sequence.
+	// WNT: predict NT, see T (miss) -> WT; predict T, see NT (miss) -> WNT; ...
+	out := []bool{true, false, true, false, true, false}
+	r := SimulateTrace(WeaklyNotTaken, out)
+	if r.Misses != 6 {
+		t.Fatalf("alternating trace misses = %d, want 6 (pathological oscillation)", r.Misses)
+	}
+	if r.Final != WeaklyNotTaken {
+		t.Fatalf("alternating trace final = %v", r.Final)
+	}
+}
+
+func TestTwoBitUnitTrainsPerSite(t *testing.T) {
+	u := NewTwoBit(WeaklyNotTaken)
+	// Train site 0 toward taken; site 1 must stay untouched.
+	for i := 0; i < 5; i++ {
+		u.Update(0, true)
+	}
+	if !u.Predict(0) {
+		t.Fatal("site 0 not trained to taken")
+	}
+	if u.Predict(1) {
+		t.Fatal("site 1 affected by site 0 training")
+	}
+	if u.StateOf(0) != StronglyTaken {
+		t.Fatalf("site 0 state = %v", u.StateOf(0))
+	}
+	if u.StateOf(7) != WeaklyNotTaken {
+		t.Fatalf("untouched site state = %v", u.StateOf(7))
+	}
+}
+
+func TestTwoBitUnitReset(t *testing.T) {
+	u := NewTwoBit(StronglyNotTaken)
+	u.Update(3, true)
+	u.Reset()
+	if u.StateOf(3) != StronglyNotTaken {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestTwoBitSetStateValidation(t *testing.T) {
+	u := NewTwoBit(WeaklyTaken)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState(invalid) did not panic")
+		}
+	}()
+	u.SetState(0, State(99))
+}
+
+func TestNewTwoBitInvalidInitialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTwoBit(invalid) did not panic")
+		}
+	}()
+	NewTwoBit(State(17))
+}
+
+func TestObserveCountsMisses(t *testing.T) {
+	u := NewTwoBit(StronglyNotTaken)
+	misses := 0
+	for _, taken := range []bool{true, true, true, false} {
+		if Observe(u, 0, taken) {
+			misses++
+		}
+	}
+	// SNT->T miss, WNT->T miss, WT->T hit, ST->NT miss.
+	if misses != 3 {
+		t.Fatalf("Observe misses = %d, want 3", misses)
+	}
+}
+
+func TestOneBitUnit(t *testing.T) {
+	u := NewOneBit()
+	if u.Predict(0) {
+		t.Fatal("1-bit unit should power on predicting not-taken")
+	}
+	u.Update(0, true)
+	if !u.Predict(0) {
+		t.Fatal("1-bit unit did not follow last direction")
+	}
+	u.Update(0, false)
+	if u.Predict(0) {
+		t.Fatal("1-bit unit did not flip back")
+	}
+	u.Reset()
+	if u.Predict(0) {
+		t.Fatal("Reset did not clear 1-bit state")
+	}
+}
+
+// TestOneBitVsTwoBitOnLoops verifies the classic motivation for 2-bit
+// counters: on repeated loop executions the 1-bit predictor misses twice
+// per execution (exit and re-entry) where the 2-bit counter misses once.
+func TestOneBitVsTwoBitOnLoops(t *testing.T) {
+	one, two := NewOneBit(), NewTwoBit(WeaklyTaken)
+	oneMisses, twoMisses := 0, 0
+	const k, n = 50, 10
+	for exec := 0; exec < k; exec++ {
+		for i := 0; i < n; i++ {
+			if Observe(one, 0, true) {
+				oneMisses++
+			}
+			if Observe(two, 0, true) {
+				twoMisses++
+			}
+		}
+		if Observe(one, 0, false) {
+			oneMisses++
+		}
+		if Observe(two, 0, false) {
+			twoMisses++
+		}
+	}
+	if twoMisses != k {
+		t.Fatalf("2-bit misses = %d, want %d (1 per execution)", twoMisses, k)
+	}
+	if oneMisses < 2*k-1 {
+		t.Fatalf("1-bit misses = %d, want ~%d (2 per execution)", oneMisses, 2*k)
+	}
+}
+
+func TestStaticUnits(t *testing.T) {
+	at := NewStatic(true)
+	ant := NewStatic(false)
+	for i := 0; i < 10; i++ {
+		if !at.Predict(i) || ant.Predict(i) {
+			t.Fatal("static predictions wrong")
+		}
+		at.Update(i, false) // must not learn
+		ant.Update(i, true)
+	}
+	if !at.Predict(0) || ant.Predict(0) {
+		t.Fatal("static predictor learned")
+	}
+	if at.Name() == ant.Name() {
+		t.Fatal("static names collide")
+	}
+	at.Reset()
+	ant.Reset()
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	u := NewGShare(4, 10)
+	// A period-2 pattern (T, NT, T, NT, ...) is unlearnable for a 2-bit
+	// counter but trivial with history: after warmup gshare should be
+	// nearly perfect.
+	misses := 0
+	const warm, measured = 200, 1000
+	for i := 0; i < warm+measured; i++ {
+		taken := i%2 == 0
+		miss := Observe(u, 5, taken)
+		if i >= warm && miss {
+			misses++
+		}
+	}
+	if misses > measured/50 {
+		t.Fatalf("gshare misses %d/%d on period-2 pattern after warmup", misses, measured)
+	}
+}
+
+func TestGShareAliasing(t *testing.T) {
+	// With a tiny table, two sites trained in opposite directions must
+	// interfere — that is the effect GShare exists to model.
+	u := NewGShare(0, 1) // single-entry effective index space of 2
+	for i := 0; i < 100; i++ {
+		u.Update(0, true)
+		u.Update(2, false) // same table index as site 0 (bit 1 masked off)
+	}
+	// Counter saw an alternating stream; it cannot be strongly biased
+	// toward both. At least one of the two sites must mispredict its own
+	// bias.
+	agree0 := u.Predict(0) == true
+	agree2 := u.Predict(2) == false
+	if agree0 && agree2 {
+		t.Fatal("aliased gshare entries satisfied both conflicting sites")
+	}
+}
+
+func TestGShareReset(t *testing.T) {
+	u := NewGShare(4, 8)
+	for i := 0; i < 50; i++ {
+		u.Update(1, true)
+	}
+	u.Reset()
+	if u.Predict(1) {
+		t.Fatal("Reset did not restore weakly-not-taken tables")
+	}
+}
+
+func TestGShareGeometryPanics(t *testing.T) {
+	for _, geo := range [][2]uint{{5, 4}, {0, 0}, {30, 30}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGShare(%d,%d) did not panic", geo[0], geo[1])
+				}
+			}()
+			NewGShare(geo[0], geo[1])
+		}()
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	cat := Catalog()
+	for name, factory := range cat {
+		u := factory()
+		if u == nil {
+			t.Fatalf("factory %q returned nil", name)
+		}
+		// Smoke: must handle observe cycles on several sites.
+		for site := 0; site < 4; site++ {
+			for i := 0; i < 8; i++ {
+				Observe(u, site, i%3 != 0)
+			}
+		}
+		u.Reset()
+	}
+	if _, ok := cat["2bit"]; !ok {
+		t.Fatal("catalog missing the paper's 2bit model")
+	}
+}
+
+// Property: for any outcome trace, 2-bit misses never exceed trace length
+// and equal trace length only for pathological alternation.
+func TestTraceMissBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(200)
+		outcomes := make([]bool, n)
+		for i := range outcomes {
+			outcomes[i] = r.Bool()
+		}
+		for _, s0 := range allStates {
+			res := SimulateTrace(s0, outcomes)
+			if res.Misses < 0 || res.Misses > n {
+				return false
+			}
+			if !res.Final.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the TwoBitUnit driven via Observe agrees exactly with the pure
+// FSA simulation.
+func TestUnitMatchesFSAProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(300)
+		outcomes := make([]bool, n)
+		for i := range outcomes {
+			outcomes[i] = r.Bool()
+		}
+		u := NewTwoBit(WeaklyNotTaken)
+		unitMisses := 0
+		for _, taken := range outcomes {
+			if Observe(u, 3, taken) {
+				unitMisses++
+			}
+		}
+		ref := SimulateTrace(WeaklyNotTaken, outcomes)
+		return unitMisses == ref.Misses && u.StateOf(3) == ref.Final
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

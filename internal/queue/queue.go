@@ -1,0 +1,71 @@
+// Package queue provides the flat FIFO vertex queue used by the BFS
+// kernels.
+//
+// The paper's BFS implementations (Algorithms 4 and 5) use a single
+// preallocated array of |V| slots: every vertex enters the queue at most
+// once, so the queue never wraps. Keeping the representation this simple
+// matters for the branch-avoiding variant, whose correctness depends on
+// being able to write one slot past the logical tail ("outside" the queue,
+// §5.2) and to advance the tail with a conditional add.
+package queue
+
+// VertexQueue is a fixed-capacity FIFO of uint32 vertex ids. Each vertex is
+// expected to be enqueued at most once, so capacity |V| suffices and the
+// storage never wraps.
+type VertexQueue struct {
+	buf  []uint32
+	head int
+	tail int
+}
+
+// New returns a queue with capacity for n vertices.
+func New(n int) *VertexQueue {
+	// One extra slot so the branch-avoiding BFS can always store a
+	// candidate at buf[tail] even when the queue already holds n-1 live
+	// vertices plus the cursor.
+	return &VertexQueue{buf: make([]uint32, n+1)}
+}
+
+// Reset empties the queue without releasing storage.
+func (q *VertexQueue) Reset() { q.head, q.tail = 0, 0 }
+
+// Len returns the number of enqueued-but-not-dequeued vertices.
+func (q *VertexQueue) Len() int { return q.tail - q.head }
+
+// Empty reports whether the queue holds no vertices.
+func (q *VertexQueue) Empty() bool { return q.head == q.tail }
+
+// Push appends v.
+func (q *VertexQueue) Push(v uint32) {
+	q.buf[q.tail] = v
+	q.tail++
+}
+
+// Pop removes and returns the oldest vertex. It panics on an empty queue.
+func (q *VertexQueue) Pop() uint32 {
+	if q.head == q.tail {
+		panic("queue: pop from empty queue")
+	}
+	v := q.buf[q.head]
+	q.head++
+	return v
+}
+
+// Buf exposes the backing storage. The branch-avoiding BFS writes directly
+// to Buf()[Tail()] and then conditionally advances the tail, mirroring the
+// paper's Q[Qlen] ← w followed by COND_ADD(Qlen, 1).
+func (q *VertexQueue) Buf() []uint32 { return q.buf }
+
+// Tail returns the tail index (the next write position).
+func (q *VertexQueue) Tail() int { return q.tail }
+
+// SetTail overwrites the tail index. The caller is responsible for keeping
+// head ≤ tail ≤ cap.
+func (q *VertexQueue) SetTail(t int) { q.tail = t }
+
+// Head returns the head index (the next read position).
+func (q *VertexQueue) Head() int { return q.head }
+
+// Drained returns the slice of all vertices ever pushed (in FIFO order)
+// since the last Reset. Useful for inspecting a completed traversal.
+func (q *VertexQueue) Drained() []uint32 { return q.buf[:q.tail] }

@@ -1,0 +1,102 @@
+package queue
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(10)
+	for i := uint32(0); i < 10; i++ {
+		q.Push(i)
+	}
+	for i := uint32(0); i < 10; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop() = %d, want %d", got, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New(5)
+	if q.Len() != 0 {
+		t.Fatalf("new queue Len = %d", q.Len())
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	New(3).Pop()
+}
+
+func TestReset(t *testing.T) {
+	q := New(4)
+	q.Push(9)
+	q.Push(8)
+	q.Reset()
+	if !q.Empty() || q.Len() != 0 || q.Head() != 0 || q.Tail() != 0 {
+		t.Fatal("Reset did not clear queue state")
+	}
+}
+
+func TestDirectTailManipulation(t *testing.T) {
+	// Emulates the branch-avoiding enqueue: write at tail, conditionally
+	// advance. Writing without advancing must leave the element outside
+	// the logical queue.
+	q := New(8)
+	buf := q.Buf()
+	buf[q.Tail()] = 42
+	// Not advanced: element is invisible.
+	if q.Len() != 0 {
+		t.Fatal("unadvanced write became visible")
+	}
+	q.SetTail(q.Tail() + 1)
+	if q.Len() != 1 || q.Pop() != 42 {
+		t.Fatal("advanced write not visible as FIFO element")
+	}
+}
+
+func TestExtraSlackSlot(t *testing.T) {
+	// The queue must allow a write at buf[tail] even after n pushes.
+	n := 16
+	q := New(n)
+	for i := 0; i < n; i++ {
+		q.Push(uint32(i))
+	}
+	// This write must not be out of bounds.
+	q.Buf()[q.Tail()] = 999
+	if q.Len() != n {
+		t.Fatalf("Len = %d after %d pushes", q.Len(), n)
+	}
+}
+
+func TestDrained(t *testing.T) {
+	q := New(6)
+	for i := uint32(0); i < 4; i++ {
+		q.Push(i * 10)
+	}
+	q.Pop()
+	q.Pop()
+	d := q.Drained()
+	if len(d) != 4 {
+		t.Fatalf("Drained len = %d, want 4", len(d))
+	}
+	for i, v := range d {
+		if v != uint32(i*10) {
+			t.Fatalf("Drained[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}

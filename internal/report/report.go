@@ -1,0 +1,134 @@
+// Package report renders experiment results as aligned ASCII tables and
+// compact ratio-series, the textual equivalent of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; the cell count must match the header count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddF appends a row of formatted values: each value is rendered with %v
+// unless it is a float64, which is rendered with %.3g.
+func (t *Table) AddF(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.3g", x)
+		default:
+			cells[i] = fmt.Sprint(x)
+		}
+	}
+	t.Add(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(widths))
+	for i, wd := range widths {
+		rule[i] = strings.Repeat("-", wd)
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// sparkRunes spans eight intensity levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a unicode mini-chart scaled to [min, max].
+// Empty input yields an empty string. Series whose relative spread is
+// below 0.5% render flat, so measurement jitter does not masquerade as
+// shape (the paper's branch-count curves are constant per iteration and
+// must look constant).
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	scale := hi
+	if -lo > hi {
+		scale = -lo
+	}
+	flat := span == 0 || (scale > 0 && span/scale < 0.005)
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if !flat {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// Ratio formats a ratio the way the paper annotates its subplots ("1.31x").
+func Ratio(r float64) string { return fmt.Sprintf("%.2fx", r) }
+
+// Section writes a titled separator, used between experiment blocks.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Systems", "Name", "Freq")
+	tb.Add("Haswell", "3.5")
+	tb.Add("Bonnell", "1.6")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Systems", "Name", "Haswell", "Bonnell", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "A", "BBBB")
+	tb.Add("xxxxxx", "y")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Header and row must align: column B starts at the same offset.
+	if strings.Index(lines[0], "BBBB") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableMismatchedRowPanics(t *testing.T) {
+	tb := NewTable("t", "one")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.Add("a", "b")
+}
+
+func TestAddFFormatsFloats(t *testing.T) {
+	tb := NewTable("", "v", "f")
+	tb.AddF(42, 1.23456)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "1.23") {
+		t.Errorf("float not formatted: %s", buf.String())
+	}
+	if strings.Contains(buf.String(), "1.23456") {
+		t.Errorf("float not truncated: %s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline not empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline rune count = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline extremes wrong: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("constant series not at floor: %q", flat)
+		}
+	}
+}
+
+func TestRatioFormat(t *testing.T) {
+	if Ratio(1.314) != "1.31x" {
+		t.Fatalf("Ratio = %q", Ratio(1.314))
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	Section(&buf, "Fig 3")
+	if !strings.Contains(buf.String(), "=== Fig 3 ===") {
+		t.Fatalf("Section output %q", buf.String())
+	}
+}

@@ -1,0 +1,224 @@
+package simkern
+
+// Instrumented top-down BFS kernels (the paper's Algorithms 4 and 5).
+// Per-level accounting mirrors the paper's Figures 6–8: the FIFO queue is
+// level-ordered, so each level is a contiguous queue window and counter
+// snapshots are taken at window boundaries.
+
+import (
+	"bagraph/internal/graph"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/perfsim"
+)
+
+// BFSInf marks unreached vertices in instrumented BFS results.
+const BFSInf = ^uint32(0)
+
+// BFSResult is the outcome of an instrumented BFS run.
+type BFSResult struct {
+	Dist       []uint32
+	Levels     int
+	LevelSizes []int
+	// EdgesPerLevel[i] is the number of arcs traversed while processing
+	// level i — the per-edge normalizer of the paper's Fig. 10.
+	EdgesPerLevel []int64
+	Reached       int
+	// Setup holds the distance-array initialization events; PerLevel
+	// holds one delta per BFS level.
+	Setup    perfcount.Counters
+	PerLevel perfcount.Series
+}
+
+// Total returns the event total across setup and all levels.
+func (r BFSResult) Total() perfcount.Counters {
+	t := r.Setup
+	t.Add(r.PerLevel.Total())
+	return t
+}
+
+type bfsArrays struct {
+	dist, adj, q perfsim.Region
+	offs         perfsim.Region
+}
+
+func allocBFS(m *perfsim.Machine, g *graph.Graph) bfsArrays {
+	n := int64(g.NumVertices())
+	return bfsArrays{
+		dist: m.Alloc(elemLabel, n),
+		offs: m.Alloc(elemOffs, n+1),
+		adj:  m.Alloc(elemLabel, g.NumArcs()),
+		q:    m.Alloc(elemLabel, n+1),
+	}
+}
+
+// bfsInit initializes d[v] ← ∞ for all v and enqueues the root.
+func bfsInit(m *perfsim.Machine, a bfsArrays, dist []uint32, qbuf []uint32, root uint32) {
+	n := len(dist)
+	for v := 0; v < n; v++ {
+		m.Branch(SiteOuterFor, true)
+		dist[v] = BFSInf
+		m.Store(a.dist, int64(v))
+		m.ALU(1)
+	}
+	m.Branch(SiteOuterFor, false)
+	// enqueue r; d[r] ← 0
+	qbuf[0] = root
+	m.Store(a.q, 0)
+	dist[root] = 0
+	m.Store(a.dist, int64(root))
+	m.ALU(2) // head/tail registers
+}
+
+// BFSBranchBased runs Algorithm 4 on the instrumented machine.
+func BFSBranchBased(m *perfsim.Machine, g *graph.Graph, root uint32) BFSResult {
+	n := g.NumVertices()
+	res := BFSResult{Dist: make([]uint32, n)}
+	if n == 0 {
+		return res
+	}
+	a := allocBFS(m, g)
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	qbuf := make([]uint32, n+1)
+
+	base := m.Counters()
+	bfsInit(m, a, res.Dist, qbuf, root)
+	res.Setup = m.Counters().Delta(base)
+	prev := m.Counters()
+
+	dist := res.Dist
+	head, tail := 0, 1
+	for head < tail {
+		levelEnd := tail
+		levelStart := head
+		var levelEdges int64
+		for head < levelEnd {
+			m.Branch(SiteWhile, true) // queue not empty
+			m.Load(a.q, int64(head))
+			v := qbuf[head]
+			head++
+			m.ALU(1) // head++
+			m.Load(a.dist, int64(v))
+			next := dist[v] + 1
+			m.ALU(1) // next ← d[v]+1
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			levelEdges += offs[v+1] - offs[v]
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				w := adj[j]
+				m.Load(a.dist, int64(w))
+				m.ALU(2) // compare + loop counter
+				if m.Branch(SiteIf, dist[w] == BFSInf) {
+					qbuf[tail] = w
+					m.Store(a.q, int64(tail))
+					tail++
+					m.ALU(1) // tail++
+					dist[w] = next
+					m.Store(a.dist, int64(w))
+				}
+			}
+			m.Branch(SiteInnerFor, false)
+		}
+		res.LevelSizes = append(res.LevelSizes, levelEnd-levelStart)
+		res.EdgesPerLevel = append(res.EdgesPerLevel, levelEdges)
+		res.Levels++
+		cur := m.Counters()
+		res.PerLevel = append(res.PerLevel, cur.Delta(prev))
+		prev = cur
+	}
+	// Final while test: queue empty.
+	m.Branch(SiteWhile, false)
+	foldTrailingBFS(m, &res, prev)
+	res.Reached = tail
+	return res
+}
+
+// BFSBranchAvoiding runs Algorithm 5 on the instrumented machine: per
+// traversed edge it unconditionally stores the neighbor at the queue tail
+// and writes the neighbor's distance back, with two predicated operations
+// (distance select, tail advance) replacing the discovery branch.
+func BFSBranchAvoiding(m *perfsim.Machine, g *graph.Graph, root uint32) BFSResult {
+	n := g.NumVertices()
+	res := BFSResult{Dist: make([]uint32, n)}
+	if n == 0 {
+		return res
+	}
+	a := allocBFS(m, g)
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	qbuf := make([]uint32, n+1)
+
+	base := m.Counters()
+	bfsInit(m, a, res.Dist, qbuf, root)
+	res.Setup = m.Counters().Delta(base)
+	prev := m.Counters()
+
+	dist := res.Dist
+	head, tail := 0, 1
+	for head < tail {
+		levelEnd := tail
+		levelStart := head
+		var levelEdges int64
+		for head < levelEnd {
+			m.Branch(SiteWhile, true)
+			m.Load(a.q, int64(head))
+			v := qbuf[head]
+			head++
+			m.ALU(1)
+			m.Load(a.dist, int64(v))
+			next := dist[v] + 1
+			m.ALU(1)
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			levelEdges += offs[v+1] - offs[v]
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				w := adj[j]
+				// LOAD(temp, d[w]); CMP(temp, next_level)
+				m.Load(a.dist, int64(w))
+				temp := dist[w]
+				m.ALU(2) // compare + loop counter
+				// Q[Qlen] ← w (unconditional, possibly "outside" the queue)
+				qbuf[tail] = w
+				m.Store(a.q, int64(tail))
+				// COND_MOVE_GREATER(temp, next_level)
+				m.CondMove()
+				isNew := temp > next
+				if isNew {
+					temp = next
+				}
+				// COND_ADD(Qlen, 1)
+				m.CondMove()
+				if isNew {
+					tail++
+				}
+				// STORE(temp, d[w])
+				dist[w] = temp
+				m.Store(a.dist, int64(w))
+			}
+			m.Branch(SiteInnerFor, false)
+		}
+		res.LevelSizes = append(res.LevelSizes, levelEnd-levelStart)
+		res.EdgesPerLevel = append(res.EdgesPerLevel, levelEdges)
+		res.Levels++
+		cur := m.Counters()
+		res.PerLevel = append(res.PerLevel, cur.Delta(prev))
+		prev = cur
+	}
+	m.Branch(SiteWhile, false)
+	foldTrailingBFS(m, &res, prev)
+	res.Reached = tail
+	return res
+}
+
+func foldTrailingBFS(m *perfsim.Machine, res *BFSResult, prev perfcount.Counters) {
+	extra := m.Counters().Delta(prev)
+	if k := len(res.PerLevel); k > 0 {
+		res.PerLevel[k-1].Add(extra)
+	} else {
+		res.Setup.Add(extra)
+	}
+}

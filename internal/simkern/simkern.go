@@ -1,0 +1,218 @@
+// Package simkern expresses the paper's four kernels — Shiloach-Vishkin
+// connected components and top-down BFS, each in branch-based and
+// branch-avoiding form — as the assembly-level operation sequences the
+// paper measures, executed against the instrumented machine of
+// internal/perfsim.
+//
+// Every load, store, ALU op, conditional move and conditional branch of
+// the paper's Algorithms 2–5 is recorded explicitly, so the simulated
+// event counts are exact (not sampled) under the paper's 2-bit predictor
+// model. The kernels simultaneously perform the real computation, and the
+// results are cross-validated against the native kernels in internal/cc
+// and internal/bfs by the tests.
+//
+// Static branch sites follow the paper's per-branch analysis (§4.1, §5.1):
+// the while test, the vertex (outer) for test, the neighbor (inner) for
+// test, and — in the branch-based kernels only — the data-dependent if.
+package simkern
+
+import (
+	"bagraph/internal/graph"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/perfsim"
+)
+
+// Static branch site ids, shared by all kernels so that predictor state
+// for a site is meaningful within one kernel run.
+const (
+	SiteWhile    = 0 // outer while (SV: change ≠ 0; BFS: queue not empty)
+	SiteOuterFor = 1 // SV's per-vertex loop
+	SiteInnerFor = 2 // adjacency-list loop
+	SiteIf       = 3 // the data-dependent comparison (branch-based only)
+)
+
+// elemLabel/elemOffs are the element widths of the simulated arrays:
+// 4-byte labels, distances, adjacency and queue entries; 8-byte CSR
+// offsets.
+const (
+	elemLabel = 4
+	elemOffs  = 8
+)
+
+// SVResult is the outcome of an instrumented Shiloach-Vishkin run.
+type SVResult struct {
+	Labels     []uint32
+	Iterations int
+	// Setup holds the events of the initialization loop (label array
+	// init); PerIter holds one delta per while-loop pass.
+	Setup   perfcount.Counters
+	PerIter perfcount.Series
+}
+
+// Total returns the event total across setup and all iterations.
+func (r SVResult) Total() perfcount.Counters {
+	t := r.Setup
+	t.Add(r.PerIter.Total())
+	return t
+}
+
+type svArrays struct {
+	cc, adj perfsim.Region
+	offs    perfsim.Region
+}
+
+func allocSV(m *perfsim.Machine, g *graph.Graph) svArrays {
+	n := int64(g.NumVertices())
+	return svArrays{
+		cc:   m.Alloc(elemLabel, n),
+		offs: m.Alloc(elemOffs, n+1),
+		adj:  m.Alloc(elemLabel, g.NumArcs()),
+	}
+}
+
+// svInit performs the label initialization loop (CCid[v] ← v): one store
+// and one loop-counter ALU op per vertex, plus the init loop's own branch
+// (site SiteOuterFor is reused; the paper does not analyze the init loop
+// separately and its contribution is O(|V|) with at most 3 misses).
+func svInit(m *perfsim.Machine, a svArrays, labels []uint32) {
+	n := len(labels)
+	for v := 0; v < n; v++ {
+		m.Branch(SiteOuterFor, true)
+		labels[v] = uint32(v)
+		m.Store(a.cc, int64(v))
+		m.ALU(1)
+	}
+	m.Branch(SiteOuterFor, false)
+	m.ALU(1) // change ← 1
+}
+
+// SVBranchBased runs Algorithm 2 on the instrumented machine.
+func SVBranchBased(m *perfsim.Machine, g *graph.Graph) SVResult {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	a := allocSV(m, g)
+	adj := g.Adjacency()
+	offs := g.Offsets()
+
+	base := m.Counters()
+	svInit(m, a, labels)
+	res := SVResult{Labels: labels, Setup: m.Counters().Delta(base)}
+	prev := m.Counters()
+
+	change := true
+	for {
+		taken := change
+		m.Branch(SiteWhile, taken)
+		if !taken {
+			foldTrailing(m, &res, prev)
+			break
+		}
+		change = false
+		m.ALU(1) // change ← 0
+		for v := 0; v < n; v++ {
+			m.Branch(SiteOuterFor, true)
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			m.Load(a.cc, int64(v))
+			cv := labels[v]
+			m.ALU(1) // loop counter
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				u := adj[j]
+				m.Load(a.cc, int64(u))
+				cu := labels[u]
+				m.ALU(2) // compare + loop counter
+				if m.Branch(SiteIf, cu < cv) {
+					cv = cu
+					labels[v] = cu
+					m.ALU(2) // cv ← cu; change ← 1
+					m.Store(a.cc, int64(v))
+					change = true
+				}
+			}
+			m.Branch(SiteInnerFor, false)
+		}
+		m.Branch(SiteOuterFor, false)
+
+		cur := m.Counters()
+		res.PerIter = append(res.PerIter, cur.Delta(prev))
+		prev = cur
+		res.Iterations++
+	}
+	return res
+}
+
+// SVBranchAvoiding runs Algorithm 3 on the instrumented machine: the if
+// becomes a compare feeding a conditional move, the label writeback is
+// unconditional (once per vertex), and the change flag is maintained with
+// XOR/OR arithmetic.
+func SVBranchAvoiding(m *perfsim.Machine, g *graph.Graph) SVResult {
+	n := g.NumVertices()
+	labels := make([]uint32, n)
+	a := allocSV(m, g)
+	adj := g.Adjacency()
+	offs := g.Offsets()
+
+	base := m.Counters()
+	svInit(m, a, labels)
+	res := SVResult{Labels: labels, Setup: m.Counters().Delta(base)}
+	prev := m.Counters()
+
+	change := uint32(1)
+	for {
+		taken := change != 0
+		m.Branch(SiteWhile, taken)
+		if !taken {
+			foldTrailing(m, &res, prev)
+			break
+		}
+		change = 0
+		m.ALU(1)
+		for v := 0; v < n; v++ {
+			m.Branch(SiteOuterFor, true)
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			m.Load(a.cc, int64(v))
+			cinit := labels[v]
+			cv := cinit
+			m.ALU(2) // cv ← cinit; loop counter
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				u := adj[j]
+				m.Load(a.cc, int64(u))
+				cu := labels[u]
+				m.ALU(2) // compare + loop counter
+				m.CondMove()
+				if cu < cv { // architecturally a CMOV: no branch recorded
+					cv = cu
+				}
+			}
+			m.Branch(SiteInnerFor, false)
+			labels[v] = cv
+			m.Store(a.cc, int64(v))
+			m.ALU(2) // change ← change OR (cv XOR cinit)
+			change |= cv ^ cinit
+		}
+		m.Branch(SiteOuterFor, false)
+
+		cur := m.Counters()
+		res.PerIter = append(res.PerIter, cur.Delta(prev))
+		prev = cur
+		res.Iterations++
+	}
+	return res
+}
+
+// foldTrailing attributes the events recorded after the last per-iteration
+// snapshot — exactly the final not-taken while test — to the last
+// iteration (or to setup when the while loop never ran a pass).
+func foldTrailing(m *perfsim.Machine, res *SVResult, prev perfcount.Counters) {
+	extra := m.Counters().Delta(prev)
+	if k := len(res.PerIter); k > 0 {
+		res.PerIter[k-1].Add(extra)
+	} else {
+		res.Setup.Add(extra)
+	}
+}

@@ -1,0 +1,193 @@
+package simkern
+
+// Instrumented Bellman-Ford kernels — the weighted extension of the SV
+// pair. The operation mix per edge adds exactly one weight load and one
+// addition to SV's sequence, so the branch-count closed forms shift
+// accordingly; everything else (sites, store asymmetry, change flag)
+// mirrors SVBranchBased/SVBranchAvoiding.
+
+import (
+	"bagraph/internal/graph"
+	"bagraph/internal/perfcount"
+	"bagraph/internal/perfsim"
+)
+
+// SSSPInf is the unreachable sentinel used by the instrumented
+// Bellman-Ford kernels (2^62, safely below signed overflow for
+// mask-based comparison).
+const SSSPInf = uint64(1) << 62
+
+// SSSPResult is the outcome of an instrumented Bellman-Ford run.
+type SSSPResult struct {
+	Dist    []uint64
+	Passes  int
+	Setup   perfcount.Counters
+	PerPass perfcount.Series
+}
+
+// Total returns the event total across setup and all passes.
+func (r SSSPResult) Total() perfcount.Counters {
+	t := r.Setup
+	t.Add(r.PerPass.Total())
+	return t
+}
+
+type ssspArrays struct {
+	dist, adj, w perfsim.Region
+	offs         perfsim.Region
+}
+
+func allocSSSP(m *perfsim.Machine, g *graph.Weighted) ssspArrays {
+	n := int64(g.NumVertices())
+	return ssspArrays{
+		dist: m.Alloc(8, n), // 64-bit distances
+		offs: m.Alloc(elemOffs, n+1),
+		adj:  m.Alloc(elemLabel, g.NumArcs()),
+		w:    m.Alloc(elemLabel, g.NumArcs()),
+	}
+}
+
+func ssspInit(m *perfsim.Machine, a ssspArrays, dist []uint64, src uint32) {
+	for v := range dist {
+		m.Branch(SiteOuterFor, true)
+		dist[v] = SSSPInf
+		m.Store(a.dist, int64(v))
+		m.ALU(1)
+	}
+	m.Branch(SiteOuterFor, false)
+	dist[src] = 0
+	m.Store(a.dist, int64(src))
+	m.ALU(1) // change ← 1
+}
+
+// BellmanFordBranchBased runs the pull-style branch-based Bellman-Ford on
+// the instrumented machine.
+func BellmanFordBranchBased(m *perfsim.Machine, g *graph.Weighted, src uint32) SSSPResult {
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	a := allocSSSP(m, g)
+	adj := g.Adjacency()
+	ws := g.ArcWeights()
+	offs := g.Offsets()
+
+	base := m.Counters()
+	ssspInit(m, a, dist, src)
+	res := SSSPResult{Dist: dist, Setup: m.Counters().Delta(base)}
+	prev := m.Counters()
+
+	change := true
+	for {
+		taken := change
+		m.Branch(SiteWhile, taken)
+		if !taken {
+			foldTrailingSSSP(m, &res, prev)
+			break
+		}
+		change = false
+		m.ALU(1)
+		for v := 0; v < n; v++ {
+			m.Branch(SiteOuterFor, true)
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			m.Load(a.dist, int64(v))
+			dv := dist[v]
+			m.ALU(1)
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				u := adj[j]
+				m.Load(a.dist, int64(u))
+				m.Load(a.w, j)
+				cand := dist[u] + uint64(ws[j])
+				m.ALU(3) // add + compare + loop counter
+				if m.Branch(SiteIf, cand < dv) {
+					dv = cand
+					dist[v] = cand
+					m.ALU(2)
+					m.Store(a.dist, int64(v))
+					change = true
+				}
+			}
+			m.Branch(SiteInnerFor, false)
+		}
+		m.Branch(SiteOuterFor, false)
+
+		cur := m.Counters()
+		res.PerPass = append(res.PerPass, cur.Delta(prev))
+		prev = cur
+		res.Passes++
+	}
+	return res
+}
+
+// BellmanFordBranchAvoiding runs the conditional-move Bellman-Ford on the
+// instrumented machine: SV's Algorithm 3 pattern with one extra load and
+// add per edge.
+func BellmanFordBranchAvoiding(m *perfsim.Machine, g *graph.Weighted, src uint32) SSSPResult {
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	a := allocSSSP(m, g)
+	adj := g.Adjacency()
+	ws := g.ArcWeights()
+	offs := g.Offsets()
+
+	base := m.Counters()
+	ssspInit(m, a, dist, src)
+	res := SSSPResult{Dist: dist, Setup: m.Counters().Delta(base)}
+	prev := m.Counters()
+
+	change := uint64(1)
+	for {
+		taken := change != 0
+		m.Branch(SiteWhile, taken)
+		if !taken {
+			foldTrailingSSSP(m, &res, prev)
+			break
+		}
+		change = 0
+		m.ALU(1)
+		for v := 0; v < n; v++ {
+			m.Branch(SiteOuterFor, true)
+			m.Load(a.offs, int64(v))
+			m.Load(a.offs, int64(v)+1)
+			m.Load(a.dist, int64(v))
+			dinit := dist[v]
+			dv := dinit
+			m.ALU(2)
+			for j := offs[v]; j < offs[v+1]; j++ {
+				m.Branch(SiteInnerFor, true)
+				m.Load(a.adj, j)
+				u := adj[j]
+				m.Load(a.dist, int64(u))
+				m.Load(a.w, j)
+				cand := dist[u] + uint64(ws[j])
+				m.ALU(3)
+				m.CondMove()
+				if cand < dv {
+					dv = cand
+				}
+			}
+			m.Branch(SiteInnerFor, false)
+			dist[v] = dv
+			m.Store(a.dist, int64(v))
+			m.ALU(2)
+			change |= dv ^ dinit
+		}
+		m.Branch(SiteOuterFor, false)
+
+		cur := m.Counters()
+		res.PerPass = append(res.PerPass, cur.Delta(prev))
+		prev = cur
+		res.Passes++
+	}
+	return res
+}
+
+func foldTrailingSSSP(m *perfsim.Machine, res *SSSPResult, prev perfcount.Counters) {
+	extra := m.Counters().Delta(prev)
+	if k := len(res.PerPass); k > 0 {
+		res.PerPass[k-1].Add(extra)
+	} else {
+		res.Setup.Add(extra)
+	}
+}

@@ -1,0 +1,189 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/xrand"
+)
+
+// weightedRandom builds a random connected-ish weighted graph.
+func weightedRandom(n, m int, maxW uint32, seed uint64) *graph.Weighted {
+	r := xrand.New(seed)
+	edges := make([]graph.WeightedEdge, 0, m+n)
+	// A random spanning path keeps most graphs connected.
+	perm := r.Perm(n)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.WeightedEdge{
+			U: uint32(perm[i]), V: uint32(perm[i+1]), W: 1 + r.Uint32()%maxW,
+		})
+	}
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.WeightedEdge{
+			U: uint32(r.Intn(n)), V: uint32(r.Intn(n)), W: 1 + r.Uint32()%maxW,
+		})
+	}
+	return graph.MustBuildWeighted(n, edges, false, "wrand")
+}
+
+func weightedFromUnweighted(t *testing.T, g *graph.Graph, seed uint64) *graph.Weighted {
+	t.Helper()
+	w, err := graph.AttachWeights(g, func(u, v uint32) uint32 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint32(xrand.Hash64(seed^uint64(u)<<32|uint64(v)))%50 + 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestKernelsAgreeWithDijkstra(t *testing.T) {
+	graphs := []*graph.Weighted{
+		weightedRandom(50, 120, 10, 1),
+		weightedRandom(200, 600, 100, 2),
+		weightedFromUnweighted(t, gen.Grid2D(8, 9, false), 3),
+		weightedFromUnweighted(t, gen.BarabasiAlbert(150, 3, 4), 5),
+		graph.MustBuildWeighted(4, []graph.WeightedEdge{{U: 0, V: 1, W: 10}, {U: 0, V: 2, W: 1}, {U: 2, V: 1, W: 1}}, false, "shortcut"),
+	}
+	for _, g := range graphs {
+		want := Dijkstra(g, 0)
+		bb, stBB := BellmanFordBranchBased(g, 0)
+		ba, stBA := BellmanFordBranchAvoiding(g, 0)
+		if err := Verify(g, 0, want); err != nil {
+			t.Fatalf("%s: dijkstra oracle invalid: %v", g, err)
+		}
+		for v := range want {
+			if bb[v] != want[v] {
+				t.Fatalf("%s: branch-based dist[%d] = %d, dijkstra %d", g, v, bb[v], want[v])
+			}
+			if ba[v] != want[v] {
+				t.Fatalf("%s: branch-avoiding dist[%d] = %d, dijkstra %d", g, v, ba[v], want[v])
+			}
+		}
+		// Both BF variants sweep identically.
+		if stBB.Passes != stBA.Passes {
+			t.Fatalf("%s: passes differ: %d vs %d", g, stBB.Passes, stBA.Passes)
+		}
+	}
+}
+
+func TestAgreementProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 10 + int(seed%80)
+		g := weightedRandom(n, 2*n, 20, seed)
+		src := uint32(seed % uint64(n))
+		want := Dijkstra(g, src)
+		bb, _ := BellmanFordBranchBased(g, src)
+		ba, _ := BellmanFordBranchAvoiding(g, src)
+		for v := range want {
+			if bb[v] != want[v] || ba[v] != want[v] {
+				return false
+			}
+		}
+		return Verify(g, src, want) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreAsymmetry(t *testing.T) {
+	// Branch-avoiding stores exactly |V| per pass; branch-based stores
+	// per improvement.
+	g := weightedFromUnweighted(t, gen.Grid3D(6, 6, 6, 1), 7)
+	_, bb := BellmanFordBranchBased(g, 0)
+	_, ba := BellmanFordBranchAvoiding(g, 0)
+	v := uint64(g.NumVertices())
+	if ba.DistStores != v*uint64(ba.Passes) {
+		t.Fatalf("BA stores = %d, want %d", ba.DistStores, v*uint64(ba.Passes))
+	}
+	if bb.DistStores == 0 || bb.DistStores == ba.DistStores {
+		t.Fatalf("BB stores = %d, suspicious", bb.DistStores)
+	}
+	// Final sweep changes nothing.
+	if bb.PassChanges[bb.Passes-1] != 0 || ba.PassChanges[ba.Passes-1] != 0 {
+		t.Fatal("final sweep reported changes")
+	}
+	if bb.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestPassChangesAgree(t *testing.T) {
+	g := weightedRandom(120, 400, 9, 11)
+	_, bb := BellmanFordBranchBased(g, 5)
+	_, ba := BellmanFordBranchAvoiding(g, 5)
+	for i := range bb.PassChanges {
+		if bb.PassChanges[i] != ba.PassChanges[i] {
+			t.Fatalf("pass %d: changes %d vs %d", i, bb.PassChanges[i], ba.PassChanges[i])
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.MustBuildWeighted(4, []graph.WeightedEdge{{U: 0, V: 1, W: 3}, {U: 2, V: 3, W: 4}}, false, "2comp")
+	for _, f := range []func(*graph.Weighted, uint32) ([]uint64, Stats){BellmanFordBranchBased, BellmanFordBranchAvoiding} {
+		dist, _ := f(g, 0)
+		if dist[2] != Inf || dist[3] != Inf {
+			t.Fatal("unreachable vertices not Inf")
+		}
+		if dist[1] != 3 {
+			t.Fatalf("dist[1] = %d", dist[1])
+		}
+	}
+	d := Dijkstra(g, 0)
+	if d[2] != Inf {
+		t.Fatal("dijkstra reached other component")
+	}
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := graph.MustBuildWeighted(3, []graph.WeightedEdge{{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 0}}, false, "zeros")
+	for _, f := range []func(*graph.Weighted, uint32) ([]uint64, Stats){BellmanFordBranchBased, BellmanFordBranchAvoiding} {
+		dist, _ := f(g, 0)
+		if dist[1] != 0 || dist[2] != 0 {
+			t.Fatalf("zero-weight distances: %v", dist)
+		}
+		if err := Verify(g, 0, dist); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	empty := graph.MustBuildWeighted(0, nil, false, "")
+	if d := Dijkstra(empty, 0); len(d) != 0 {
+		t.Fatal("empty dijkstra")
+	}
+	single := graph.MustBuildWeighted(1, nil, false, "")
+	dist, st := BellmanFordBranchAvoiding(single, 0)
+	if dist[0] != 0 || st.Passes != 1 {
+		t.Fatal("singleton BF wrong")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	g := weightedRandom(30, 80, 10, 13)
+	dist := Dijkstra(g, 0)
+	cases := []func([]uint64){
+		func(d []uint64) { d[0] = 1 },             // source nonzero
+		func(d []uint64) { d[10] = 0 },            // too small (no tight pred)
+		func(d []uint64) { d[10] = d[10] + 1000 }, // too large (unrelaxed edge)
+	}
+	for i, corrupt := range cases {
+		bad := make([]uint64, len(dist))
+		copy(bad, dist)
+		corrupt(bad)
+		if err := Verify(g, 0, bad); err == nil {
+			t.Errorf("corruption %d not caught", i)
+		}
+	}
+	if err := Verify(g, 0, dist[:5]); err == nil {
+		t.Error("length mismatch not caught")
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the small statistical toolkit behind the paper's
+// Fig. 10: Pearson correlations between per-iteration hardware events.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples. It returns 0 when either series is constant (correlation is
+// undefined there; 0 keeps downstream reports readable, matching how
+// figure-10-style tables display degenerate cells). It panics if the
+// slices have different lengths.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CorrMatrix computes the full Pearson correlation matrix of the named
+// series. All series must have equal length.
+type CorrMatrix struct {
+	Names []string
+	// R[i][j] is the correlation between series i and j.
+	R [][]float64
+}
+
+// NewCorrMatrix builds the correlation matrix for the given series, in
+// order.
+func NewCorrMatrix(names []string, series [][]float64) CorrMatrix {
+	if len(names) != len(series) {
+		panic("stats: names/series length mismatch")
+	}
+	k := len(series)
+	r := make([][]float64, k)
+	for i := range r {
+		r[i] = make([]float64, k)
+		for j := range r[i] {
+			if i == j {
+				r[i][j] = 1
+				continue
+			}
+			r[i][j] = Pearson(series[i], series[j])
+		}
+	}
+	return CorrMatrix{Names: names, R: r}
+}
+
+// Get returns the correlation between the two named series.
+func (m CorrMatrix) Get(a, b string) (float64, bool) {
+	ia, ib := -1, -1
+	for i, n := range m.Names {
+		if n == a {
+			ia = i
+		}
+		if n == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0, false
+	}
+	return m.R[ia][ib], true
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+// A constant x yields slope 0 and intercept Mean(ys).
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) {
+		panic("stats: length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}
+
+// GeoMean returns the geometric mean of positive values; it panics on
+// non-positive inputs (speedup aggregation must not silently absorb
+// zeros).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

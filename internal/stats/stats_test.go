@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bagraph/internal/xrand"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty inputs not zero")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	if r := Pearson(xs, ys); !approx(r, 1, 1e-12) {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{50, 40, 30, 20, 10}
+	if r := Pearson(xs, neg); !approx(r, -1, 1e-12) {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonAffineInvarianceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		base := Pearson(xs, ys)
+		// Positive affine transforms must not change r.
+		xs2 := make([]float64, n)
+		for i := range xs {
+			xs2[i] = 3*xs[i] + 7
+		}
+		return approx(Pearson(xs2, ys), base, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 3 + r.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()
+			ys[i] = r.Float64()
+		}
+		p := Pearson(xs, ys)
+		return p >= -1-1e-12 && p <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant series must give 0")
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Fatal("empty series must give 0")
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestCorrMatrix(t *testing.T) {
+	time := []float64{10, 20, 30, 41}
+	instr := []float64{1, 2, 3, 4}
+	noise := []float64{5, -3, 8, 1}
+	m := NewCorrMatrix([]string{"T", "I", "N"}, [][]float64{time, instr, noise})
+	for i := range m.Names {
+		if m.R[i][i] != 1 {
+			t.Fatal("diagonal not 1")
+		}
+	}
+	ti, ok := m.Get("T", "I")
+	if !ok || ti < 0.99 {
+		t.Fatalf("T-I correlation = %v", ti)
+	}
+	it, _ := m.Get("I", "T")
+	if ti != it {
+		t.Fatal("matrix not symmetric")
+	}
+	if _, ok := m.Get("T", "missing"); ok {
+		t.Fatal("Get found missing series")
+	}
+}
+
+func TestCorrMatrixMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	NewCorrMatrix([]string{"a"}, nil)
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(xs, ys)
+	if !approx(slope, 2, 1e-12) || !approx(intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	s0, i0 := LinearFit([]float64{5, 5}, []float64{1, 3})
+	if s0 != 0 || i0 != 2 {
+		t.Fatalf("degenerate fit = %v, %v", s0, i0)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !approx(g, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive GeoMean did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

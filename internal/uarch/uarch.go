@@ -1,0 +1,191 @@
+// Package uarch catalogs the seven microarchitectures of the paper's
+// Table 1 as simulation cost models.
+//
+// The paper measured wall-clock time and hardware counters on physical
+// systems; this reproduction replaces each system with a parameterized
+// model. Geometry (frequency, cache sizes) comes straight from Table 1.
+// The cost parameters — base CPI, branch-misprediction penalty, predicated
+// (conditional-move) execution cost, store cost and per-cache-level load
+// latencies — are estimates assembled from public sources (Agner Fog's
+// microarchitecture guide, vendor optimization manuals), chosen to
+// reproduce the qualitative per-platform behaviour the paper reports:
+//
+//   - big out-of-order cores (Haswell, Ivy Bridge, Piledriver) hide most
+//     costs except mispredictions, so branch-avoiding SV wins there;
+//   - the in-order Bonnell pays heavily for the serializing conditional
+//     move and for store traffic, so branch-based SV can win there (the
+//     paper's ~20% counter-example) and branch-avoiding BFS loses badly;
+//   - Silvermont has a short pipeline (low penalty) and cheap local
+//     stores, making it the one platform where branch-avoiding BFS tends
+//     to win (the paper's §6.3 observation).
+//
+// Absolute times produced by these models are not calibrated against the
+// physical machines; only ratio shapes are meaningful, which is also how
+// the paper reports its figures (each curve is normalized to the fastest
+// iteration of the branch-based kernel).
+package uarch
+
+import (
+	"fmt"
+
+	"bagraph/internal/cachesim"
+	"bagraph/internal/perfcount"
+)
+
+// Model is one simulated microarchitecture.
+type Model struct {
+	Name      string // microarchitecture name, as in Table 1
+	ISA       string // "x86-64" or "ARM v7-A"
+	Processor string // the physical part the paper used
+	FreqGHz   float64
+	DRAM      string
+
+	// Cache geometry; a zero-size L3 means the level is absent.
+	L1, L2, L3 cachesim.Config
+
+	// Cost parameters (cycles).
+	CPI               float64 // base cycles per retired instruction
+	MispredictPenalty float64 // pipeline refill cost per branch miss
+	CondMoveExtra     float64 // extra cost per predicated operation
+	StoreCost         float64 // extra cost per store (buffer pressure)
+	// LoadExtra[i] is the extra latency for a load served at cache level
+	// i+1; LoadExtra[3] is a memory access. L1 hits are considered fully
+	// pipelined (cost absorbed in CPI).
+	LoadExtra [4]float64
+}
+
+// HasL3 reports whether the model has a third cache level.
+func (m Model) HasL3() bool { return m.L3.SizeBytes > 0 }
+
+// NewCache builds a fresh cache hierarchy with the model's geometry.
+func (m Model) NewCache() *cachesim.Hierarchy {
+	cfgs := []cachesim.Config{m.L1, m.L2}
+	if m.HasL3() {
+		cfgs = append(cfgs, m.L3)
+	}
+	return cachesim.MustNewHierarchy(cfgs...)
+}
+
+// levelExtra maps a cachesim.Hierarchy access result (1-based level,
+// levels+1 = memory) to the model's extra-latency table.
+func (m Model) levelExtra(level, numLevels int) float64 {
+	if level > numLevels {
+		return m.LoadExtra[3]
+	}
+	return m.LoadExtra[level-1]
+}
+
+// LoadCost returns the extra cycles for a memory read served at the given
+// hierarchy level (as returned by cachesim.Hierarchy.Access).
+func (m Model) LoadCost(level, numLevels int) float64 {
+	return m.levelExtra(level, numLevels)
+}
+
+// Cycles prices an event-count snapshot in cycles under the model:
+//
+//	cycles = I·CPI + M·penalty + cmov·extra + S·storeCost
+//	         + Σ_level hits(level)·loadExtra(level)
+//
+// The cache-level terms use the counter's L1/L2/L3/Mem breakdown, which
+// the simulated machine fills in as it runs.
+func (m Model) Cycles(c perfcount.Counters) float64 {
+	cycles := float64(c.Instructions)*m.CPI +
+		float64(c.Mispredicts)*m.MispredictPenalty +
+		float64(c.CondMoves)*m.CondMoveExtra +
+		float64(c.Stores)*m.StoreCost
+	cycles += float64(c.L2) * m.LoadExtra[1]
+	cycles += float64(c.L3) * m.LoadExtra[2]
+	cycles += float64(c.Mem) * m.LoadExtra[3]
+	return cycles
+}
+
+// Seconds converts an event snapshot to simulated seconds.
+func (m Model) Seconds(c perfcount.Counters) float64 {
+	return m.Cycles(c) / (m.FreqGHz * 1e9)
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	return fmt.Sprintf("%s (%s, %s, %.1f GHz)", m.Name, m.ISA, m.Processor, m.FreqGHz)
+}
+
+// kb returns a cache config of the given size in KiB.
+func kb(size, ways int) cachesim.Config {
+	return cachesim.Config{SizeBytes: size << 10, Ways: ways}
+}
+
+// Systems returns the seven microarchitectures of Table 1 in the paper's
+// row order.
+func Systems() []Model {
+	return []Model{
+		{
+			Name: "Cortex-A15", ISA: "ARM v7-A", Processor: "Samsung Exynos 5250",
+			FreqGHz: 1.7, DRAM: "SC DDR3-800",
+			L1: kb(32, 8), L2: kb(1024, 16),
+			CPI: 0.50, MispredictPenalty: 15, CondMoveExtra: 0.5, StoreCost: 2.2,
+			LoadExtra: [4]float64{0, 10, 0, 140},
+		},
+		{
+			Name: "Piledriver", ISA: "x86-64", Processor: "AMD FX-6300",
+			FreqGHz: 3.5, DRAM: "DC DDR3-1600",
+			L1: kb(16, 4), L2: kb(2048, 16), L3: kb(8192, 16),
+			CPI: 0.42, MispredictPenalty: 19, CondMoveExtra: 0.20, StoreCost: 1.6,
+			LoadExtra: [4]float64{0, 9, 30, 115},
+		},
+		{
+			Name: "Bobcat", ISA: "x86-64", Processor: "AMD E2-1800",
+			FreqGHz: 1.7, DRAM: "SC DDR3-1333",
+			L1: kb(32, 8), L2: kb(512, 8),
+			CPI: 0.60, MispredictPenalty: 13, CondMoveExtra: 0.6, StoreCost: 2.0,
+			LoadExtra: [4]float64{0, 9, 0, 130},
+		},
+		{
+			Name: "Haswell", ISA: "x86-64", Processor: "Intel Core i7-4770K",
+			FreqGHz: 3.5, DRAM: "DC DDR3-2133",
+			L1: kb(32, 8), L2: kb(256, 8), L3: kb(8192, 16),
+			CPI: 0.30, MispredictPenalty: 17, CondMoveExtra: 0.10, StoreCost: 1.3,
+			LoadExtra: [4]float64{0, 7, 22, 95},
+		},
+		{
+			Name: "Ivy Bridge", ISA: "x86-64", Processor: "Intel Core i3-3217U",
+			FreqGHz: 1.8, DRAM: "DC DDR3-1600",
+			L1: kb(32, 8), L2: kb(256, 8), L3: kb(3072, 12),
+			CPI: 0.34, MispredictPenalty: 15, CondMoveExtra: 0.12, StoreCost: 1.4,
+			LoadExtra: [4]float64{0, 7, 21, 110},
+		},
+		{
+			Name: "Silvermont", ISA: "x86-64", Processor: "Intel Atom C2750",
+			FreqGHz: 2.4, DRAM: "DC DDR3-1600",
+			L1: kb(24, 6), L2: kb(1024, 16),
+			CPI: 0.62, MispredictPenalty: 10, CondMoveExtra: 0.7, StoreCost: 0.2,
+			LoadExtra: [4]float64{0, 9, 0, 120},
+		},
+		{
+			Name: "Bonnell", ISA: "x86-64", Processor: "Intel Atom 330",
+			FreqGHz: 1.6, DRAM: "SC DDR3-800",
+			L1: kb(24, 6), L2: kb(512, 8),
+			CPI: 0.90, MispredictPenalty: 12, CondMoveExtra: 3.0, StoreCost: 3.0,
+			LoadExtra: [4]float64{0, 11, 0, 150},
+		},
+	}
+}
+
+// ByName looks up a model by its microarchitecture name.
+func ByName(name string) (Model, bool) {
+	for _, m := range Systems() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Names returns the system names in Table-1 order.
+func Names() []string {
+	sys := Systems()
+	names := make([]string, len(sys))
+	for i, m := range sys {
+		names[i] = m.Name
+	}
+	return names
+}

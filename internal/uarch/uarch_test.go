@@ -1,0 +1,187 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"bagraph/internal/perfcount"
+)
+
+func TestSystemsMatchTable1(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 7 {
+		t.Fatalf("Systems() returned %d models, Table 1 has 7", len(sys))
+	}
+	// Spot-check geometry against Table 1.
+	checks := map[string]struct {
+		freq   float64
+		l1KB   int
+		l2KB   int
+		l3KB   int // 0 = absent
+		isaARM bool
+	}{
+		"Cortex-A15": {1.7, 32, 1024, 0, true},
+		"Piledriver": {3.5, 16, 2048, 8192, false},
+		"Bobcat":     {1.7, 32, 512, 0, false},
+		"Haswell":    {3.5, 32, 256, 8192, false},
+		"Ivy Bridge": {1.8, 32, 256, 3072, false},
+		"Silvermont": {2.4, 24, 1024, 0, false},
+		"Bonnell":    {1.6, 24, 512, 0, false},
+	}
+	for name, want := range checks {
+		m, ok := ByName(name)
+		if !ok {
+			t.Errorf("missing system %q", name)
+			continue
+		}
+		if m.FreqGHz != want.freq {
+			t.Errorf("%s freq = %v, want %v", name, m.FreqGHz, want.freq)
+		}
+		if m.L1.SizeBytes != want.l1KB<<10 {
+			t.Errorf("%s L1 = %d B, want %d KB", name, m.L1.SizeBytes, want.l1KB)
+		}
+		if m.L2.SizeBytes != want.l2KB<<10 {
+			t.Errorf("%s L2 = %d B, want %d KB", name, m.L2.SizeBytes, want.l2KB)
+		}
+		if want.l3KB == 0 && m.HasL3() {
+			t.Errorf("%s should not have an L3", name)
+		}
+		if want.l3KB > 0 && m.L3.SizeBytes != want.l3KB<<10 {
+			t.Errorf("%s L3 = %d B, want %d KB", name, m.L3.SizeBytes, want.l3KB)
+		}
+		if got := m.ISA == "ARM v7-A"; got != want.isaARM {
+			t.Errorf("%s ISA = %q", name, m.ISA)
+		}
+	}
+}
+
+func TestCacheConfigsAreValid(t *testing.T) {
+	for _, m := range Systems() {
+		h := m.NewCache() // panics on invalid geometry
+		wantLevels := 2
+		if m.HasL3() {
+			wantLevels = 3
+		}
+		if h.Levels() != wantLevels {
+			t.Errorf("%s cache has %d levels, want %d", m.Name, h.Levels(), wantLevels)
+		}
+	}
+}
+
+func TestByNameMiss(t *testing.T) {
+	if _, ok := ByName("Zen4"); ok {
+		t.Fatal("ByName found a system not in Table 1")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if len(names) != 7 || names[0] != "Cortex-A15" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestCyclesMonotoneInEvents(t *testing.T) {
+	base := perfcount.Counters{Instructions: 1000, Branches: 200, Loads: 300, Stores: 100, L1: 400}
+	for _, m := range Systems() {
+		c0 := m.Cycles(base)
+
+		more := base
+		more.Mispredicts += 50
+		if m.Cycles(more) <= c0 {
+			t.Errorf("%s: extra mispredictions did not cost cycles", m.Name)
+		}
+
+		more = base
+		more.Stores += 500
+		more.L1 += 500
+		if m.Cycles(more) <= c0 {
+			t.Errorf("%s: extra stores did not cost cycles", m.Name)
+		}
+
+		more = base
+		more.L1 -= 100
+		more.Mem += 100
+		if m.Cycles(more) <= c0 {
+			t.Errorf("%s: pushing hits to memory did not cost cycles", m.Name)
+		}
+	}
+}
+
+func TestSecondsUsesFrequency(t *testing.T) {
+	c := perfcount.Counters{Instructions: 1_000_000, L1: 100}
+	hsw, _ := ByName("Haswell")
+	ivb, _ := ByName("Ivy Bridge")
+	// Same event counts: the faster-clocked machine with lower CPI must
+	// finish sooner.
+	if hsw.Seconds(c) >= ivb.Seconds(c) {
+		t.Errorf("Haswell (3.5 GHz) slower than Ivy Bridge (1.8 GHz) on identical events")
+	}
+	if hsw.Seconds(c) <= 0 {
+		t.Error("non-positive simulated time")
+	}
+}
+
+func TestLoadCostLevels(t *testing.T) {
+	m, _ := ByName("Haswell") // 3 levels
+	if m.LoadCost(1, 3) != 0 {
+		t.Error("L1 hit should be free beyond CPI")
+	}
+	if m.LoadCost(2, 3) != m.LoadExtra[1] {
+		t.Error("L2 cost mismatch")
+	}
+	if m.LoadCost(4, 3) != m.LoadExtra[3] {
+		t.Error("memory cost mismatch for 3-level hierarchy")
+	}
+	two, _ := ByName("Bobcat") // 2 levels
+	if two.LoadCost(3, 2) != two.LoadExtra[3] {
+		t.Error("memory cost mismatch for 2-level hierarchy")
+	}
+}
+
+func TestCostParametersPlausible(t *testing.T) {
+	for _, m := range Systems() {
+		if m.CPI <= 0 || m.CPI > 2 {
+			t.Errorf("%s CPI = %v out of plausible range", m.Name, m.CPI)
+		}
+		if m.MispredictPenalty < 5 || m.MispredictPenalty > 30 {
+			t.Errorf("%s penalty = %v out of plausible range", m.Name, m.MispredictPenalty)
+		}
+		if m.LoadExtra[3] < m.LoadExtra[1] {
+			t.Errorf("%s memory latency below L2 latency", m.Name)
+		}
+	}
+}
+
+func TestInOrderCoreCostsMore(t *testing.T) {
+	// Design-choice pin: Bonnell (in-order) must have the highest
+	// conditional-move and store costs — this is what reproduces the
+	// paper's Bonnell counter-examples.
+	bon, _ := ByName("Bonnell")
+	for _, m := range Systems() {
+		if m.Name == "Bonnell" {
+			continue
+		}
+		if m.CondMoveExtra >= bon.CondMoveExtra {
+			t.Errorf("%s cmov cost %v >= Bonnell %v", m.Name, m.CondMoveExtra, bon.CondMoveExtra)
+		}
+	}
+	// Silvermont must have the cheapest stores (paper: the only platform
+	// where branch-avoiding BFS tends to win).
+	slv, _ := ByName("Silvermont")
+	for _, m := range Systems() {
+		if m.Name == "Silvermont" {
+			continue
+		}
+		if m.StoreCost <= slv.StoreCost {
+			t.Errorf("%s store cost %v <= Silvermont %v", m.Name, m.StoreCost, slv.StoreCost)
+		}
+	}
+}
+
+func TestStringIncludesProcessor(t *testing.T) {
+	m, _ := ByName("Haswell")
+	if !strings.Contains(m.String(), "4770K") {
+		t.Errorf("String() = %q", m.String())
+	}
+}

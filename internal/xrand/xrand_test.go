@@ -1,0 +1,228 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 0 from the canonical SplitMix64
+	// implementation (Vigna). Guards against silent constant drift.
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestHash64MatchesSplitMix(t *testing.T) {
+	for _, x := range []uint64{0, 1, 42, 1 << 40, math.MaxUint64} {
+		state := x
+		want := SplitMix64(&state)
+		if got := Hash64(x); got != want {
+			t.Errorf("Hash64(%d) = %#x, want SplitMix64 step %#x", x, got, want)
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed streams diverge at step %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestNewDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agree on %d/100 outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-squared style sanity check on 10 buckets.
+	r := New(99)
+	const buckets = 10
+	const samples = 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	for b, c := range counts {
+		dev := math.Abs(float64(c)-expected) / expected
+		if dev > 0.05 {
+			t.Errorf("bucket %d count %d deviates %.1f%% from uniform", b, c, dev*100)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%57)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleIntsPreservesMultiset(t *testing.T) {
+	r := New(3)
+	s := []int{5, 5, 1, 2, 9, 9, 9}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	sum2 := 0
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 || len(s) != 7 {
+		t.Fatalf("shuffle changed contents: %v", s)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(21)
+	p := 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of the failures-before-success geometric
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", g)
+		}
+	}
+}
+
+func TestGeometricPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000003)
+	}
+	_ = sink
+}
