@@ -9,6 +9,8 @@
 //     baseline (ConnectedComponents);
 //   - top-down BFS in branch-based and branch-avoiding forms, plus a
 //     direction-optimizing baseline (ShortestHops);
+//   - multi-core variants of both kernels on a shared worker-pool engine
+//     (ConnectedComponentsParallel, ShortestHopsParallel);
 //   - an instrumented machine model — 2-bit branch predictor, LRU cache
 //     hierarchy, per-microarchitecture cost model — that reproduces the
 //     paper's per-iteration hardware-event measurements (ProfileSV,
@@ -117,6 +119,27 @@ func ConnectedComponents(g *Graph, alg CCAlgorithm) ([]uint32, error) {
 // labeling from ConnectedComponents.
 func ComponentCount(labels []uint32) int { return cc.CountComponents(labels) }
 
+// ConnectedComponentsParallel is the data-parallel counterpart of
+// ConnectedComponents: Shiloach-Vishkin label propagation over
+// degree-balanced vertex ranges with a per-pass barrier (internal/par).
+// workers < 1 means GOMAXPROCS. The labeling is identical to the
+// sequential kernels'. CCUnionFind has no parallel form and is rejected.
+func ConnectedComponentsParallel(g *Graph, alg CCAlgorithm, workers int) ([]uint32, error) {
+	var variant cc.Variant
+	switch alg {
+	case CCBranchBased:
+		variant = cc.BranchBased
+	case CCBranchAvoiding:
+		variant = cc.BranchAvoiding
+	case CCHybrid:
+		variant = cc.Hybrid
+	default:
+		return nil, fmt.Errorf("bagraph: no parallel kernel for %v", alg)
+	}
+	labels, _ := cc.SVParallel(g, cc.ParallelOptions{Workers: workers, Variant: variant})
+	return labels, nil
+}
+
 // BFSVariant selects a breadth-first-search kernel.
 type BFSVariant int
 
@@ -146,12 +169,20 @@ func (v BFSVariant) String() string {
 	}
 }
 
+// checkRoot validates a BFS source vertex against the graph.
+func checkRoot(g *Graph, root uint32) error {
+	if g.NumVertices() > 0 && int(root) >= g.NumVertices() {
+		return fmt.Errorf("bagraph: root %d out of range for %d vertices", root, g.NumVertices())
+	}
+	return nil
+}
+
 // ShortestHops returns the hop distance from root to every vertex
 // (Unreached for vertices in other components). All variants produce
 // identical distances.
 func ShortestHops(g *Graph, root uint32, variant BFSVariant) ([]uint32, error) {
-	if g.NumVertices() > 0 && int(root) >= g.NumVertices() {
-		return nil, fmt.Errorf("bagraph: root %d out of range for %d vertices", root, g.NumVertices())
+	if err := checkRoot(g, root); err != nil {
+		return nil, err
 	}
 	switch variant {
 	case BFSBranchBased:
@@ -166,6 +197,18 @@ func ShortestHops(g *Graph, root uint32, variant BFSVariant) ([]uint32, error) {
 	default:
 		return nil, fmt.Errorf("bagraph: unknown BFS variant %v", variant)
 	}
+}
+
+// ShortestHopsParallel is the data-parallel counterpart of ShortestHops:
+// direction-optimizing BFS with per-worker top-down frontier queues and a
+// branch-avoiding bottom-up bitset sweep (internal/par). workers < 1
+// means GOMAXPROCS. Distances are identical to the sequential variants'.
+func ShortestHopsParallel(g *Graph, root uint32, workers int) ([]uint32, error) {
+	if err := checkRoot(g, root); err != nil {
+		return nil, err
+	}
+	dist, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Workers: workers})
+	return dist, nil
 }
 
 // Platforms returns the names of the simulated microarchitectures (the
@@ -258,8 +301,8 @@ func ProfileBFS(g *Graph, root uint32, platform string, branchAvoiding bool) (*P
 	if err != nil {
 		return nil, err
 	}
-	if g.NumVertices() > 0 && int(root) >= g.NumVertices() {
-		return nil, fmt.Errorf("bagraph: root %d out of range for %d vertices", root, g.NumVertices())
+	if err := checkRoot(g, root); err != nil {
+		return nil, err
 	}
 	m := perfsim.NewDefault(model)
 	var res simkern.BFSResult

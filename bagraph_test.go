@@ -65,6 +65,52 @@ func TestConnectedComponentsAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestConnectedComponentsParallelFacade(t *testing.T) {
+	g := ring(t, 200)
+	ref, err := ConnectedComponents(g, CCBranchBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []CCAlgorithm{CCBranchBased, CCBranchAvoiding, CCHybrid} {
+		for _, workers := range []int{0, 1, 4} {
+			labels, err := ConnectedComponentsParallel(g, alg, workers)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", alg, workers, err)
+			}
+			for v := range ref {
+				if labels[v] != ref[v] {
+					t.Fatalf("%v workers=%d: labels differ at %d", alg, workers, v)
+				}
+			}
+		}
+	}
+	if _, err := ConnectedComponentsParallel(g, CCUnionFind, 2); err == nil {
+		t.Fatal("union-find accepted by parallel facade")
+	}
+}
+
+func TestShortestHopsParallelFacade(t *testing.T) {
+	g := ring(t, 200)
+	ref, err := ShortestHops(g, 7, BFSBranchBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		dist, err := ShortestHopsParallel(g, 7, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for v := range ref {
+			if dist[v] != ref[v] {
+				t.Fatalf("workers=%d: distances differ at %d", workers, v)
+			}
+		}
+	}
+	if _, err := ShortestHopsParallel(g, 999, 2); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
 func TestCCAlgorithmStrings(t *testing.T) {
 	for _, alg := range []CCAlgorithm{CCBranchBased, CCBranchAvoiding, CCHybrid, CCUnionFind} {
 		if strings.HasPrefix(alg.String(), "CCAlgorithm(") {

@@ -18,12 +18,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"runtime"
 	"testing"
 
 	"bagraph/internal/bfs"
 	"bagraph/internal/cc"
 	"bagraph/internal/exp"
+	"bagraph/internal/gen"
 	"bagraph/internal/graph"
+	"bagraph/internal/par"
 	"bagraph/internal/perfsim"
 	"bagraph/internal/simkern"
 	"bagraph/internal/uarch"
@@ -254,6 +258,84 @@ func BenchmarkNativeBFS(b *testing.B) {
 			}
 			reportEdges(b, g.NumArcs())
 		})
+	}
+}
+
+// --- parallel kernels: speedup curves over worker counts ------------------
+
+// benchRMAT is the largest generated RMAT graph in the harness; the
+// parallel benchmarks sweep workers 1..GOMAXPROCS over it so speedup
+// curves come straight out of `go test -bench=Parallel`. -benchscale
+// grows it: scale 0.01 → RMAT-16, 0.1 → RMAT-19 (log2 growth).
+func benchRMAT(b *testing.B) *graph.Graph {
+	b.Helper()
+	scale := 16 + int(math.Round(math.Log2(*benchScale/0.01)))
+	if scale < 10 {
+		scale = 10
+	}
+	return gen.RMAT(scale, 8, gen.DefaultRMAT, 42)
+}
+
+// workerSweep returns 1, 2, 4, ... up to GOMAXPROCS (always including
+// GOMAXPROCS itself).
+func workerSweep() []int {
+	max := runtime.GOMAXPROCS(0)
+	var ws []int
+	for w := 1; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, max)
+}
+
+func BenchmarkParallelSV(b *testing.B) {
+	g := benchRMAT(b)
+	b.Run("sequential-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			labels, _ := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
+			if len(labels) == 0 {
+				b.Fatal("no labels")
+			}
+		}
+		reportEdges(b, g.NumArcs())
+	})
+	for _, w := range workerSweep() {
+		pool := par.NewPool(w)
+		b.Run(fmt.Sprintf("hybrid/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
+				if len(labels) == 0 {
+					b.Fatal("no labels")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		pool.Close()
+	}
+}
+
+func BenchmarkParallelBFS(b *testing.B) {
+	g := benchRMAT(b)
+	b.Run("sequential-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist, _ := bfs.DirectionOptimizing(g, 0, 0, 0)
+			if len(dist) == 0 {
+				b.Fatal("no distances")
+			}
+		}
+		reportEdges(b, g.NumArcs())
+	})
+	for _, w := range workerSweep() {
+		pool := par.NewPool(w)
+		b.Run(fmt.Sprintf("dir-opt/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dist, _ := bfs.ParallelDO(g, 0, bfs.ParallelOptions{Pool: pool})
+				if len(dist) == 0 {
+					b.Fatal("no distances")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		pool.Close()
 	}
 }
 

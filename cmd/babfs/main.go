@@ -5,6 +5,7 @@
 //
 //	babfs -in graph.metis -root 0 -variant ba
 //	bagen -kind grid3d -n 30000 | babfs -variant bb
+//	bagen -kind rmat -scale 17 | babfs -variant par-do -workers 8
 package main
 
 import (
@@ -20,7 +21,8 @@ import (
 func main() {
 	in := flag.String("in", "", "input METIS file (default: stdin)")
 	root := flag.Uint("root", 0, "source vertex")
-	variant := flag.String("variant", "ba", "kernel: bb | ba | dir-opt")
+	variant := flag.String("variant", "ba", "kernel: bb | ba | dir-opt | par-do")
+	workers := flag.Int("workers", 0, "workers for par-do (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -50,6 +52,8 @@ func main() {
 		dist, st = bfs.TopDownBranchAvoiding(g, uint32(*root))
 	case "dir-opt":
 		dist, st = bfs.DirectionOptimizing(g, uint32(*root), 0, 0)
+	case "par-do":
+		dist, st = bfs.ParallelDO(g, uint32(*root), bfs.ParallelOptions{Workers: *workers})
 	default:
 		fail(fmt.Errorf("unknown variant %q", *variant))
 	}

@@ -5,6 +5,7 @@
 //
 //	bacc -in graph.metis -algo sv-ba
 //	bagen -kind ba -n 20000 | bacc -algo hybrid
+//	bagen -kind rmat -scale 17 | bacc -algo par-hybrid -workers 8
 package main
 
 import (
@@ -20,8 +21,10 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input METIS file (default: stdin)")
-	algo := flag.String("algo", "sv-ba", "kernel: sv-bb | sv-ba | hybrid | unionfind")
+	algo := flag.String("algo", "sv-ba",
+		"kernel: sv-bb | sv-ba | hybrid | unionfind | par-bb | par-ba | par-hybrid")
 	top := flag.Int("top", 5, "print the N largest components")
+	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -50,6 +53,12 @@ func main() {
 		labels, st = cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
 	case "unionfind":
 		labels = cc.UnionFind(g)
+	case "par-bb":
+		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.BranchBased})
+	case "par-ba":
+		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.BranchAvoiding})
+	case "par-hybrid":
+		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.Hybrid})
 	default:
 		fail(fmt.Errorf("unknown algorithm %q", *algo))
 	}

@@ -1,0 +1,3 @@
+module bagraph
+
+go 1.22

@@ -1,0 +1,216 @@
+package bfs
+
+// Parallel direction-optimizing BFS on the internal/par engine.
+//
+// The two directions parallelize differently, and the split mirrors where
+// branches live:
+//
+//   - Top-down levels partition the frontier across workers. Discovery
+//     races (two workers reaching the same neighbor in one level) are
+//     resolved with a compare-and-swap on the distance slot; the winner
+//     appends the vertex to its own per-worker queue and the queues
+//     concatenate at the level barrier. CAS is inherently a branch, but
+//     the heuristic only picks top-down when the frontier is small, where
+//     the paper shows the branchy kernel is at its best anyway.
+//
+//   - Bottom-up levels partition the *vertex set* by degree-balanced
+//     ranges with 64-aligned boundaries, so each worker owns whole words
+//     of the next-frontier bitset and writes distances only inside its
+//     range: no atomics at all. The frontier membership probe — the
+//     unpredictable branch the paper's §5 measures — is computed
+//     branch-avoidingly by accumulating raw frontier bits (bitset.Bit)
+//     into a found mask. The scan exits once found is set: that exit
+//     branch is taken once per vertex and predicted correctly until then,
+//     so the data-dependent probe stays branch-free while keeping
+//     bottom-up's early-termination advantage.
+//
+// Direction switching uses the same Beamer frontier-volume heuristic as
+// the sequential DirectionOptimizing: bottom-up while the frontier's arc
+// volume exceeds |arcs|/alpha and its size exceeds |V|/beta.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bagraph/internal/bitset"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+)
+
+// ParallelOptions configures ParallelDO.
+type ParallelOptions struct {
+	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
+	Workers int
+	// Alpha and Beta are the direction-switch thresholds; <= 0 means the
+	// sequential kernel's defaults (15 and 18).
+	Alpha, Beta int
+	// Pool, when non-nil, supplies the worker pool (its size overrides
+	// Workers). The caller keeps ownership; ParallelDO will not close it.
+	Pool *par.Pool
+}
+
+// perWorkerLevel accumulates one worker's contribution to a level,
+// merged at the level barrier.
+type perWorkerLevel struct {
+	next        []uint32 // next-frontier queue (top-down)
+	count       int      // next-frontier size (bottom-up)
+	volume      int64    // arc volume of the produced frontier
+	distStores  uint64
+	queueStores uint64
+}
+
+// ParallelDO runs direction-optimizing BFS from root across workers and
+// returns the distance array, identical to the sequential kernels'.
+func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Stats) {
+	alpha := opt.Alpha
+	if alpha <= 0 {
+		alpha = 15
+	}
+	beta := opt.Beta
+	if beta <= 0 {
+		beta = 18
+	}
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var st Stats
+	if n == 0 {
+		return dist, st
+	}
+	pool := opt.Pool
+	if pool == nil {
+		pool = par.NewPool(opt.Workers)
+		defer pool.Close()
+	}
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	arcs := g.NumArcs()
+	// Vertex ranges for bottom-up sweeps: degree-balanced, 64-aligned so
+	// every worker owns whole bitset words.
+	vranges := par.Partition(offs, pool.Workers(), 64)
+
+	frontier := []uint32{root}
+	frontierBits := bitset.New(n)
+	nextBits := bitset.New(n)
+	bitsValid := false // whether frontierBits mirrors frontier
+	volume := int64(offs[root+1] - offs[root])
+	dist[root] = 0
+	st.DistStores++
+	st.QueueStores++
+
+	acc := make([]perWorkerLevel, pool.Workers())
+	level := uint32(0)
+
+	for len(frontier) > 0 {
+		start := time.Now()
+		st.LevelSizes = append(st.LevelSizes, len(frontier))
+		st.Reached += len(frontier)
+
+		bottomUp := volume > arcs/int64(alpha) && len(frontier) > n/beta
+		if bottomUp {
+			if !bitsValid {
+				frontierBits.Reset()
+				for _, v := range frontier {
+					frontierBits.Set(int(v))
+				}
+			}
+			nextBits.Reset()
+			pool.Run(len(vranges), func(t int) {
+				a := perWorkerLevel{}
+				r := vranges[t]
+				for v := r.Lo; v < r.Hi; v++ {
+					if dist[v] != Inf {
+						continue
+					}
+					found := uint32(0)
+					for _, w := range adj[offs[v]:offs[v+1]] {
+						found |= frontierBits.Bit(int(w))
+						if found != 0 {
+							break
+						}
+					}
+					if found != 0 {
+						dist[v] = level + 1
+						a.distStores++
+						nextBits.Set(v)
+						a.queueStores++
+						a.count++
+						a.volume += int64(offs[v+1] - offs[v])
+					}
+				}
+				acc[t] = a
+			})
+			nextLen := 0
+			volume = 0
+			for t := range acc {
+				nextLen += acc[t].count
+				volume += acc[t].volume
+				st.DistStores += acc[t].distStores
+				st.QueueStores += acc[t].queueStores
+				acc[t] = perWorkerLevel{}
+			}
+			frontierBits, nextBits = nextBits, frontierBits
+			bitsValid = true
+			// The next level needs a queue only if it runs top-down.
+			frontier = frontier[:0]
+			if nextLen > 0 && !(volume > arcs/int64(alpha) && nextLen > n/beta) {
+				frontier = appendSetBits(frontier, frontierBits)
+			} else {
+				frontier = appendN(frontier, nextLen)
+			}
+		} else {
+			chunks := par.PartitionSlice(len(frontier), pool.Workers())
+			pool.Run(len(chunks), func(t int) {
+				a := perWorkerLevel{}
+				next := level + 1
+				for _, v := range frontier[chunks[t].Lo:chunks[t].Hi] {
+					for _, w := range adj[offs[v]:offs[v+1]] {
+						if atomic.LoadUint32(&dist[w]) != Inf {
+							continue
+						}
+						if atomic.CompareAndSwapUint32(&dist[w], Inf, next) {
+							a.distStores++
+							a.next = append(a.next, w)
+							a.queueStores++
+							a.volume += int64(offs[w+1] - offs[w])
+						}
+					}
+				}
+				acc[t] = a
+			})
+			frontier = frontier[:0]
+			volume = 0
+			for t := range acc {
+				frontier = append(frontier, acc[t].next...)
+				volume += acc[t].volume
+				st.DistStores += acc[t].distStores
+				st.QueueStores += acc[t].queueStores
+				acc[t] = perWorkerLevel{}
+			}
+			bitsValid = false
+		}
+		level++
+		st.Levels++
+		st.LevelDurations = append(st.LevelDurations, time.Since(start))
+	}
+	return dist, st
+}
+
+// appendSetBits appends every set bit of s to dst in increasing order.
+func appendSetBits(dst []uint32, s *bitset.Set) []uint32 {
+	s.ForEach(func(i int) { dst = append(dst, uint32(i)) })
+	return dst
+}
+
+// appendN grows dst to length n with placeholder entries. Used when the
+// next level will run bottom-up and only the frontier *size* matters (the
+// membership lives in the bitset); it avoids materializing a queue that
+// would be thrown away.
+func appendN(dst []uint32, n int) []uint32 {
+	for len(dst) < n {
+		dst = append(dst, 0)
+	}
+	return dst
+}

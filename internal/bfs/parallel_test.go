@@ -1,0 +1,101 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+)
+
+func testCorpus(t testing.TB) []*graph.Graph {
+	t.Helper()
+	return []*graph.Graph{
+		gen.RMAT(10, 8, gen.DefaultRMAT, 1),
+		gen.RMAT(12, 4, gen.DefaultRMAT, 2),
+		gen.Grid2D(40, 40, false),
+		gen.Grid3D(12, 12, 12, 1),
+		gen.GNM(2000, 6000, 3),
+		gen.GNM(500, 400, 4), // sparse: BFS reaches only a fragment
+		gen.Disconnected(gen.GNM(300, 900, 5), 4),
+		gen.Star(100),
+		gen.Path(257),
+		graph.MustBuild(1, nil, graph.Options{}),
+	}
+}
+
+var workerCounts = []int{1, 2, 4, 8}
+
+func TestParallelDOMatchesSequential(t *testing.T) {
+	for _, g := range testCorpus(t) {
+		ref, _ := TopDownBranchBased(g, 0)
+		for _, workers := range workerCounts {
+			// Stress both heuristic regimes: default thresholds, and
+			// alpha/beta forcing bottom-up almost immediately.
+			for _, opt := range []ParallelOptions{
+				{Workers: workers},
+				{Workers: workers, Alpha: 1 << 20, Beta: 1 << 20},
+			} {
+				name := fmt.Sprintf("%s/w%d/a%d", g, workers, opt.Alpha)
+				dist, st := ParallelDO(g, 0, opt)
+				if len(dist) != len(ref) {
+					t.Fatalf("%s: %d distances, want %d", name, len(dist), len(ref))
+				}
+				for v := range dist {
+					if dist[v] != ref[v] {
+						t.Fatalf("%s: dist[%d] = %d, sequential %d", name, v, dist[v], ref[v])
+					}
+				}
+				if err := Verify(g, 0, dist); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				var reached int
+				for _, d := range dist {
+					if d != Inf {
+						reached++
+					}
+				}
+				if st.Reached != reached {
+					t.Fatalf("%s: Stats.Reached = %d, distance array says %d", name, st.Reached, reached)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelDONonZeroRoot(t *testing.T) {
+	g := gen.RMAT(11, 6, gen.DefaultRMAT, 6)
+	for _, root := range []uint32{1, 17, uint32(g.NumVertices() - 1)} {
+		ref, _ := TopDownBranchBased(g, root)
+		dist, _ := ParallelDO(g, root, ParallelOptions{Workers: 4})
+		for v := range dist {
+			if dist[v] != ref[v] {
+				t.Fatalf("root %d: dist[%d] = %d, want %d", root, v, dist[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestParallelDOSharedPool(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := gen.Grid3D(10, 10, 10, 1)
+	ref, _ := TopDownBranchBased(g, 0)
+	for run := 0; run < 3; run++ {
+		dist, _ := ParallelDO(g, 0, ParallelOptions{Pool: pool})
+		for v := range dist {
+			if dist[v] != ref[v] {
+				t.Fatalf("run %d: dist[%d] = %d, want %d", run, v, dist[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestParallelDOEmptyGraph(t *testing.T) {
+	g := graph.MustBuild(0, nil, graph.Options{})
+	dist, st := ParallelDO(g, 0, ParallelOptions{Workers: 2})
+	if len(dist) != 0 || st.Reached != 0 {
+		t.Fatalf("empty graph: dist=%v reached=%d", dist, st.Reached)
+	}
+}

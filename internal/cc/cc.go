@@ -296,20 +296,50 @@ func ViaBFS(g *graph.Graph) []uint32 {
 	return labels
 }
 
-// CountComponents returns the number of distinct labels.
+// CountComponents returns the number of distinct labels. Canonical
+// labelings keep every label below len(labels), so the tally is a flat
+// boolean array — no per-vertex hash probe (whose data-dependent probe
+// branches would be an own-goal in this repository); labels outside that
+// range spill to a map that stays empty in practice.
 func CountComponents(labels []uint32) int {
-	seen := make(map[uint32]struct{})
+	n := len(labels)
+	seen := make([]bool, n)
+	count := 0
+	var overflow map[uint32]struct{}
 	for _, l := range labels {
-		seen[l] = struct{}{}
+		if int(l) < n {
+			if !seen[l] {
+				seen[l] = true
+				count++
+			}
+		} else {
+			if overflow == nil {
+				overflow = make(map[uint32]struct{})
+			}
+			overflow[l] = struct{}{}
+		}
 	}
-	return len(seen)
+	return count + len(overflow)
 }
 
-// ComponentSizes returns the size of each component keyed by label.
+// ComponentSizes returns the size of each component keyed by label. The
+// per-vertex tally runs over a flat counter array (see CountComponents);
+// the map is materialized once per distinct label at the end.
 func ComponentSizes(labels []uint32) map[uint32]int {
+	n := len(labels)
+	tally := make([]int, n)
 	sizes := make(map[uint32]int)
 	for _, l := range labels {
-		sizes[l]++
+		if int(l) < n {
+			tally[l]++
+		} else {
+			sizes[l]++
+		}
+	}
+	for l, c := range tally {
+		if c > 0 {
+			sizes[uint32(l)] = c
+		}
 	}
 	return sizes
 }

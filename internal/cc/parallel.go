@@ -1,0 +1,163 @@
+package cc
+
+// Parallel Shiloach-Vishkin label propagation on the internal/par engine.
+//
+// The sequential kernels in cc.go propagate labels Gauss-Seidel style: a
+// label improved early in a pass is visible to later vertices of the same
+// pass. That in-pass dependency is what a parallel sweep must give up, so
+// SVParallel iterates Jacobi style over two label arrays: every worker
+// reads the previous pass's labels (immutable during the pass) and writes
+// only the labels of its own vertex range in the next array; the arrays
+// swap at the pass barrier. Reads and writes therefore never touch the
+// same array and no per-element atomic is needed — the pass barrier is
+// the only synchronization. Jacobi iteration may need more passes than
+// Gauss-Seidel (label information moves one hop per pass instead of
+// rippling within a pass), but it converges to the identical fixed point:
+// labels only decrease, and a labeling is stable exactly when both
+// endpoints of every edge agree, which forces the canonical component
+// minimum.
+//
+// One consequence is shared by all three inner-loop variants: because the
+// write array is two passes stale, every vertex's label is stored
+// unconditionally each pass, so LabelStores is Iterations × |V| even for
+// the branch-based loop (whose *comparisons* still branch — the property
+// the paper measures).
+
+import (
+	"time"
+
+	"bagraph/internal/core"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+)
+
+// Variant selects the inner loop of SVParallel.
+type Variant int
+
+const (
+	// BranchBased compares labels with a conditional branch per edge
+	// (the paper's Algorithm 2 comparison).
+	BranchBased Variant = iota
+	// BranchAvoiding computes the label minimum with arithmetic masks
+	// (Algorithm 3): no data-dependent branch in the pass.
+	BranchAvoiding
+	// Hybrid runs branch-avoiding passes while labels churn and switches
+	// to the branch-based loop once the per-pass change fraction drops
+	// below ParallelOptions.ChangeFraction (the paper's §6.2 crossover).
+	Hybrid
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case BranchBased:
+		return "branch-based"
+	case BranchAvoiding:
+		return "branch-avoiding"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// ParallelOptions configures SVParallel.
+type ParallelOptions struct {
+	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
+	Workers int
+	// Variant selects the inner loop (default BranchBased).
+	Variant Variant
+	// ChangeFraction is the Hybrid switch threshold (see HybridOptions);
+	// zero means the default of 2%.
+	ChangeFraction float64
+	// Pool, when non-nil, supplies the worker pool (its size overrides
+	// Workers). The caller keeps ownership; SVParallel will not close it.
+	Pool *par.Pool
+}
+
+// SVParallel runs data-parallel Shiloach-Vishkin label propagation and
+// returns the canonical min-id component labeling, identical to the
+// sequential kernels'. Vertex ranges are degree-balanced across workers;
+// each pass ends at a barrier where per-worker change counts merge and
+// the label buffers swap.
+func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
+	n := g.NumVertices()
+	var st Stats
+	if n == 0 {
+		return []uint32{}, st
+	}
+	pool := opt.Pool
+	if pool == nil {
+		pool = par.NewPool(opt.Workers)
+		defer pool.Close()
+	}
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	ranges := par.Partition(offs, pool.Workers(), 1)
+
+	prev := initLabels(n)
+	cur := make([]uint32, n)
+	perWorker := make([]int, len(ranges)) // change counts, merged at the barrier
+
+	threshold := opt.ChangeFraction
+	if threshold == 0 {
+		threshold = 0.02
+	}
+	avoiding := opt.Variant == BranchAvoiding || opt.Variant == Hybrid
+
+	for {
+		start := time.Now()
+		if avoiding {
+			pool.Run(len(ranges), func(t int) {
+				changed := 0
+				r := ranges[t]
+				for v := r.Lo; v < r.Hi; v++ {
+					cv := prev[v]
+					for _, u := range adj[offs[v]:offs[v+1]] {
+						cu := prev[u]
+						m := core.MaskLess32(cu, cv)
+						cv = core.Select32(m, cu, cv)
+					}
+					cur[v] = cv
+					changed += core.Bit(^core.MaskEqual32(cv^prev[v], 0))
+				}
+				perWorker[t] = changed
+			})
+		} else {
+			pool.Run(len(ranges), func(t int) {
+				changed := 0
+				r := ranges[t]
+				for v := r.Lo; v < r.Hi; v++ {
+					cv := prev[v]
+					for _, u := range adj[offs[v]:offs[v+1]] {
+						cu := prev[u]
+						if cu < cv {
+							cv = cu
+						}
+					}
+					cur[v] = cv
+					if cv != prev[v] {
+						changed++
+					}
+				}
+				perWorker[t] = changed
+			})
+		}
+		changed := 0
+		for _, c := range perWorker {
+			changed += c
+		}
+		st.IterDurations = append(st.IterDurations, time.Since(start))
+		st.IterChanges = append(st.IterChanges, changed)
+		st.Iterations++
+		st.LabelStores += uint64(n)
+		prev, cur = cur, prev
+		if changed == 0 {
+			break
+		}
+		if opt.Variant == Hybrid && avoiding && float64(changed) < threshold*float64(n) {
+			avoiding = false
+		}
+	}
+	return prev, st
+}

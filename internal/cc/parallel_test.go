@@ -1,0 +1,111 @@
+package cc
+
+import (
+	"fmt"
+	"testing"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+)
+
+// testCorpus spans the generator classes the paper's Table 2 stands in
+// for: skewed RMAT, road-like stencil lattices, and uniform random, plus
+// structural edge cases (disconnected, star, path, empty).
+func testCorpus(t testing.TB) []*graph.Graph {
+	t.Helper()
+	return []*graph.Graph{
+		gen.RMAT(10, 8, gen.DefaultRMAT, 1),
+		gen.RMAT(12, 4, gen.DefaultRMAT, 2),
+		gen.Grid2D(40, 40, false),
+		gen.Grid3D(12, 12, 12, 1),
+		gen.GNM(2000, 6000, 3),
+		gen.GNM(500, 400, 4), // sparse: many components
+		gen.Disconnected(gen.GNM(300, 900, 5), 4),
+		gen.Star(100),
+		gen.Path(257),
+		graph.MustBuild(0, nil, graph.Options{}),
+		graph.MustBuild(1, nil, graph.Options{}),
+	}
+}
+
+var workerCounts = []int{1, 2, 4, 8}
+
+func TestSVParallelMatchesSequential(t *testing.T) {
+	for _, g := range testCorpus(t) {
+		ref, _ := SVBranchBased(g)
+		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
+			for _, workers := range workerCounts {
+				name := fmt.Sprintf("%s/%s/w%d", g, variant, workers)
+				labels, st := SVParallel(g, ParallelOptions{Workers: workers, Variant: variant})
+				if len(labels) != len(ref) {
+					t.Fatalf("%s: %d labels, want %d", name, len(labels), len(ref))
+				}
+				for v := range labels {
+					if labels[v] != ref[v] {
+						t.Fatalf("%s: vertex %d labeled %d, sequential %d", name, v, labels[v], ref[v])
+					}
+				}
+				if g.NumVertices() > 0 {
+					if err := Verify(g, labels); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if st.Iterations == 0 {
+						t.Fatalf("%s: no passes recorded", name)
+					}
+					if st.IterChanges[len(st.IterChanges)-1] != 0 {
+						t.Fatalf("%s: final pass still changed labels", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSVParallelSharedPool(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := gen.RMAT(10, 8, gen.DefaultRMAT, 7)
+	ref, _ := SVBranchBased(g)
+	// Reuse one pool across runs; the kernel must not close it.
+	for run := 0; run < 3; run++ {
+		labels, _ := SVParallel(g, ParallelOptions{Pool: pool, Variant: Hybrid})
+		for v := range labels {
+			if labels[v] != ref[v] {
+				t.Fatalf("run %d: vertex %d labeled %d, want %d", run, v, labels[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		BranchBased: "branch-based", BranchAvoiding: "branch-avoiding",
+		Hybrid: "hybrid", Variant(42): "unknown",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestTalliesMatchParallelLabels(t *testing.T) {
+	g := gen.Disconnected(gen.GNM(400, 700, 9), 3)
+	labels, _ := SVParallel(g, ParallelOptions{Workers: 4, Variant: BranchAvoiding})
+	want := make(map[uint32]int)
+	for _, l := range labels {
+		want[l]++
+	}
+	if got := CountComponents(labels); got != len(want) {
+		t.Fatalf("CountComponents = %d, want %d", got, len(want))
+	}
+	sizes := ComponentSizes(labels)
+	if len(sizes) != len(want) {
+		t.Fatalf("ComponentSizes has %d entries, want %d", len(sizes), len(want))
+	}
+	for l, s := range want {
+		if sizes[l] != s {
+			t.Errorf("component %d: size %d, want %d", l, sizes[l], s)
+		}
+	}
+}
