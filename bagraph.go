@@ -35,6 +35,7 @@ import (
 	"bagraph/internal/exp"
 	"bagraph/internal/graph"
 	"bagraph/internal/metis"
+	"bagraph/internal/par"
 	"bagraph/internal/perfsim"
 	"bagraph/internal/simkern"
 	"bagraph/internal/uarch"
@@ -119,25 +120,85 @@ func ConnectedComponents(g *Graph, alg CCAlgorithm) ([]uint32, error) {
 // labeling from ConnectedComponents.
 func ComponentCount(labels []uint32) int { return cc.CountComponents(labels) }
 
+// ccVariant maps a facade algorithm to its parallel inner-loop variant.
+func ccVariant(alg CCAlgorithm) (cc.Variant, error) {
+	switch alg {
+	case CCBranchBased:
+		return cc.BranchBased, nil
+	case CCBranchAvoiding:
+		return cc.BranchAvoiding, nil
+	case CCHybrid:
+		return cc.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("bagraph: no parallel kernel for %v", alg)
+	}
+}
+
 // ConnectedComponentsParallel is the data-parallel counterpart of
 // ConnectedComponents: Shiloach-Vishkin label propagation over
 // degree-balanced vertex ranges with a per-pass barrier (internal/par).
 // workers < 1 means GOMAXPROCS. The labeling is identical to the
 // sequential kernels'. CCUnionFind has no parallel form and is rejected.
 func ConnectedComponentsParallel(g *Graph, alg CCAlgorithm, workers int) ([]uint32, error) {
-	var variant cc.Variant
-	switch alg {
-	case CCBranchBased:
-		variant = cc.BranchBased
-	case CCBranchAvoiding:
-		variant = cc.BranchAvoiding
-	case CCHybrid:
-		variant = cc.Hybrid
-	default:
-		return nil, fmt.Errorf("bagraph: no parallel kernel for %v", alg)
+	variant, err := ccVariant(alg)
+	if err != nil {
+		return nil, err
 	}
 	labels, _ := cc.SVParallel(g, cc.ParallelOptions{Workers: workers, Variant: variant})
 	return labels, nil
+}
+
+// WorkerPool is a persistent set of worker goroutines shared across
+// parallel kernel calls. Each ConnectedComponentsParallel or
+// ShortestHopsParallel call otherwise starts and stops its own pool;
+// query-serving workloads — many small kernels back to back — amortize
+// that startup by keeping one WorkerPool resident. A WorkerPool must be
+// released with Close.
+type WorkerPool struct {
+	pool *par.Pool
+}
+
+// NewWorkerPool starts a pool of the given size; workers < 1 means
+// GOMAXPROCS.
+func NewWorkerPool(workers int) *WorkerPool {
+	return &WorkerPool{pool: par.NewPool(workers)}
+}
+
+// Workers returns the pool size.
+func (p *WorkerPool) Workers() int { return p.pool.Workers() }
+
+// Close stops the worker goroutines. The pool must not be used after
+// Close; Close is idempotent.
+func (p *WorkerPool) Close() { p.pool.Close() }
+
+// ConnectedComponents runs the parallel CC kernel on the resident pool.
+// labels and scratch, when of length |V| and distinct, provide the
+// kernel's label double-buffer and suppress per-call allocations (the
+// returned labeling aliases one of them); pass nil to allocate.
+func (p *WorkerPool) ConnectedComponents(g *Graph, alg CCAlgorithm, labels, scratch []uint32) ([]uint32, error) {
+	variant, err := ccVariant(alg)
+	if err != nil {
+		return nil, err
+	}
+	out, _ := cc.SVParallel(g, cc.ParallelOptions{
+		Pool:    p.pool,
+		Variant: variant,
+		Labels:  labels,
+		Scratch: scratch,
+	})
+	return out, nil
+}
+
+// ShortestHops runs the parallel direction-optimizing BFS on the
+// resident pool. dist, when of length |V|, receives the distances and
+// suppresses the per-call result allocation (the returned slice aliases
+// it); pass nil to allocate.
+func (p *WorkerPool) ShortestHops(g *Graph, root uint32, dist []uint32) ([]uint32, error) {
+	if err := checkRoot(g, root); err != nil {
+		return nil, err
+	}
+	out, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Pool: p.pool, Dist: dist})
+	return out, nil
 }
 
 // BFSVariant selects a breadth-first-search kernel.

@@ -277,3 +277,96 @@ func TestRunExperimentFacade(t *testing.T) {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 }
+
+// TestFacadeErrorPaths pins the facade's rejection behaviour: source
+// validation (checkRoot) on every traversal entry point, unknown
+// enum values, and the parallel facade's union-find rejection.
+func TestFacadeErrorPaths(t *testing.T) {
+	g := ring(t, 8)
+
+	if _, err := ShortestHops(g, 8, BFSBranchBased); err == nil {
+		t.Fatal("out-of-range root accepted by ShortestHops")
+	}
+	if _, err := ShortestHops(g, 0, BFSVariant(99)); err == nil {
+		t.Fatal("unknown BFS variant accepted")
+	}
+	if _, err := ShortestHopsParallel(g, 100, 2); err == nil {
+		t.Fatal("out-of-range root accepted by ShortestHopsParallel")
+	}
+	if _, err := ProfileBFS(g, 8, "Haswell", false); err == nil {
+		t.Fatal("out-of-range root accepted by ProfileBFS")
+	}
+	if _, err := ConnectedComponents(g, CCAlgorithm(99)); err == nil {
+		t.Fatal("unknown CC algorithm accepted")
+	}
+	if _, err := ConnectedComponentsParallel(g, CCUnionFind, 2); err == nil {
+		t.Fatal("union-find accepted by the parallel facade")
+	}
+
+	// The empty graph accepts any root: there is nothing to range-check
+	// against and the kernels return empty results.
+	empty, err := NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := ShortestHops(empty, 3, BFSBranchAvoiding)
+	if err != nil || len(dist) != 0 {
+		t.Fatalf("empty graph: dist=%v err=%v", dist, err)
+	}
+}
+
+// TestWorkerPoolFacade exercises the resident-pool facade: results
+// match the one-shot parallel calls, caller buffers are reused, and
+// the error paths mirror the one-shot facade's.
+func TestWorkerPoolFacade(t *testing.T) {
+	g := ring(t, 64)
+	pool := NewWorkerPool(2)
+	defer pool.Close()
+	if pool.Workers() != 2 {
+		t.Fatalf("Workers() = %d", pool.Workers())
+	}
+
+	want, err := ConnectedComponentsParallel(g, CCHybrid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]uint32, 64)
+	scratch := make([]uint32, 64)
+	got, err := pool.ConnectedComponents(g, CCHybrid, labels, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &labels[0] && &got[0] != &scratch[0] {
+		t.Fatal("result does not alias a caller buffer")
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("labels[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+
+	wantDist, err := ShortestHopsParallel(g, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint32, 64)
+	gotDist, err := pool.ShortestHops(g, 5, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &gotDist[0] != &buf[0] {
+		t.Fatal("distances do not alias the caller buffer")
+	}
+	for v := range wantDist {
+		if gotDist[v] != wantDist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, gotDist[v], wantDist[v])
+		}
+	}
+
+	if _, err := pool.ConnectedComponents(g, CCUnionFind, nil, nil); err == nil {
+		t.Fatal("union-find accepted by the pool facade")
+	}
+	if _, err := pool.ShortestHops(g, 64, nil); err == nil {
+		t.Fatal("out-of-range root accepted by the pool facade")
+	}
+}

@@ -14,13 +14,35 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"bagraph"
 )
+
+// errTrackWriter records the first write failure. The experiment
+// runners print with fmt.Fprintf and drop its error, so a broken pipe
+// or full disk would otherwise exit 0 with truncated output; the
+// tracker surfaces the failure in the exit code.
+type errTrackWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *errTrackWriter) Write(p []byte) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n, err := t.w.Write(p)
+	if err != nil {
+		t.err = err
+	}
+	return n, err
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "exhibit to regenerate (see -list)")
@@ -45,8 +67,17 @@ func main() {
 	if *platforms != "" {
 		opt.Platforms = strings.Split(*platforms, ",")
 	}
-	if err := bagraph.RunExperiment(*experiment, os.Stdout, opt); err != nil {
+	tracked := &errTrackWriter{w: os.Stdout}
+	out := bufio.NewWriter(tracked)
+	if err := bagraph.RunExperiment(*experiment, out, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "baexp:", err)
+		os.Exit(1)
+	}
+	if err := out.Flush(); err != nil || tracked.err != nil {
+		if err == nil {
+			err = tracked.err
+		}
+		fmt.Fprintln(os.Stderr, "baexp: writing output:", err)
 		os.Exit(1)
 	}
 }

@@ -30,6 +30,16 @@ func NewWeightedGraph(n int, edges []WeightedEdge) (*WeightedGraph, error) {
 	return graph.BuildWeighted(n, edges, false, "")
 }
 
+// AttachWeights derives a weighted view of g, assigning every arc the
+// weight weight(u, v). The view shares g's CSR arrays; weight must be
+// symmetric for undirected graphs and positive for the SSSP kernels. Use
+// it to run weighted kernels over graphs loaded from unweighted formats
+// (METIS, the corpus) — e.g. unit weights: AttachWeights(g, func(u, v
+// uint32) uint32 { return 1 }).
+func AttachWeights(g *Graph, weight func(u, v uint32) uint32) (*WeightedGraph, error) {
+	return graph.AttachWeights(g, weight)
+}
+
 // SSSPAlgorithm selects a single-source shortest-path kernel.
 type SSSPAlgorithm int
 
@@ -63,18 +73,25 @@ func (a SSSPAlgorithm) String() string {
 // (InfDistance for unreachable vertices). All algorithms produce
 // identical distances.
 func ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm) ([]uint64, error) {
+	return ShortestPathsInto(g, src, alg, nil)
+}
+
+// ShortestPathsInto is ShortestPaths writing into dist when it has
+// length |V| (the returned slice aliases it); any other length
+// allocates. Long-lived callers reuse the buffer across queries.
+func ShortestPathsInto(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []uint64) ([]uint64, error) {
 	if g.NumVertices() > 0 && int(src) >= g.NumVertices() {
 		return nil, fmt.Errorf("bagraph: source %d out of range for %d vertices", src, g.NumVertices())
 	}
 	switch alg {
 	case SSSPBellmanFord:
-		dist, _ := sssp.BellmanFordBranchBased(g, src)
-		return dist, nil
+		out, _ := sssp.BellmanFordBranchBasedInto(g, src, dist)
+		return out, nil
 	case SSSPBellmanFordBranchAvoiding:
-		dist, _ := sssp.BellmanFordBranchAvoiding(g, src)
-		return dist, nil
+		out, _ := sssp.BellmanFordBranchAvoidingInto(g, src, dist)
+		return out, nil
 	case SSSPDijkstra:
-		return sssp.Dijkstra(g, src), nil
+		return sssp.DijkstraInto(g, src, dist), nil
 	default:
 		return nil, fmt.Errorf("bagraph: unknown SSSP algorithm %v", alg)
 	}

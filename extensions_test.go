@@ -121,3 +121,58 @@ func TestRunExtensionsExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestExtensionsErrorPaths pins the extension facade's rejections:
+// source validation, unknown enum values, unsupported APSP variants.
+func TestExtensionsErrorPaths(t *testing.T) {
+	w := weightedRing(t, 6)
+	if _, err := ShortestPaths(w, 6, SSSPDijkstra); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := ShortestPaths(w, 0, SSSPAlgorithm(99)); err == nil {
+		t.Fatal("unknown SSSP algorithm accepted")
+	}
+	g := ring(t, 6)
+	if _, err := AllPairsSummary(g, BFSDirectionOptimizing); err == nil {
+		t.Fatal("unsupported APSP variant accepted")
+	}
+}
+
+// TestShortestPathsIntoAndAttachWeights covers the reusable-buffer SSSP
+// entry point and the weighted-view constructor the daemon uses.
+func TestShortestPathsIntoAndAttachWeights(t *testing.T) {
+	g := ring(t, 10)
+	w, err := AttachWeights(g, func(u, v uint32) uint32 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ShortestPaths(w, 0, SSSPDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint64, 10)
+	for _, alg := range []SSSPAlgorithm{SSSPBellmanFord, SSSPBellmanFordBranchAvoiding, SSSPDijkstra} {
+		got, err := ShortestPathsInto(w, 0, alg, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &got[0] != &buf[0] {
+			t.Fatalf("%v: result does not alias the caller buffer", alg)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", alg, v, got[v], want[v])
+			}
+		}
+	}
+	// A wrong-size buffer allocates instead of clobbering.
+	small := make([]uint64, 3)
+	got, err := ShortestPathsInto(w, 0, SSSPDijkstra, small)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("wrong-size buffer: len=%d err=%v", len(got), err)
+	}
+	// Asymmetric weight functions are rejected on undirected graphs.
+	if _, err := AttachWeights(g, func(u, v uint32) uint32 { return u + 1 }); err == nil {
+		t.Fatal("asymmetric weights accepted")
+	}
+}

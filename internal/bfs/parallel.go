@@ -47,6 +47,11 @@ type ParallelOptions struct {
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; ParallelDO will not close it.
 	Pool *par.Pool
+	// Dist, when of length |V|, receives the distances and suppresses the
+	// per-call result allocation; its prior contents are overwritten. The
+	// returned slice aliases it. Long-lived callers (the serving layer)
+	// reuse this across queries.
+	Dist []uint32
 }
 
 // perWorkerLevel accumulates one worker's contribution to a level,
@@ -71,7 +76,10 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 		beta = 18
 	}
 	n := g.NumVertices()
-	dist := make([]uint32, n)
+	dist := opt.Dist
+	if dist == nil || len(dist) != n {
+		dist = make([]uint32, n)
+	}
 	for i := range dist {
 		dist[i] = Inf
 	}
@@ -207,10 +215,11 @@ func appendSetBits(dst []uint32, s *bitset.Set) []uint32 {
 // appendN grows dst to length n with placeholder entries. Used when the
 // next level will run bottom-up and only the frontier *size* matters (the
 // membership lives in the bitset); it avoids materializing a queue that
-// would be thrown away.
+// would be thrown away. Existing capacity is resliced without clearing —
+// the contents are never read.
 func appendN(dst []uint32, n int) []uint32 {
-	for len(dst) < n {
-		dst = append(dst, 0)
+	if cap(dst) >= n {
+		return dst[:n]
 	}
-	return dst
+	return make([]uint32, n)
 }

@@ -73,6 +73,12 @@ type ParallelOptions struct {
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; SVParallel will not close it.
 	Pool *par.Pool
+	// Labels and Scratch, when of length |V| and distinct, provide the
+	// label double-buffer and suppress the per-call allocations. The
+	// returned labeling aliases one of them; their prior contents are
+	// overwritten. Long-lived callers (the serving layer) reuse these
+	// across queries.
+	Labels, Scratch []uint32
 }
 
 // SVParallel runs data-parallel Shiloach-Vishkin label propagation and
@@ -95,8 +101,17 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
 	offs := g.Offsets()
 	ranges := par.Partition(offs, pool.Workers(), 1)
 
-	prev := initLabels(n)
-	cur := make([]uint32, n)
+	prev := opt.Labels
+	if len(prev) != n {
+		prev = make([]uint32, n)
+	}
+	for i := range prev {
+		prev[i] = uint32(i)
+	}
+	cur := opt.Scratch
+	if len(cur) != n || &cur[0] == &prev[0] {
+		cur = make([]uint32, n)
+	}
 	perWorker := make([]int, len(ranges)) // change counts, merged at the barrier
 
 	threshold := opt.ChangeFraction

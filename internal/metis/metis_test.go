@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"bagraph/internal/corpus"
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 )
@@ -117,5 +118,57 @@ func TestWriteEmitsNameComment(t *testing.T) {
 	}
 	if !strings.HasPrefix(buf.String(), "% path3\n") {
 		t.Fatalf("output missing name comment: %q", buf.String())
+	}
+}
+
+// TestRoundTripCorpusShapes drives Write→Read equality on the corpus
+// stand-ins — skewed preferential-attachment and stencil-mesh shapes,
+// much larger than the toy graphs above — asserting full edge-list
+// equality and name preservation through the comment header.
+func TestRoundTripCorpusShapes(t *testing.T) {
+	for _, name := range corpus.Names() {
+		d, ok := corpus.ByName(name)
+		if !ok {
+			t.Fatalf("corpus graph %q missing", name)
+		}
+		g := d.Generate(0.005, 17)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		h, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read back: %v", name, err)
+		}
+		a, b := g.EdgeList(), h.EdgeList()
+		if len(a) != len(b) {
+			t.Fatalf("%s: edge count changed: %d -> %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edge %d changed: %v -> %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestRoundTripEmptyAndEdgeless covers the degenerate headers: zero
+// vertices, and vertices without edges.
+func TestRoundTripEmptyAndEdgeless(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.MustBuild(0, nil, graph.Options{}),
+		graph.MustBuild(7, nil, graph.Options{}),
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g, err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", g, err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumEdges() != 0 {
+			t.Fatalf("%s: round trip changed size to %s", g, h)
+		}
 	}
 }

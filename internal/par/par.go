@@ -70,9 +70,8 @@ func Partition(offs []int64, parts, align int) []Range {
 		ranges = append(ranges, Range{lo, hi})
 		lo = hi
 	}
-	if lo < n {
-		ranges = append(ranges, Range{lo, n})
-	}
+	// The k == parts arm pins hi to n, so the loop always exits with
+	// lo == n: the ranges cover [0, n) exactly.
 	return ranges
 }
 

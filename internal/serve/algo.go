@@ -1,0 +1,146 @@
+package serve
+
+// Per-request algorithm selection. Query bodies name kernels with the
+// same strings the bacc/babfs command lines use; the tables below
+// canonicalize aliases (so "bb" and "sv-bb" coalesce into one batch key)
+// and dispatch to exactly the kernels the facade enums map to, which is
+// what keeps daemon responses byte-identical to direct library calls.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/cc"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+	"bagraph/internal/sssp"
+)
+
+// ccAliases maps accepted CC algorithm names to their canonical form.
+// The empty string selects the serving default: the parallel hybrid,
+// the paper's §6.2 recommendation on a warm pool.
+var ccAliases = map[string]string{
+	"":           "par-hybrid",
+	"bb":         "sv-bb",
+	"sv-bb":      "sv-bb",
+	"ba":         "sv-ba",
+	"sv-ba":      "sv-ba",
+	"hybrid":     "hybrid",
+	"sv-hybrid":  "hybrid",
+	"unionfind":  "unionfind",
+	"par-bb":     "par-bb",
+	"par-ba":     "par-ba",
+	"par-hybrid": "par-hybrid",
+}
+
+// bfsAliases maps accepted BFS variant names to their canonical form.
+var bfsAliases = map[string]string{
+	"":        "par-do",
+	"bb":      "bb",
+	"ba":      "ba",
+	"dir-opt": "dir-opt",
+	"par-do":  "par-do",
+}
+
+// ssspAliases maps accepted SSSP algorithm names to their canonical
+// form.
+var ssspAliases = map[string]string{
+	"":             "ba",
+	"bb":           "bb",
+	"bellman-ford": "bb",
+	"ba":           "ba",
+	"dijkstra":     "dijkstra",
+}
+
+// canon resolves an algorithm name against an alias table.
+func canon(aliases map[string]string, name, family string) (string, error) {
+	c, ok := aliases[name]
+	if !ok {
+		known := make([]string, 0, len(aliases))
+		for k := range aliases {
+			if k != "" {
+				known = append(known, k)
+			}
+		}
+		sort.Strings(known)
+		return "", fmt.Errorf("unknown %s algorithm %q (known: %s)", family, name, strings.Join(known, " "))
+	}
+	return c, nil
+}
+
+// usesPool reports whether a canonical algorithm runs its own passes on
+// the shared worker pool. Such kernels must not be dispatched from
+// inside pool.Run — the nested submit would wait on workers that are
+// busy running it — so the batcher runs them back to back, each one
+// owning the whole pool (intra-query parallelism), and fans out only
+// the sequential kernels (inter-query parallelism).
+func usesPool(algo string) bool { return strings.HasPrefix(algo, "par-") }
+
+// runCC executes a canonical CC algorithm and returns the min-id
+// component labeling.
+func runCC(algo string, g *graph.Graph, pool *par.Pool) ([]uint32, error) {
+	switch algo {
+	case "sv-bb":
+		labels, _ := cc.SVBranchBased(g)
+		return labels, nil
+	case "sv-ba":
+		labels, _ := cc.SVBranchAvoiding(g)
+		return labels, nil
+	case "hybrid":
+		labels, _ := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
+		return labels, nil
+	case "unionfind":
+		return cc.UnionFind(g), nil
+	case "par-bb":
+		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.BranchBased})
+		return labels, nil
+	case "par-ba":
+		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.BranchAvoiding})
+		return labels, nil
+	case "par-hybrid":
+		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
+		return labels, nil
+	default:
+		return nil, fmt.Errorf("unknown CC algorithm %q", algo)
+	}
+}
+
+// runBFS executes a canonical BFS variant and returns the hop distances
+// (bfs.Inf for unreached vertices).
+func runBFS(algo string, g *graph.Graph, root uint32, pool *par.Pool) ([]uint32, error) {
+	switch algo {
+	case "bb":
+		dist, _ := bfs.TopDownBranchBased(g, root)
+		return dist, nil
+	case "ba":
+		dist, _ := bfs.TopDownBranchAvoiding(g, root)
+		return dist, nil
+	case "dir-opt":
+		dist, _ := bfs.DirectionOptimizing(g, root, 0, 0)
+		return dist, nil
+	case "par-do":
+		dist, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Pool: pool})
+		return dist, nil
+	default:
+		return nil, fmt.Errorf("unknown BFS variant %q", algo)
+	}
+}
+
+// runSSSP executes a canonical SSSP algorithm over the unit-weight view
+// and returns the weighted distances (sssp.Inf for unreached vertices).
+func runSSSP(algo string, w *graph.Weighted, root uint32) ([]uint64, error) {
+	switch algo {
+	case "bb":
+		dist, _ := sssp.BellmanFordBranchBased(w, root)
+		return dist, nil
+	case "ba":
+		dist, _ := sssp.BellmanFordBranchAvoiding(w, root)
+		return dist, nil
+	case "dijkstra":
+		return sssp.Dijkstra(w, root), nil
+	default:
+		return nil, fmt.Errorf("unknown SSSP algorithm %q", algo)
+	}
+}

@@ -1,0 +1,233 @@
+package serve
+
+// The batching dispatcher. The paper's branch-avoiding kernels win
+// exactly when per-query work is small — a BFS on a mid-size graph is
+// milliseconds — which makes a query-serving daemon pay more for
+// per-request goroutine churn and cold pools than for the traversal
+// itself. The dispatcher amortizes that: concurrent traversal requests
+// against the same (graph, kind, algorithm) are coalesced for a short
+// window into one batch, and the batch of source vertices is fanned out
+// across the one resident worker pool. Kernels that parallelize
+// internally (par-*) instead run back to back, each owning the whole
+// pool. CC queries have no per-request source, so they coalesce harder:
+// concurrent identical queries share a single kernel run and the label
+// array is cached on the graph entry until its epoch is retired.
+
+import (
+	"sync"
+	"time"
+
+	"bagraph/internal/cc"
+	"bagraph/internal/par"
+)
+
+// kind separates the two traversal families a batch can hold.
+type kind int
+
+const (
+	kindBFS kind = iota
+	kindSSSP
+)
+
+// Request is one traversal query: a source vertex against a resident
+// graph with a canonical algorithm name.
+type Request struct {
+	entry *Entry
+	kind  kind
+	algo  string
+	root  uint32
+	done  chan Result
+}
+
+// Result is the outcome of one batched traversal. Exactly one of Hops
+// and Dists is set, matching the request kind.
+type Result struct {
+	// Hops are BFS hop distances (bfs.Inf sentinel for unreached).
+	Hops []uint32
+	// Dists are weighted SSSP distances (sssp.Inf sentinel).
+	Dists []uint64
+	// Batch is the number of requests dispatched together, the
+	// coalescing observability hook the tests and clients read.
+	Batch int
+	// Err is the per-request failure, if any.
+	Err error
+}
+
+// batchKey identifies the batch a request may join: same graph entry
+// (and therefore same epoch), same traversal kind, same canonical
+// algorithm.
+type batchKey struct {
+	entry *Entry
+	kind  kind
+	algo  string
+}
+
+// pendingBatch accumulates requests until the window timer fires or the
+// batch fills.
+type pendingBatch struct {
+	key     batchKey
+	reqs    []*Request
+	timer   *time.Timer
+	flushed bool
+}
+
+// Batcher owns the worker pool and the pending-batch table.
+type Batcher struct {
+	pool     *par.Pool
+	maxBatch int
+	window   time.Duration
+
+	mu      sync.Mutex
+	pending map[batchKey]*pendingBatch
+}
+
+// NewBatcher starts a dispatcher over a pool of the given size
+// (workers < 1 means GOMAXPROCS). maxBatch < 1 defaults to 32. A
+// positive window holds the first request of a batch that long for
+// company before dispatching; window <= 0 dispatches every request
+// immediately on its own (no coalescing).
+func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 32
+	}
+	return &Batcher{
+		pool:     par.NewPool(workers),
+		maxBatch: maxBatch,
+		window:   window,
+		pending:  make(map[batchKey]*pendingBatch),
+	}
+}
+
+// Workers returns the resident pool size.
+func (b *Batcher) Workers() int { return b.pool.Workers() }
+
+// Close releases the worker pool. In-flight dispatches must have
+// drained; the HTTP server's shutdown guarantees that.
+func (b *Batcher) Close() { b.pool.Close() }
+
+// BFS enqueues a BFS query and blocks until its batch is dispatched.
+// algo must be canonical (see bfsAliases) and root in range.
+func (b *Batcher) BFS(e *Entry, algo string, root uint32) Result {
+	return b.traverse(&Request{entry: e, kind: kindBFS, algo: algo, root: root})
+}
+
+// SSSP enqueues a unit-weight SSSP query and blocks until its batch is
+// dispatched. algo must be canonical (see ssspAliases) and root in
+// range.
+func (b *Batcher) SSSP(e *Entry, algo string, root uint32) Result {
+	return b.traverse(&Request{entry: e, kind: kindSSSP, algo: algo, root: root})
+}
+
+// CC returns the component labeling and count for (e, algo), computing
+// it at most once per graph epoch: concurrent identical queries block
+// on the same sync.Once and share the result, later ones are served
+// from the entry's cache. shared reports whether this call reused a
+// computation started by another request (or an earlier one). The
+// returned labels are shared and must not be mutated.
+func (b *Batcher) CC(e *Entry, algo string) (labels []uint32, components int, shared bool, err error) {
+	e.ccMu.Lock()
+	res, ok := e.ccCache[algo]
+	if !ok {
+		res = &ccResult{}
+		e.ccCache[algo] = res
+	}
+	e.ccMu.Unlock()
+	first := false
+	res.once.Do(func() {
+		first = true
+		res.labels, res.err = runCC(algo, e.Graph(), b.pool)
+		if res.err == nil {
+			res.components = cc.CountComponents(res.labels)
+		}
+	})
+	return res.labels, res.components, !first, res.err
+}
+
+// traverse joins (or opens) the pending batch for the request's key and
+// waits for the dispatch to deliver its result.
+func (b *Batcher) traverse(req *Request) Result {
+	req.done = make(chan Result, 1)
+	key := batchKey{entry: req.entry, kind: req.kind, algo: req.algo}
+
+	b.mu.Lock()
+	pb := b.pending[key]
+	if pb == nil {
+		pb = &pendingBatch{key: key}
+		b.pending[key] = pb
+		if b.window > 0 {
+			pb.timer = time.AfterFunc(b.window, func() { b.flushTimed(pb) })
+		}
+	}
+	pb.reqs = append(pb.reqs, req)
+	var dispatch []*Request
+	if len(pb.reqs) >= b.maxBatch || b.window <= 0 {
+		dispatch = b.takeLocked(pb)
+	}
+	b.mu.Unlock()
+
+	if dispatch != nil {
+		b.dispatch(key, dispatch)
+	}
+	return <-req.done
+}
+
+// takeLocked claims a pending batch for dispatch. Callers hold b.mu.
+func (b *Batcher) takeLocked(pb *pendingBatch) []*Request {
+	if pb.flushed {
+		return nil
+	}
+	pb.flushed = true
+	if pb.timer != nil {
+		pb.timer.Stop()
+	}
+	delete(b.pending, pb.key)
+	return pb.reqs
+}
+
+// flushTimed is the window-timer path: claim the batch if the size
+// trigger has not already done so.
+func (b *Batcher) flushTimed(pb *pendingBatch) {
+	b.mu.Lock()
+	reqs := b.takeLocked(pb)
+	b.mu.Unlock()
+	if reqs != nil {
+		b.dispatch(pb.key, reqs)
+	}
+}
+
+// dispatch runs one claimed batch and delivers per-request results.
+// Sequential kernels fan out across the pool — the batch of sources is
+// the unit of parallelism; pool-using kernels run back to back, each
+// parallelizing internally (a nested pool.Run would deadlock on its own
+// workers).
+func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
+	n := len(reqs)
+	results := make([]Result, n)
+	if usesPool(key.algo) {
+		for i, r := range reqs {
+			results[i] = b.runOne(r)
+		}
+	} else {
+		b.pool.Run(n, func(i int) { results[i] = b.runOne(reqs[i]) })
+	}
+	for i, r := range reqs {
+		results[i].Batch = n
+		r.done <- results[i]
+	}
+}
+
+// runOne executes a single traversal.
+func (b *Batcher) runOne(r *Request) Result {
+	switch r.kind {
+	case kindSSSP:
+		w, err := r.entry.Weighted()
+		if err != nil {
+			return Result{Err: err}
+		}
+		dist, err := runSSSP(r.algo, w, r.root)
+		return Result{Dists: dist, Err: err}
+	default:
+		dist, err := runBFS(r.algo, r.entry.Graph(), r.root, b.pool)
+		return Result{Hops: dist, Err: err}
+	}
+}

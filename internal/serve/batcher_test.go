@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/cc"
+	"bagraph/internal/gen"
+	"bagraph/internal/sssp"
+)
+
+// newTestEntry publishes a mid-size generated graph (disconnected, so
+// sentinel handling is exercised) in a fresh registry.
+func newTestEntry(t testing.TB) *Entry {
+	t.Helper()
+	r := NewRegistry()
+	g := gen.GNM(400, 900, 11)
+	e, err := r.Add("gnm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestBatcherCoalescesBFS fires maxBatch concurrent queries with a long
+// window: the size trigger must dispatch them as one batch and every
+// response must match the sequential oracle.
+func TestBatcherCoalescesBFS(t *testing.T) {
+	e := newTestEntry(t)
+	const k = 8
+	b := NewBatcher(2, k, 5*time.Second)
+	defer b.Close()
+
+	results := make([]Result, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.BFS(e, "ba", uint32(i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("root %d: %v", i, res.Err)
+		}
+		if res.Batch != k {
+			t.Fatalf("root %d dispatched in batch of %d, want %d", i, res.Batch, k)
+		}
+		want, _ := bfs.TopDownBranchAvoiding(e.Graph(), uint32(i))
+		for v := range want {
+			if res.Hops[v] != want[v] {
+				t.Fatalf("root %d: dist[%d] = %d, want %d", i, v, res.Hops[v], want[v])
+			}
+		}
+	}
+}
+
+// TestBatcherSeparatesKeys checks that different algorithms never share
+// a batch even when concurrent.
+func TestBatcherSeparatesKeys(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(2, 16, 50*time.Millisecond)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var ba, bb Result
+	wg.Add(2)
+	go func() { defer wg.Done(); ba = b.BFS(e, "ba", 0) }()
+	go func() { defer wg.Done(); bb = b.BFS(e, "bb", 0) }()
+	wg.Wait()
+	if ba.Err != nil || bb.Err != nil {
+		t.Fatalf("errs: %v %v", ba.Err, bb.Err)
+	}
+	if ba.Batch != 1 || bb.Batch != 1 {
+		t.Fatalf("distinct algorithms coalesced: batches %d and %d", ba.Batch, bb.Batch)
+	}
+}
+
+// TestBatcherImmediateWindow covers the window <= 0 fast path: requests
+// dispatch inline without waiting.
+func TestBatcherImmediateWindow(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(1, 4, -1)
+	defer b.Close()
+	res := b.BFS(e, "par-do", 3)
+	if res.Err != nil || res.Batch != 1 {
+		t.Fatalf("immediate dispatch: batch %d err %v", res.Batch, res.Err)
+	}
+	want, _ := bfs.ParallelDO(e.Graph(), 3, bfs.ParallelOptions{Workers: 1})
+	for v := range want {
+		if res.Hops[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, res.Hops[v], want[v])
+		}
+	}
+}
+
+// TestBatcherSSSP checks the weighted family end to end: unit-weight
+// distances from the batcher equal the Dijkstra oracle on the shared
+// view.
+func TestBatcherSSSP(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(2, 4, -1)
+	defer b.Close()
+	for _, algo := range []string{"bb", "ba", "dijkstra"} {
+		res := b.SSSP(e, algo, 5)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", algo, res.Err)
+		}
+		w, err := e.Weighted()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sssp.Dijkstra(w, 5)
+		for v := range want {
+			if res.Dists[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", algo, v, res.Dists[v], want[v])
+			}
+		}
+	}
+}
+
+// TestBatcherCCCoalescesAndCaches checks the CC path: one kernel run
+// per (entry, algorithm) epoch, shared labels, and independent cache
+// slots per algorithm.
+func TestBatcherCCCoalescesAndCaches(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(2, 4, -1)
+	defer b.Close()
+
+	labels1, comps1, shared1, err := b.CC(e, "par-hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared1 {
+		t.Fatal("first CC query reported shared")
+	}
+	labels2, comps2, shared2, err := b.CC(e, "par-hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shared2 {
+		t.Fatal("second CC query recomputed")
+	}
+	if &labels1[0] != &labels2[0] || comps1 != comps2 {
+		t.Fatal("cached CC result not shared")
+	}
+	want, _ := cc.SVBranchBased(e.Graph())
+	for v := range want {
+		if labels1[v] != want[v] {
+			t.Fatalf("labels[%d] = %d, want %d", v, labels1[v], want[v])
+		}
+	}
+	if comps1 != cc.CountComponents(want) {
+		t.Fatalf("components = %d, want %d", comps1, cc.CountComponents(want))
+	}
+
+	// A different algorithm gets its own slot (fresh computation).
+	_, _, sharedOther, err := b.CC(e, "unionfind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedOther {
+		t.Fatal("distinct algorithm shared a cache slot")
+	}
+
+	// Concurrent identical queries coalesce onto one run.
+	e2 := newTestEntry(t)
+	const k = 6
+	sharedCount := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, shared, err := b.CC(e2, "hybrid")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if shared {
+				sharedCount++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if sharedCount != k-1 {
+		t.Fatalf("shared count = %d, want %d (exactly one computation)", sharedCount, k-1)
+	}
+}
+
+// TestReplaceInvalidatesCCCache checks epoch-based invalidation: a
+// replaced graph starts with an empty cache.
+func TestReplaceInvalidatesCCCache(t *testing.T) {
+	r := NewRegistry()
+	e1, err := r.Add("g", gen.Path(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(1, 4, -1)
+	defer b.Close()
+	if _, _, shared, err := b.CC(e1, "hybrid"); err != nil || shared {
+		t.Fatalf("first query: shared=%v err=%v", shared, err)
+	}
+	e2, err := r.Replace("g", gen.Star(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Epoch() != e1.Epoch()+1 {
+		t.Fatalf("epoch = %d, want %d", e2.Epoch(), e1.Epoch()+1)
+	}
+	_, comps, shared, err := b.CC(e2, "hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared {
+		t.Fatal("replaced graph served a stale cache")
+	}
+	if comps != 1 {
+		t.Fatalf("star components = %d, want 1", comps)
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+// BenchmarkServeBatch measures the serving-layer thesis: for small
+// frequent queries — the regime where the paper's branch-avoiding
+// kernels matter — dispatching a coalesced batch through the resident
+// engine beats spawning a goroutine per request. Two families:
+//
+//   - bfs/*: k distinct sources, batched fan-out over the warm pool vs
+//     k independent goroutines. The gap is pool parallelism plus
+//     scheduler churn, so on single-core CI runners it narrows to
+//     noise — per the ROADMAP, speedups are reported, never asserted.
+//   - cc/*: k identical component queries. Coalescing collapses them
+//     into one kernel run per epoch, so batched wins by ~k on any
+//     hardware; this is the daemon's structural advantage, independent
+//     of core count.
+//
+// The RMAT graph is kept small (scale 10) on purpose: serving-shaped
+// queries are the small frequent ones.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+)
+
+// benchGraph builds the skewed RMAT shape the parallel engine
+// benchmarks use, at query-serving size.
+func benchGraph() *graph.Graph {
+	return gen.RMAT(10, 8, gen.DefaultRMAT, 42)
+}
+
+func BenchmarkServeBatch(b *testing.B) {
+	g := benchGraph()
+	r := NewRegistry()
+	e, err := r.Add("rmat", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint32(g.NumVertices())
+	for _, k := range []int{1, 8, 32} {
+		roots := make([]uint32, k)
+		for i := range roots {
+			roots[i] = uint32(i*977) % n
+		}
+
+		// Batched BFS: one claimed batch of k sources fanned across
+		// the resident pool — the dispatcher's steady-state hot path.
+		b.Run(fmt.Sprintf("bfs/batched/k=%d", k), func(b *testing.B) {
+			bt := NewBatcher(0, k, -1)
+			defer bt.Close()
+			key := batchKey{entry: e, kind: kindBFS, algo: "ba"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reqs := make([]*Request, k)
+				for j := range reqs {
+					reqs[j] = &Request{
+						entry: e, kind: kindBFS, algo: "ba", root: roots[j],
+						done: make(chan Result, 1),
+					}
+				}
+				bt.dispatch(key, reqs)
+				for _, req := range reqs {
+					res := <-req.done
+					if res.Err != nil || len(res.Hops) == 0 {
+						b.Fatal("bad result")
+					}
+				}
+			}
+			reportQueries(b, k)
+		})
+
+		// Spawned BFS: the model the daemon replaces — one goroutine
+		// per request.
+		b.Run(fmt.Sprintf("bfs/spawned/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < k; j++ {
+					wg.Add(1)
+					go func(root uint32) {
+						defer wg.Done()
+						dist, _ := bfs.TopDownBranchAvoiding(g, root)
+						if len(dist) == 0 {
+							b.Error("bad result")
+						}
+					}(roots[j])
+				}
+				wg.Wait()
+			}
+			reportQueries(b, k)
+		})
+
+		// Batched CC: k concurrent identical queries coalesce into one
+		// kernel run per graph epoch (a fresh epoch each iteration so
+		// every iteration pays exactly one computation).
+		b.Run(fmt.Sprintf("cc/batched/k=%d", k), func(b *testing.B) {
+			bt := NewBatcher(0, k, -1)
+			defer bt.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh, err := r.Replace("rmat", g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var wg sync.WaitGroup
+				for j := 0; j < k; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, comps, _, err := bt.CC(fresh, "hybrid"); err != nil || comps == 0 {
+							b.Error("bad result")
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			reportQueries(b, k)
+		})
+
+		// Spawned CC: without coalescing every request runs the kernel.
+		b.Run(fmt.Sprintf("cc/spawned/k=%d", k), func(b *testing.B) {
+			bt := NewBatcher(0, k, -1)
+			defer bt.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < k; j++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						labels, err := runCC("hybrid", g, bt.pool)
+						if err != nil || len(labels) == 0 {
+							b.Error("bad result")
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			reportQueries(b, k)
+		})
+	}
+}
+
+// BenchmarkServeCCCache measures the epoch cache: the steady-state cost
+// of a CC query is a map hit, not a kernel run.
+func BenchmarkServeCCCache(b *testing.B) {
+	r := NewRegistry()
+	e, err := r.Add("rmat", benchGraph())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt := NewBatcher(0, 4, -1)
+	defer bt.Close()
+	if _, _, _, err := bt.CC(e, "par-hybrid"); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, shared, err := bt.CC(e, "par-hybrid")
+		if err != nil || !shared {
+			b.Fatal("cache miss")
+		}
+	}
+}
+
+// reportQueries normalizes throughput to queries per second.
+func reportQueries(b *testing.B, k int) {
+	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}

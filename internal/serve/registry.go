@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"bagraph/internal/corpus"
+	"bagraph/internal/graph"
+	"bagraph/internal/metis"
+)
+
+// Entry is one named graph resident in the daemon: the immutable CSR
+// graph, a lazily derived unit-weight view for the weighted kernels,
+// and the per-epoch connected-components cache. Entries are immutable
+// once published; Registry.Replace swaps in a fresh Entry under the
+// same name with a bumped epoch, which retires the old entry's caches
+// wholesale.
+type Entry struct {
+	name  string
+	epoch uint64
+	g     *graph.Graph
+
+	wOnce    sync.Once
+	weighted *graph.Weighted
+	wErr     error
+
+	ccMu    sync.Mutex
+	ccCache map[string]*ccResult
+}
+
+// ccResult is one cached CC computation; the sync.Once coalesces
+// concurrent identical queries into a single kernel run.
+type ccResult struct {
+	once       sync.Once
+	labels     []uint32
+	components int
+	err        error
+}
+
+// Name returns the registry name.
+func (e *Entry) Name() string { return e.name }
+
+// Graph returns the resident CSR graph.
+func (e *Entry) Graph() *graph.Graph { return e.g }
+
+// Epoch returns the entry's load generation; it increments each time
+// the name is replaced, and retires cached results from prior epochs.
+func (e *Entry) Epoch() uint64 { return e.epoch }
+
+// Weighted returns the unit-weight view used by the SSSP kernels,
+// derived on first use and shared by all subsequent queries.
+func (e *Entry) Weighted() (*graph.Weighted, error) {
+	e.wOnce.Do(func() {
+		e.weighted, e.wErr = graph.AttachWeights(e.g, func(u, v uint32) uint32 { return 1 })
+	})
+	return e.weighted, e.wErr
+}
+
+// Registry is the daemon's set of named resident graphs. Lookups are
+// lock-cheap reads; loading happens at startup or through an explicit
+// replace.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Add publishes g under name; the name must be new.
+func (r *Registry) Add(name string, g *graph.Graph) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty graph name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("serve: graph %q already loaded", name)
+	}
+	e := &Entry{name: name, epoch: 1, g: g, ccCache: make(map[string]*ccResult)}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e, nil
+}
+
+// Replace publishes g under name, bumping the epoch past any previous
+// entry's. In-flight queries against the old entry finish against the
+// graph they started with; its caches are never consulted again.
+func (r *Registry) Replace(name string, g *graph.Graph) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty graph name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	epoch := uint64(1)
+	if old, ok := r.entries[name]; ok {
+		epoch = old.epoch + 1
+	} else {
+		r.order = append(r.order, name)
+	}
+	e := &Entry{name: name, epoch: epoch, g: g, ccCache: make(map[string]*ccResult)}
+	r.entries[name] = e
+	return e, nil
+}
+
+// LoadMETISFile reads a METIS graph from path and publishes it.
+func (r *Registry) LoadMETISFile(name, path string) (*Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	g, err := metis.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	g.SetName(name)
+	return r.Add(name, g)
+}
+
+// AddCorpus generates the named Table 2 stand-in at the given scale and
+// publishes it under its corpus name.
+func (r *Registry) AddCorpus(name string, scale float64, seed uint64) (*Entry, error) {
+	d, ok := corpus.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown corpus graph %q (known: %v)", name, corpus.Names())
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("serve: scale %v out of (0, 1]", scale)
+	}
+	return r.Add(name, d.Generate(scale, seed))
+}
+
+// Get returns the current entry for name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Entries returns the current entries in load order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.entries[name])
+	}
+	return out
+}

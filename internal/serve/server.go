@@ -1,0 +1,332 @@
+// Package serve is the query-serving layer: a long-lived daemon core
+// that keeps named CSR graphs and a warm worker pool resident and
+// answers connected-components, BFS and SSSP queries over an HTTP+JSON
+// API, batching concurrent traversals into shared kernel dispatches
+// (see batcher.go). cmd/baserved wraps it in a binary; tests drive it
+// in-process through Handler.
+//
+// Endpoints:
+//
+//	GET  /healthz     — liveness: status, graph count, pool size
+//	GET  /graphs      — the resident graphs with sizes and epochs
+//	POST /query/cc    — {"graph","algo","labels"} → component count
+//	                    (+labels on request); cached per graph epoch
+//	POST /query/bfs   — {"graph","root","algo"} → hop distances
+//	POST /query/sssp  — {"graph","root","algo"} → unit-weight distances
+//
+// Distance arrays use in-band sentinels for unreached vertices
+// (4294967295 for BFS hops, 2^62 for SSSP), mirroring the library's
+// Unreached/InfDistance constants.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/sssp"
+)
+
+// Config sizes the daemon core. The zero value serves with GOMAXPROCS
+// workers, batches of up to 32, and a 500µs coalescing window.
+type Config struct {
+	// Workers is the resident pool size; < 1 means GOMAXPROCS.
+	Workers int
+	// MaxBatch caps how many traversals one dispatch carries; < 1
+	// means 32.
+	MaxBatch int
+	// BatchWindow is how long the first request of a batch waits for
+	// company. 0 means the 500µs default; negative dispatches every
+	// request immediately on its own (no added latency, no
+	// coalescing).
+	BatchWindow time.Duration
+	// MaxBodyBytes caps query bodies; < 1 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Server routes the HTTP API onto a Registry and a Batcher.
+type Server struct {
+	reg     *Registry
+	batcher *Batcher
+	mux     *http.ServeMux
+}
+
+// New builds a server core over the registry. Release with Close.
+func New(reg *Registry, cfg Config) *Server {
+	window := cfg.BatchWindow
+	if window == 0 {
+		window = 500 * time.Microsecond
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody < 1 {
+		maxBody = 1 << 20
+	}
+	s := &Server{
+		reg:     reg,
+		batcher: NewBatcher(cfg.Workers, cfg.MaxBatch, window),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /graphs", s.handleGraphs)
+	s.mux.HandleFunc("POST /query/cc", bodyLimited(maxBody, s.handleCC))
+	s.mux.HandleFunc("POST /query/bfs", bodyLimited(maxBody, s.handleBFS))
+	s.mux.HandleFunc("POST /query/sssp", bodyLimited(maxBody, s.handleSSSP))
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Batcher exposes the dispatcher (benchmarks drive it directly).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Close releases the worker pool. Call after the HTTP server has
+// drained in-flight requests.
+func (s *Server) Close() { s.batcher.Close() }
+
+// bodyLimited wraps a handler with a request-body size cap.
+func bodyLimited(maxBody int64, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		h(w, r)
+	}
+}
+
+// errorResponse is the uniform failure body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection owns delivery; nothing to do on failure
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeQuery parses a JSON query body.
+func decodeQuery(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves a graph name to its current entry.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*Entry, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing graph name")
+		return nil, false
+	}
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph %q not loaded", name)
+		return nil, false
+	}
+	return e, true
+}
+
+// checkRoot validates a traversal source against the entry's graph.
+func checkRoot(w http.ResponseWriter, e *Entry, root uint32) bool {
+	if n := e.Graph().NumVertices(); int(root) >= n {
+		writeError(w, http.StatusBadRequest, "root %d out of range for %d vertices", root, n)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Graphs  int    `json:"graphs"`
+		Workers int    `json:"workers"`
+	}{"ok", len(s.reg.Entries()), s.batcher.Workers()})
+}
+
+// graphInfo is one row of the /graphs listing.
+type graphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Directed bool   `json:"directed"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	infos := make([]graphInfo, 0, len(entries))
+	for _, e := range entries {
+		g := e.Graph()
+		infos = append(infos, graphInfo{
+			Name:     e.Name(),
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Directed: g.Directed(),
+			Epoch:    e.Epoch(),
+		})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Graphs []graphInfo `json:"graphs"`
+	}{infos})
+}
+
+// ccQuery is the /query/cc request body.
+type ccQuery struct {
+	Graph string `json:"graph"`
+	Algo  string `json:"algo"`
+	// Labels requests the full per-vertex label array (sized |V|; omit
+	// for large graphs when only the count matters).
+	Labels bool `json:"labels"`
+}
+
+// ccResponse is the /query/cc response body.
+type ccResponse struct {
+	Graph      string   `json:"graph"`
+	Epoch      uint64   `json:"epoch"`
+	Algo       string   `json:"algo"`
+	Components int      `json:"components"`
+	Cached     bool     `json:"cached"`
+	Labels     []uint32 `json:"labels,omitempty"`
+}
+
+func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	var q ccQuery
+	if !decodeQuery(w, r, &q) {
+		return
+	}
+	algo, err := canon(ccAliases, q.Algo, "CC")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := s.lookup(w, q.Graph)
+	if !ok {
+		return
+	}
+	labels, components, shared, err := s.batcher.CC(e, algo)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := ccResponse{
+		Graph:      e.Name(),
+		Epoch:      e.Epoch(),
+		Algo:       algo,
+		Components: components,
+		Cached:     shared,
+	}
+	if q.Labels {
+		resp.Labels = labels
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// traversalQuery is the /query/bfs and /query/sssp request body.
+type traversalQuery struct {
+	Graph string `json:"graph"`
+	Root  uint32 `json:"root"`
+	Algo  string `json:"algo"`
+}
+
+// bfsResponse is the /query/bfs response body.
+type bfsResponse struct {
+	Graph   string   `json:"graph"`
+	Epoch   uint64   `json:"epoch"`
+	Algo    string   `json:"algo"`
+	Root    uint32   `json:"root"`
+	Batch   int      `json:"batch"`
+	Reached int      `json:"reached"`
+	Dist    []uint32 `json:"dist"`
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	var q traversalQuery
+	if !decodeQuery(w, r, &q) {
+		return
+	}
+	algo, err := canon(bfsAliases, q.Algo, "BFS")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := s.lookup(w, q.Graph)
+	if !ok || !checkRoot(w, e, q.Root) {
+		return
+	}
+	res := s.batcher.BFS(e, algo, q.Root)
+	if res.Err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", res.Err)
+		return
+	}
+	reached := 0
+	for _, d := range res.Hops {
+		if d != bfs.Inf {
+			reached++
+		}
+	}
+	writeJSON(w, http.StatusOK, bfsResponse{
+		Graph:   e.Name(),
+		Epoch:   e.Epoch(),
+		Algo:    algo,
+		Root:    q.Root,
+		Batch:   res.Batch,
+		Reached: reached,
+		Dist:    res.Hops,
+	})
+}
+
+// ssspResponse is the /query/sssp response body.
+type ssspResponse struct {
+	Graph   string   `json:"graph"`
+	Epoch   uint64   `json:"epoch"`
+	Algo    string   `json:"algo"`
+	Root    uint32   `json:"root"`
+	Batch   int      `json:"batch"`
+	Reached int      `json:"reached"`
+	Dist    []uint64 `json:"dist"`
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	var q traversalQuery
+	if !decodeQuery(w, r, &q) {
+		return
+	}
+	algo, err := canon(ssspAliases, q.Algo, "SSSP")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := s.lookup(w, q.Graph)
+	if !ok || !checkRoot(w, e, q.Root) {
+		return
+	}
+	res := s.batcher.SSSP(e, algo, q.Root)
+	if res.Err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", res.Err)
+		return
+	}
+	reached := 0
+	for _, d := range res.Dists {
+		if d != sssp.Inf {
+			reached++
+		}
+	}
+	writeJSON(w, http.StatusOK, ssspResponse{
+		Graph:   e.Name(),
+		Epoch:   e.Epoch(),
+		Algo:    algo,
+		Root:    q.Root,
+		Batch:   res.Batch,
+		Reached: reached,
+		Dist:    res.Dists,
+	})
+}

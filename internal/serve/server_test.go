@@ -1,0 +1,303 @@
+package serve_test
+
+// Black-box equivalence: every query answered over HTTP must carry
+// exactly the arrays a direct facade call produces — the daemon is a
+// transport, not a different algorithm.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bagraph"
+	"bagraph/internal/serve"
+)
+
+// newTestServer publishes one small disconnected graph and returns the
+// HTTP test harness around the daemon core.
+func newTestServer(t *testing.T) (*httptest.Server, *bagraph.Graph) {
+	t.Helper()
+	g, err := bagraph.CorpusGraph("cond-mat-2005", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("cm", g); err != nil {
+		t.Fatal(err)
+	}
+	core := serve.New(reg, serve.Config{Workers: 2, BatchWindow: -1})
+	ts := httptest.NewServer(core.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		core.Close()
+	})
+	return ts, g
+}
+
+// post sends a JSON query and decodes a JSON response of type R.
+func post[R any](t *testing.T, url string, body any) (int, R) {
+	t.Helper()
+	var r R
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode, r
+}
+
+type ccResp struct {
+	Graph      string   `json:"graph"`
+	Epoch      uint64   `json:"epoch"`
+	Algo       string   `json:"algo"`
+	Components int      `json:"components"`
+	Cached     bool     `json:"cached"`
+	Labels     []uint32 `json:"labels"`
+}
+
+type travResp struct {
+	Graph   string   `json:"graph"`
+	Algo    string   `json:"algo"`
+	Root    uint32   `json:"root"`
+	Batch   int      `json:"batch"`
+	Reached int      `json:"reached"`
+	Dist    []uint32 `json:"dist"`
+}
+
+type ssspResp struct {
+	Dist    []uint64 `json:"dist"`
+	Reached int      `json:"reached"`
+	Batch   int      `json:"batch"`
+}
+
+type errResp struct {
+	Error string `json:"error"`
+}
+
+func TestServerCCMatchesFacade(t *testing.T) {
+	ts, g := newTestServer(t)
+	facade := map[string]bagraph.CCAlgorithm{
+		"sv-bb":     bagraph.CCBranchBased,
+		"sv-ba":     bagraph.CCBranchAvoiding,
+		"hybrid":    bagraph.CCHybrid,
+		"unionfind": bagraph.CCUnionFind,
+	}
+	for algo, alg := range facade {
+		code, got := post[ccResp](t, ts.URL+"/query/cc",
+			map[string]any{"graph": "cm", "algo": algo, "labels": true})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", algo, code)
+		}
+		want, err := bagraph.ConnectedComponents(g, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU32(got.Labels, want) {
+			t.Fatalf("%s: labels differ from facade", algo)
+		}
+		if got.Components != bagraph.ComponentCount(want) {
+			t.Fatalf("%s: components = %d, want %d", algo, got.Components, bagraph.ComponentCount(want))
+		}
+	}
+	// Parallel forms against the parallel facade.
+	parallel := map[string]bagraph.CCAlgorithm{
+		"par-bb":     bagraph.CCBranchBased,
+		"par-ba":     bagraph.CCBranchAvoiding,
+		"par-hybrid": bagraph.CCHybrid,
+	}
+	for algo, alg := range parallel {
+		_, got := post[ccResp](t, ts.URL+"/query/cc",
+			map[string]any{"graph": "cm", "algo": algo, "labels": true})
+		want, err := bagraph.ConnectedComponentsParallel(g, alg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU32(got.Labels, want) {
+			t.Fatalf("%s: labels differ from parallel facade", algo)
+		}
+	}
+	// Second identical query is served from the epoch cache.
+	_, again := post[ccResp](t, ts.URL+"/query/cc",
+		map[string]any{"graph": "cm", "algo": "hybrid"})
+	if !again.Cached {
+		t.Fatal("repeat CC query was not cached")
+	}
+	if len(again.Labels) != 0 {
+		t.Fatal("labels sent without being requested")
+	}
+}
+
+func TestServerBFSMatchesFacade(t *testing.T) {
+	ts, g := newTestServer(t)
+	variants := map[string]func() ([]uint32, error){
+		"bb":      func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSBranchBased) },
+		"ba":      func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSBranchAvoiding) },
+		"dir-opt": func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSDirectionOptimizing) },
+		"par-do":  func() ([]uint32, error) { return bagraph.ShortestHopsParallel(g, 3, 2) },
+	}
+	for algo, oracle := range variants {
+		code, got := post[travResp](t, ts.URL+"/query/bfs",
+			map[string]any{"graph": "cm", "root": 3, "algo": algo})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", algo, code)
+		}
+		want, err := oracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU32(got.Dist, want) {
+			t.Fatalf("%s: distances differ from facade", algo)
+		}
+		reached := 0
+		for _, d := range want {
+			if d != bagraph.Unreached {
+				reached++
+			}
+		}
+		if got.Reached != reached {
+			t.Fatalf("%s: reached = %d, want %d", algo, got.Reached, reached)
+		}
+	}
+}
+
+func TestServerSSSPMatchesFacade(t *testing.T) {
+	ts, g := newTestServer(t)
+	w, err := bagraph.AttachWeights(g, func(u, v uint32) uint32 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	facade := map[string]bagraph.SSSPAlgorithm{
+		"bb":       bagraph.SSSPBellmanFord,
+		"ba":       bagraph.SSSPBellmanFordBranchAvoiding,
+		"dijkstra": bagraph.SSSPDijkstra,
+	}
+	for algo, alg := range facade {
+		code, got := post[ssspResp](t, ts.URL+"/query/sssp",
+			map[string]any{"graph": "cm", "root": 7, "algo": algo})
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", algo, code)
+		}
+		want, err := bagraph.ShortestPaths(w, 7, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Dist) != len(want) {
+			t.Fatalf("%s: length %d, want %d", algo, len(got.Dist), len(want))
+		}
+		for v := range want {
+			if got.Dist[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", algo, v, got.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestServerMetaEndpoints(t *testing.T) {
+	ts, g := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status  string `json:"status"`
+		Graphs  int    `json:"graphs"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Graphs != 1 || health.Workers != 2 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	resp2, err := http.Get(ts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var listing struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+			Edges    int64  `json:"edges"`
+			Epoch    uint64 `json:"epoch"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Graphs) != 1 {
+		t.Fatalf("graphs = %+v", listing.Graphs)
+	}
+	row := listing.Graphs[0]
+	if row.Name != "cm" || row.Vertices != g.NumVertices() || row.Edges != g.NumEdges() || row.Epoch != 1 {
+		t.Fatalf("graph row = %+v", row)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		url  string
+		body any
+		code int
+	}{
+		{"unknown graph", "/query/cc", map[string]any{"graph": "nope"}, http.StatusNotFound},
+		{"missing graph", "/query/cc", map[string]any{}, http.StatusBadRequest},
+		{"unknown cc algo", "/query/cc", map[string]any{"graph": "cm", "algo": "quantum"}, http.StatusBadRequest},
+		{"unknown bfs algo", "/query/bfs", map[string]any{"graph": "cm", "algo": "quantum"}, http.StatusBadRequest},
+		{"unknown sssp algo", "/query/sssp", map[string]any{"graph": "cm", "algo": "quantum"}, http.StatusBadRequest},
+		{"root out of range", "/query/bfs", map[string]any{"graph": "cm", "root": 1 << 30}, http.StatusBadRequest},
+		{"sssp root out of range", "/query/sssp", map[string]any{"graph": "cm", "root": 1 << 30}, http.StatusBadRequest},
+		{"unknown field", "/query/bfs", map[string]any{"graph": "cm", "seed": 3}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := post[errResp](t, ts.URL+tc.url, tc.body)
+		if code != tc.code {
+			t.Fatalf("%s: status %d, want %d", tc.name, code, tc.code)
+		}
+		if body.Error == "" {
+			t.Fatalf("%s: empty error body", tc.name)
+		}
+	}
+	// Method and body-shape errors.
+	resp, err := http.Get(ts.URL + "/query/cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on query endpoint: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/query/cc", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated body: %d", resp.StatusCode)
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -51,8 +51,13 @@ func (s Stats) Total() time.Duration {
 	return t
 }
 
-func initDist(n int, src uint32) []uint64 {
-	dist := make([]uint64, n)
+// initDist initializes the distance array for a run from src, reusing
+// buf when it has length n (its prior contents are overwritten).
+func initDist(buf []uint64, n int, src uint32) []uint64 {
+	dist := buf
+	if dist == nil || len(dist) != n {
+		dist = make([]uint64, n)
+	}
 	for i := range dist {
 		dist[i] = Inf
 	}
@@ -66,8 +71,15 @@ func initDist(n int, src uint32) []uint64 {
 // the pull-style Bellman-Ford: the relaxation test is a conditional
 // branch, taken whenever a neighbor offers a shorter path.
 func BellmanFordBranchBased(g *graph.Weighted, src uint32) ([]uint64, Stats) {
+	return BellmanFordBranchBasedInto(g, src, nil)
+}
+
+// BellmanFordBranchBasedInto is BellmanFordBranchBased writing into dist
+// when it has length |V| (the returned slice aliases it); any other
+// length allocates.
+func BellmanFordBranchBasedInto(g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats) {
 	n := g.NumVertices()
-	dist := initDist(n, src)
+	dist = initDist(dist, n, src)
 	var st Stats
 	adj := g.Adjacency()
 	ws := g.ArcWeights()
@@ -107,8 +119,15 @@ func BellmanFordBranchBased(g *graph.Weighted, src uint32) ([]uint64, Stats) {
 // change flag is maintained with XOR/OR arithmetic — the weighted twin
 // of the paper's Algorithm 3.
 func BellmanFordBranchAvoiding(g *graph.Weighted, src uint32) ([]uint64, Stats) {
+	return BellmanFordBranchAvoidingInto(g, src, nil)
+}
+
+// BellmanFordBranchAvoidingInto is BellmanFordBranchAvoiding writing into
+// dist when it has length |V| (the returned slice aliases it); any other
+// length allocates.
+func BellmanFordBranchAvoidingInto(g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats) {
 	n := g.NumVertices()
-	dist := initDist(n, src)
+	dist = initDist(dist, n, src)
 	var st Stats
 	adj := g.Adjacency()
 	ws := g.ArcWeights()
@@ -143,8 +162,14 @@ func BellmanFordBranchAvoiding(g *graph.Weighted, src uint32) ([]uint64, Stats) 
 // Dijkstra computes shortest-path distances with a binary-heap priority
 // queue — the oracle the Bellman-Ford kernels are validated against.
 func Dijkstra(g *graph.Weighted, src uint32) []uint64 {
+	return DijkstraInto(g, src, nil)
+}
+
+// DijkstraInto is Dijkstra writing into dist when it has length |V| (the
+// returned slice aliases it); any other length allocates.
+func DijkstraInto(g *graph.Weighted, src uint32, dist []uint64) []uint64 {
 	n := g.NumVertices()
-	dist := initDist(n, src)
+	dist = initDist(dist, n, src)
 	if n == 0 {
 		return dist
 	}
