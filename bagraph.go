@@ -201,6 +201,37 @@ func (p *WorkerPool) ShortestHops(g *Graph, root uint32, dist []uint32) ([]uint3
 	return out, nil
 }
 
+// ShortestHopsBatch runs every root of a batch through shared
+// bottom-up mask sweeps on the resident pool (one graph pass per level
+// advances up to 64 searches at once) and returns one distance array
+// per root, each identical to an independent traversal's. dists, when
+// holding len(roots) slices of length |V|, receives the results and
+// suppresses the per-call allocations (the returned slices alias it);
+// pass nil to allocate.
+func (p *WorkerPool) ShortestHopsBatch(g *Graph, roots []uint32, dists [][]uint32) ([][]uint32, error) {
+	for _, r := range roots {
+		if err := checkRoot(g, r); err != nil {
+			return nil, err
+		}
+	}
+	out, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Pool: p.pool, Dists: dists})
+	return out, nil
+}
+
+// ShortestHopsMultiSource is the batch-aware counterpart of
+// ShortestHops: all roots traverse together through shared bottom-up
+// mask sweeps (see WorkerPool.ShortestHopsBatch). workers < 1 means
+// GOMAXPROCS.
+func ShortestHopsMultiSource(g *Graph, roots []uint32, workers int) ([][]uint32, error) {
+	for _, r := range roots {
+		if err := checkRoot(g, r); err != nil {
+			return nil, err
+		}
+	}
+	out, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Workers: workers})
+	return out, nil
+}
+
 // BFSVariant selects a breadth-first-search kernel.
 type BFSVariant int
 

@@ -30,7 +30,9 @@ import (
 	"bagraph/internal/par"
 	"bagraph/internal/perfsim"
 	"bagraph/internal/simkern"
+	"bagraph/internal/sssp"
 	"bagraph/internal/uarch"
+	"bagraph/internal/xrand"
 )
 
 var benchScale = flag.Float64("benchscale", 0.01, "corpus scale for benchmarks")
@@ -329,6 +331,41 @@ func BenchmarkParallelBFS(b *testing.B) {
 		b.Run(fmt.Sprintf("dir-opt/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				dist, _ := bfs.ParallelDO(g, 0, bfs.ParallelOptions{Pool: pool})
+				if len(dist) == 0 {
+					b.Fatal("no distances")
+				}
+			}
+			reportEdges(b, g.NumArcs())
+		})
+		pool.Close()
+	}
+}
+
+func BenchmarkParallelSSSP(b *testing.B) {
+	g := benchRMAT(b)
+	// Deterministic symmetric weights in [1, 64]: heavy enough to make
+	// the delta-stepping buckets non-trivial.
+	w, err := graph.AttachWeights(g, xrand.SymmetricWeights(64, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist := sssp.Dijkstra(w, 0)
+			if len(dist) == 0 {
+				b.Fatal("no distances")
+			}
+		}
+		reportEdges(b, g.NumArcs())
+	})
+	for _, workers := range workerSweep() {
+		pool := par.NewPool(workers)
+		b.Run(fmt.Sprintf("hybrid/workers=%d", workers), func(b *testing.B) {
+			dist := make([]uint64, g.NumVertices())
+			for i := 0; i < b.N; i++ {
+				dist, _ = sssp.Parallel(w, 0, sssp.ParallelOptions{
+					Pool: pool, Variant: sssp.Hybrid, Dist: dist,
+				})
 				if len(dist) == 0 {
 					b.Fatal("no distances")
 				}

@@ -7,8 +7,12 @@
 //	bagen -kind ba -n 100000 -k 4 -out collab.graph
 //	bagen -kind grid3d -n 64000 -radius 1 -out mesh.graph
 //	bagen -kind corpus -name ldoor -corpusscale 0.05 -out ldoor-small.graph
+//	bagen -kind ba -n 20000 -wmax 9 -out weighted.graph
 //
-// Every generator is deterministic given -seed.
+// Every generator is deterministic given -seed. A positive -wmax
+// attaches deterministic per-edge weights in [1, wmax] (hashed from the
+// endpoints and the seed, so symmetric and reproducible) and writes the
+// edge-weighted METIS format the weighted SSSP kernels consume.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 	"bagraph/internal/metis"
+	"bagraph/internal/xrand"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 	intraP := flag.Float64("intrap", 0.3, "intra-community edge probability (community)")
 	name := flag.String("name", "cond-mat-2005", "corpus dataset name (corpus)")
 	corpusScale := flag.Float64("corpusscale", 0.01, "corpus scale in (0,1] (corpus)")
+	wmax := flag.Uint("wmax", 0, "attach per-edge weights in [1, wmax] and write weighted METIS (0 = unweighted)")
 	flag.Parse()
 
 	g, err := build(*kind, params{
@@ -61,6 +67,23 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *wmax > 0 {
+		if *wmax > math.MaxUint32 {
+			fmt.Fprintf(os.Stderr, "bagen: -wmax %d exceeds the 32-bit weight range\n", *wmax)
+			os.Exit(1)
+		}
+		wg, err := graph.AttachWeights(g, xrand.SymmetricWeights(uint32(*wmax), *seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bagen:", err)
+			os.Exit(1)
+		}
+		if err := metis.WriteWeighted(w, wg); err != nil {
+			fmt.Fprintln(os.Stderr, "bagen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bagen: wrote %s (weights 1..%d)\n", g, *wmax)
+		return
 	}
 	if err := metis.Write(w, g); err != nil {
 		fmt.Fprintln(os.Stderr, "bagen:", err)

@@ -2,12 +2,15 @@
 // a set of named graphs at startup, keeps their CSR representations and
 // a warm worker pool resident, and serves connected-components, BFS and
 // SSSP queries over an HTTP+JSON API with batched kernel dispatch (see
-// internal/serve).
+// internal/serve). METIS files carrying per-edge weights (format code
+// "1", e.g. from bagen -wmax) publish weighted graphs whose SSSP
+// queries run on the real weights; unweighted files serve SSSP through
+// a unit-weight view.
 //
 // Usage:
 //
 //	baserved -corpus cond-mat-2005,coAuthorsDBLP -scale 0.02
-//	baserved -graph web=crawl.metis -graph road=roads.metis -listen :9090
+//	baserved -graph web=crawl.metis -graph road=weighted-roads.metis -listen :9090
 //	baserved -corpus all -workers 8 -batch-max 64 -batch-window 1ms
 //
 // Queries:
@@ -15,7 +18,13 @@
 //	curl -s localhost:8080/graphs
 //	curl -s -d '{"graph":"cond-mat-2005","algo":"par-hybrid"}' localhost:8080/query/cc
 //	curl -s -d '{"graph":"cond-mat-2005","root":0,"algo":"par-do"}' localhost:8080/query/bfs
-//	curl -s -d '{"graph":"cond-mat-2005","root":0,"algo":"ba"}' localhost:8080/query/sssp
+//	curl -s -d '{"graph":"cond-mat-2005","root":0,"algo":"ms"}' localhost:8080/query/bfs
+//	curl -s -d '{"graph":"road","root":0,"algo":"par-hybrid"}' localhost:8080/query/sssp
+//
+// BFS algo "ms" opts a query into the batch-aware multi-source kernel:
+// every concurrent "ms" query against the same graph joins one shared
+// traversal. SSSP algos par-bb / par-ba / par-hybrid (the default) run
+// the delta-stepping kernel on the resident pool.
 //
 // The daemon drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.

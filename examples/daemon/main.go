@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -55,13 +56,17 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			body, _ := json.Marshal(map[string]any{
-				"graph": "dblp", "root": i, "algo": "ba",
+				"graph": "dblp", "root": i % g.NumVertices(), "algo": "ba",
 			})
 			resp, err := http.Post(ts.URL+"/query/bfs", "application/json", bytes.NewReader(body))
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				log.Fatalf("query %d: status %d: %s", i, resp.StatusCode, msg)
+			}
 			var r bfsResp
 			if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
 				log.Fatal(err)

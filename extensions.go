@@ -46,13 +46,21 @@ type SSSPAlgorithm int
 // Shortest-path kernels.
 const (
 	// SSSPBellmanFord is the pull-style branch-based Bellman-Ford — the
-	// weighted analogue of the paper's Algorithm 2.
+	// weighted analogue of the paper's Algorithm 2. In the parallel
+	// kernel it selects the branch-based relaxation loop.
 	SSSPBellmanFord SSSPAlgorithm = iota
 	// SSSPBellmanFordBranchAvoiding relaxes with conditional moves — the
-	// weighted analogue of Algorithm 3.
+	// weighted analogue of Algorithm 3. In the parallel kernel it
+	// selects the branch-avoiding relaxation loop.
 	SSSPBellmanFordBranchAvoiding
-	// SSSPDijkstra is the classical heap-based baseline.
+	// SSSPDijkstra is the classical heap-based baseline. It has no
+	// parallel form.
 	SSSPDijkstra
+	// SSSPHybrid relaxes branch-avoidingly while the relaxation branch
+	// is unpredictable and switches to the branch-based loop once
+	// improvements become rare (the paper's §6.2 crossover). It exists
+	// only in the parallel kernel.
+	SSSPHybrid
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +72,8 @@ func (a SSSPAlgorithm) String() string {
 		return "bellman-ford-branch-avoiding"
 	case SSSPDijkstra:
 		return "dijkstra"
+	case SSSPHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("SSSPAlgorithm(%d)", int(a))
 	}
@@ -80,8 +90,8 @@ func ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm) ([]uint64, e
 // length |V| (the returned slice aliases it); any other length
 // allocates. Long-lived callers reuse the buffer across queries.
 func ShortestPathsInto(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []uint64) ([]uint64, error) {
-	if g.NumVertices() > 0 && int(src) >= g.NumVertices() {
-		return nil, fmt.Errorf("bagraph: source %d out of range for %d vertices", src, g.NumVertices())
+	if err := checkSource(g, src); err != nil {
+		return nil, err
 	}
 	switch alg {
 	case SSSPBellmanFord:
@@ -92,9 +102,68 @@ func ShortestPathsInto(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []u
 		return out, nil
 	case SSSPDijkstra:
 		return sssp.DijkstraInto(g, src, dist), nil
+	case SSSPHybrid:
+		return nil, fmt.Errorf("bagraph: %v exists only in the parallel kernel (ShortestPathsParallel)", alg)
 	default:
 		return nil, fmt.Errorf("bagraph: unknown SSSP algorithm %v", alg)
 	}
+}
+
+// checkSource validates an SSSP source vertex against the graph.
+func checkSource(g *WeightedGraph, src uint32) error {
+	if g.NumVertices() > 0 && int(src) >= g.NumVertices() {
+		return fmt.Errorf("bagraph: source %d out of range for %d vertices", src, g.NumVertices())
+	}
+	return nil
+}
+
+// ssspVariant maps a facade algorithm to its parallel relaxation loop.
+func ssspVariant(alg SSSPAlgorithm) (sssp.Variant, error) {
+	switch alg {
+	case SSSPBellmanFord:
+		return sssp.BranchBased, nil
+	case SSSPBellmanFordBranchAvoiding:
+		return sssp.BranchAvoiding, nil
+	case SSSPHybrid:
+		return sssp.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("bagraph: no parallel kernel for %v", alg)
+	}
+}
+
+// ShortestPathsParallel is the data-parallel counterpart of
+// ShortestPaths: a delta-stepping kernel whose bucketed frontiers are
+// relaxed in degree-balanced ranges over the worker-pool engine
+// (internal/par), with the branch-based, branch-avoiding or hybrid
+// relaxation loop selected by alg. workers < 1 means GOMAXPROCS.
+// Distances are identical to the sequential kernels'. SSSPDijkstra has
+// no parallel form and is rejected.
+func ShortestPathsParallel(g *WeightedGraph, src uint32, alg SSSPAlgorithm, workers int) ([]uint64, error) {
+	if err := checkSource(g, src); err != nil {
+		return nil, err
+	}
+	variant, err := ssspVariant(alg)
+	if err != nil {
+		return nil, err
+	}
+	dist, _ := sssp.Parallel(g, src, sssp.ParallelOptions{Workers: workers, Variant: variant})
+	return dist, nil
+}
+
+// ShortestPaths runs the parallel SSSP kernel on the resident pool.
+// dist, when of length |V|, receives the distances and suppresses the
+// per-call result allocation (the returned slice aliases it); pass nil
+// to allocate. SSSPDijkstra has no parallel form and is rejected.
+func (p *WorkerPool) ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []uint64) ([]uint64, error) {
+	if err := checkSource(g, src); err != nil {
+		return nil, err
+	}
+	variant, err := ssspVariant(alg)
+	if err != nil {
+		return nil, err
+	}
+	out, _ := sssp.Parallel(g, src, sssp.ParallelOptions{Pool: p.pool, Variant: variant, Dist: dist})
+	return out, nil
 }
 
 // Betweenness returns the exact betweenness centrality of every vertex.

@@ -3,6 +3,8 @@ package bagraph
 import (
 	"strings"
 	"testing"
+
+	"bagraph/internal/testutil"
 )
 
 func weightedRing(t *testing.T, n int) *WeightedGraph {
@@ -132,9 +134,101 @@ func TestExtensionsErrorPaths(t *testing.T) {
 	if _, err := ShortestPaths(w, 0, SSSPAlgorithm(99)); err == nil {
 		t.Fatal("unknown SSSP algorithm accepted")
 	}
+	if _, err := ShortestPaths(w, 0, SSSPHybrid); err == nil {
+		t.Fatal("hybrid accepted by the sequential facade (it exists only in the parallel kernel)")
+	}
 	g := ring(t, 6)
 	if _, err := AllPairsSummary(g, BFSDirectionOptimizing); err == nil {
 		t.Fatal("unsupported APSP variant accepted")
+	}
+}
+
+// TestShortestPathsParallelFacade checks the parallel SSSP facade:
+// every parallel-capable algorithm matches the sequential oracle, and
+// the rejections (Dijkstra has no parallel form, unknown enums,
+// out-of-range sources) hold on both the package-level entry point and
+// the WorkerPool method.
+func TestShortestPathsParallelFacade(t *testing.T) {
+	w := testutil.RandomWeighted(250, 800, 40, 5)
+	want, err := ShortestPaths(w, 4, SSSPDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []SSSPAlgorithm{SSSPBellmanFord, SSSPBellmanFordBranchAvoiding, SSSPHybrid} {
+		got, err := ShortestPathsParallel(w, 4, alg, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		testutil.MustEqualDists(t, alg.String(), got, want)
+	}
+	if _, err := ShortestPathsParallel(w, 4, SSSPDijkstra, 2); err == nil {
+		t.Fatal("dijkstra accepted by the parallel facade")
+	}
+	if _, err := ShortestPathsParallel(w, 4, SSSPAlgorithm(99), 2); err == nil {
+		t.Fatal("unknown algorithm accepted by the parallel facade")
+	}
+	if _, err := ShortestPathsParallel(w, 9999, SSSPHybrid, 2); err == nil {
+		t.Fatal("out-of-range source accepted by the parallel facade")
+	}
+
+	pool := NewWorkerPool(2)
+	defer pool.Close()
+	buf := make([]uint64, w.NumVertices())
+	got, err := pool.ShortestPaths(w, 4, SSSPHybrid, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("pool SSSP result does not alias the caller buffer")
+	}
+	testutil.MustEqualDists(t, "pool/hybrid", got, want)
+	if _, err := pool.ShortestPaths(w, 4, SSSPDijkstra, nil); err == nil {
+		t.Fatal("dijkstra accepted by the pool facade")
+	}
+	if _, err := pool.ShortestPaths(w, 9999, SSSPHybrid, nil); err == nil {
+		t.Fatal("out-of-range source accepted by the pool facade")
+	}
+}
+
+// TestShortestHopsMultiSourceFacade checks the batch BFS facade: the
+// shared-sweep results match per-source parallel BFS, root validation
+// covers every batch member, and the pool method honors its buffers.
+func TestShortestHopsMultiSourceFacade(t *testing.T) {
+	g := ring(t, 30)
+	roots := []uint32{0, 7, 7, 29}
+	dists, err := ShortestHopsMultiSource(g, roots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range roots {
+		want, err := ShortestHops(g, r, BFSBranchBased)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.MustEqualDists(t, "multi-source", dists[i], want)
+	}
+	if _, err := ShortestHopsMultiSource(g, []uint32{0, 99}, 2); err == nil {
+		t.Fatal("out-of-range batch member accepted")
+	}
+
+	pool := NewWorkerPool(2)
+	defer pool.Close()
+	bufs := make([][]uint32, len(roots))
+	for i := range bufs {
+		bufs[i] = make([]uint32, g.NumVertices())
+	}
+	got, err := pool.ShortestHopsBatch(g, roots, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if &got[i][0] != &bufs[i][0] {
+			t.Fatalf("batch result %d does not alias the caller buffer", i)
+		}
+		testutil.MustEqualDists(t, "pool batch", got[i], dists[i])
+	}
+	if _, err := pool.ShortestHopsBatch(g, []uint32{99}, nil); err == nil {
+		t.Fatal("out-of-range batch member accepted by the pool facade")
 	}
 }
 

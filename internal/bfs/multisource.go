@@ -1,0 +1,193 @@
+package bfs
+
+// Batch-aware multi-source BFS on the internal/par engine.
+//
+// The serving layer batches concurrent BFS queries against one graph;
+// running each source as an independent traversal re-reads the whole
+// adjacency structure k times. MultiSource instead runs up to 64
+// sources through ONE shared bottom-up sweep per level (the MS-BFS idea
+// of Then et al., VLDB 2014): each vertex carries a 64-bit mask of
+// which searches have reached it, and one pass over the graph advances
+// every search simultaneously —
+//
+//	next[v] = (OR of frontier[u] over v's neighbors) &^ seen[v]
+//
+// The per-edge operation is a single OR: the frontier-membership test
+// that is an unpredictable branch in scalar BFS (the paper's §5
+// measurement) does not merely become a conditional move here — it
+// vanishes into the mask arithmetic entirely, which makes the shared
+// sweep the logical endpoint of the branch-avoiding transformation.
+//
+// Parallelization follows the bottom-up half of ParallelDO: workers own
+// degree-balanced vertex ranges and write only seen[v] / next[v] /
+// dist[·][v] for their own vertices, reading the previous level's
+// frontier masks immutably — no atomics, the level barrier is the only
+// synchronization. (Masks are word-per-vertex, so ranges need no
+// 64-alignment.) Batches larger than 64 sources run in ceil(k/64)
+// waves over reused mask arrays.
+
+import (
+	"math/bits"
+	"time"
+
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+)
+
+// msWave is the number of sources one shared sweep carries: the width
+// of the per-vertex search mask.
+const msWave = 64
+
+// MultiSourceOptions configures MultiSource.
+type MultiSourceOptions struct {
+	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
+	Workers int
+	// Pool, when non-nil, supplies the worker pool (its size overrides
+	// Workers). The caller keeps ownership; MultiSource will not close
+	// it.
+	Pool *par.Pool
+	// Dists, when holding len(roots) slices each of length |V|,
+	// receives the per-source distances and suppresses the result
+	// allocations; prior contents are overwritten. The returned slices
+	// alias it. Long-lived callers (the serving layer) reuse these
+	// across batches.
+	Dists [][]uint32
+}
+
+// MultiStats describes one multi-source run.
+type MultiStats struct {
+	// Waves is the number of 64-source sweeps the batch needed.
+	Waves int
+	// Levels is the total number of shared level sweeps across waves;
+	// k independent traversals would instead pay the sum of every
+	// source's eccentricity.
+	Levels int
+	// LevelDurations holds per-sweep wall-clock times.
+	LevelDurations []time.Duration
+	// Reached is the total number of (source, vertex) discoveries,
+	// including the roots themselves.
+	Reached int
+	// DistStores counts writes into the distance arrays.
+	DistStores uint64
+}
+
+// Total returns the summed wall-clock time of all level sweeps.
+func (s MultiStats) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.LevelDurations {
+		t += d
+	}
+	return t
+}
+
+// msWorker accumulates one worker's contribution to a level sweep.
+type msWorker struct {
+	advanced   uint64 // OR of all newly-set masks: zero means the wave ended
+	reached    int
+	distStores uint64
+}
+
+// MultiSource runs BFS from every root through shared bottom-up mask
+// sweeps and returns one distance array per root, each identical to
+// what the sequential kernels produce for that root. Roots must be in
+// range (the facade and the daemon validate); duplicate roots are
+// allowed and produce identical arrays.
+func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]uint32, MultiStats) {
+	n := g.NumVertices()
+	k := len(roots)
+	dists := opt.Dists
+	if len(dists) != k {
+		dists = make([][]uint32, k)
+	}
+	for i := range dists {
+		if len(dists[i]) != n {
+			dists[i] = make([]uint32, n)
+		}
+		for v := range dists[i] {
+			dists[i][v] = Inf
+		}
+	}
+	var st MultiStats
+	if n == 0 || k == 0 {
+		return dists, st
+	}
+	pool := opt.Pool
+	if pool == nil {
+		pool = par.NewPool(opt.Workers)
+		defer pool.Close()
+	}
+	adj := g.Adjacency()
+	offs := g.Offsets()
+	vranges := par.Partition(offs, pool.Workers(), 1)
+	acc := make([]msWorker, pool.Workers())
+
+	seen := make([]uint64, n)
+	frontier := make([]uint64, n)
+	next := make([]uint64, n)
+
+	for lo := 0; lo < k; lo += msWave {
+		hi := lo + msWave
+		if hi > k {
+			hi = k
+		}
+		wave := roots[lo:hi]
+		st.Waves++
+		if st.Waves > 1 {
+			for i := range seen {
+				seen[i] = 0
+				frontier[i] = 0
+			}
+		}
+		for i, r := range wave {
+			bit := uint64(1) << uint(i)
+			seen[r] |= bit
+			frontier[r] |= bit
+			dists[lo+i][r] = 0
+			st.DistStores++
+			st.Reached++
+		}
+
+		for level := uint32(1); ; level++ {
+			start := time.Now()
+			pool.Run(len(vranges), func(t int) {
+				a := msWorker{}
+				r := vranges[t]
+				for v := r.Lo; v < r.Hi; v++ {
+					sv := seen[v]
+					acquired := uint64(0)
+					for _, u := range adj[offs[v]:offs[v+1]] {
+						acquired |= frontier[u]
+					}
+					fresh := acquired &^ sv
+					next[v] = fresh
+					seen[v] = sv | fresh
+					if fresh != 0 {
+						a.advanced |= fresh
+						dv := level
+						for m := fresh; m != 0; m &= m - 1 {
+							i := bits.TrailingZeros64(m)
+							dists[lo+i][v] = dv
+							a.distStores++
+							a.reached++
+						}
+					}
+				}
+				acc[t] = a
+			})
+			advanced := uint64(0)
+			for t := range acc {
+				advanced |= acc[t].advanced
+				st.Reached += acc[t].reached
+				st.DistStores += acc[t].distStores
+				acc[t] = msWorker{}
+			}
+			frontier, next = next, frontier
+			st.Levels++
+			st.LevelDurations = append(st.LevelDurations, time.Since(start))
+			if advanced == 0 {
+				break
+			}
+		}
+	}
+	return dists, st
+}

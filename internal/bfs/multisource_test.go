@@ -1,0 +1,138 @@
+package bfs
+
+import (
+	"fmt"
+	"testing"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+	"bagraph/internal/testutil"
+)
+
+// msRoots picks k spread-out in-range sources for a graph.
+func msRoots(g *graph.Graph, k int) []uint32 {
+	n := g.NumVertices()
+	roots := make([]uint32, k)
+	for i := range roots {
+		roots[i] = uint32((i * 977) % n)
+	}
+	return roots
+}
+
+// TestMultiSourceMatchesSequential is the batch-kernel acceptance
+// property: every source's distance array out of the shared sweep must
+// equal an independent sequential traversal from that source, across
+// the corpus and worker counts.
+func TestMultiSourceMatchesSequential(t *testing.T) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
+		if g.NumVertices() == 0 {
+			dists, st := MultiSource(g, []uint32{}, MultiSourceOptions{Workers: 2})
+			if len(dists) != 0 || st.Reached != 0 {
+				t.Fatalf("empty graph: %d dists, reached %d", len(dists), st.Reached)
+			}
+			return
+		}
+		k := 5
+		if g.NumVertices() < k {
+			k = g.NumVertices()
+		}
+		roots := msRoots(g, k)
+		for _, workers := range testutil.WorkerCounts {
+			dists, st := MultiSource(g, roots, MultiSourceOptions{Workers: workers})
+			if len(dists) != k {
+				t.Fatalf("w%d: %d distance arrays for %d roots", workers, len(dists), k)
+			}
+			reached := 0
+			for i, r := range roots {
+				want, _ := TopDownBranchBased(g, r)
+				testutil.MustEqualDists(t, fmt.Sprintf("w%d/root%d", workers, r), dists[i], want)
+				for _, d := range want {
+					if d != Inf {
+						reached++
+					}
+				}
+			}
+			if st.Reached != reached {
+				t.Fatalf("w%d: Stats.Reached = %d, distance arrays say %d", workers, st.Reached, reached)
+			}
+			if st.Waves != 1 {
+				t.Fatalf("w%d: %d waves for %d roots", workers, st.Waves, k)
+			}
+		}
+	})
+}
+
+// TestMultiSourceWaves drives a batch past the 64-bit mask width: 70
+// sources must split into two waves and still match the oracle.
+func TestMultiSourceWaves(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.DefaultRMAT, 5)
+	roots := msRoots(g, 70)
+	dists, st := MultiSource(g, roots, MultiSourceOptions{Workers: 4})
+	if st.Waves != 2 {
+		t.Fatalf("waves = %d, want 2", st.Waves)
+	}
+	for i, r := range roots {
+		want, _ := TopDownBranchBased(g, r)
+		testutil.MustEqualDists(t, fmt.Sprintf("root%d", r), dists[i], want)
+	}
+}
+
+// TestMultiSourceDuplicatesAndReuse covers duplicate roots in one
+// batch (each request keeps its own array) and the Dists buffer
+// contract.
+func TestMultiSourceDuplicatesAndReuse(t *testing.T) {
+	g := gen.Grid2D(20, 20, false)
+	n := g.NumVertices()
+	roots := []uint32{7, 7, 0, 7}
+	bufs := make([][]uint32, len(roots))
+	for i := range bufs {
+		bufs[i] = make([]uint32, n)
+	}
+	dists, _ := MultiSource(g, roots, MultiSourceOptions{Workers: 2, Dists: bufs})
+	for i := range dists {
+		if &dists[i][0] != &bufs[i][0] {
+			t.Fatalf("result %d does not alias the caller buffer", i)
+		}
+		want, _ := TopDownBranchBased(g, roots[i])
+		testutil.MustEqualDists(t, fmt.Sprintf("req%d", i), dists[i], want)
+	}
+	// Reuse the buffers for a second batch: prior contents must not leak.
+	roots2 := []uint32{1, 2, 3, 4}
+	dists2, _ := MultiSource(g, roots2, MultiSourceOptions{Workers: 2, Dists: bufs})
+	for i := range dists2 {
+		want, _ := TopDownBranchBased(g, roots2[i])
+		testutil.MustEqualDists(t, fmt.Sprintf("reuse/req%d", i), dists2[i], want)
+	}
+}
+
+// TestMultiSourceSharedPool reuses one resident pool across batches.
+func TestMultiSourceSharedPool(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := gen.Grid3D(10, 10, 10, 1)
+	for run := 0; run < 3; run++ {
+		dists, _ := MultiSource(g, []uint32{0, 500}, MultiSourceOptions{Pool: pool})
+		for i, r := range []uint32{0, 500} {
+			want, _ := TopDownBranchBased(g, r)
+			testutil.MustEqualDists(t, fmt.Sprintf("run%d/root%d", run, r), dists[i], want)
+		}
+	}
+}
+
+// TestMultiSourceSharedSweepEconomy pins the batching win the daemon
+// relies on: one wave's level count is bounded by the widest member,
+// not the sum over members.
+func TestMultiSourceSharedSweepEconomy(t *testing.T) {
+	g := gen.Path(200)
+	roots := msRoots(g, 8)
+	_, st := MultiSource(g, roots, MultiSourceOptions{Workers: 2})
+	sum := 0
+	for _, r := range roots {
+		_, sst := TopDownBranchBased(g, r)
+		sum += sst.Levels
+	}
+	if st.Levels >= sum {
+		t.Fatalf("shared sweep used %d levels, independent traversals %d", st.Levels, sum)
+	}
+}

@@ -7,46 +7,25 @@ import (
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 	"bagraph/internal/par"
+	"bagraph/internal/testutil"
 )
 
-func testCorpus(t testing.TB) []*graph.Graph {
-	t.Helper()
-	return []*graph.Graph{
-		gen.RMAT(10, 8, gen.DefaultRMAT, 1),
-		gen.RMAT(12, 4, gen.DefaultRMAT, 2),
-		gen.Grid2D(40, 40, false),
-		gen.Grid3D(12, 12, 12, 1),
-		gen.GNM(2000, 6000, 3),
-		gen.GNM(500, 400, 4), // sparse: BFS reaches only a fragment
-		gen.Disconnected(gen.GNM(300, 900, 5), 4),
-		gen.Star(100),
-		gen.Path(257),
-		graph.MustBuild(1, nil, graph.Options{}),
-	}
-}
-
-var workerCounts = []int{1, 2, 4, 8}
-
 func TestParallelDOMatchesSequential(t *testing.T) {
-	for _, g := range testCorpus(t) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
+		if g.NumVertices() == 0 {
+			return // no root to traverse from
+		}
 		ref, _ := TopDownBranchBased(g, 0)
-		for _, workers := range workerCounts {
+		for _, workers := range testutil.WorkerCounts {
 			// Stress both heuristic regimes: default thresholds, and
 			// alpha/beta forcing bottom-up almost immediately.
 			for _, opt := range []ParallelOptions{
 				{Workers: workers},
 				{Workers: workers, Alpha: 1 << 20, Beta: 1 << 20},
 			} {
-				name := fmt.Sprintf("%s/w%d/a%d", g, workers, opt.Alpha)
+				name := fmt.Sprintf("w%d/a%d", workers, opt.Alpha)
 				dist, st := ParallelDO(g, 0, opt)
-				if len(dist) != len(ref) {
-					t.Fatalf("%s: %d distances, want %d", name, len(dist), len(ref))
-				}
-				for v := range dist {
-					if dist[v] != ref[v] {
-						t.Fatalf("%s: dist[%d] = %d, sequential %d", name, v, dist[v], ref[v])
-					}
-				}
+				testutil.MustEqualDists(t, name, dist, ref)
 				if err := Verify(g, 0, dist); err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -61,7 +40,7 @@ func TestParallelDOMatchesSequential(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 }
 
 func TestParallelDONonZeroRoot(t *testing.T) {

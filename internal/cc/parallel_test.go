@@ -7,45 +7,17 @@ import (
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 	"bagraph/internal/par"
+	"bagraph/internal/testutil"
 )
 
-// testCorpus spans the generator classes the paper's Table 2 stands in
-// for: skewed RMAT, road-like stencil lattices, and uniform random, plus
-// structural edge cases (disconnected, star, path, empty).
-func testCorpus(t testing.TB) []*graph.Graph {
-	t.Helper()
-	return []*graph.Graph{
-		gen.RMAT(10, 8, gen.DefaultRMAT, 1),
-		gen.RMAT(12, 4, gen.DefaultRMAT, 2),
-		gen.Grid2D(40, 40, false),
-		gen.Grid3D(12, 12, 12, 1),
-		gen.GNM(2000, 6000, 3),
-		gen.GNM(500, 400, 4), // sparse: many components
-		gen.Disconnected(gen.GNM(300, 900, 5), 4),
-		gen.Star(100),
-		gen.Path(257),
-		graph.MustBuild(0, nil, graph.Options{}),
-		graph.MustBuild(1, nil, graph.Options{}),
-	}
-}
-
-var workerCounts = []int{1, 2, 4, 8}
-
 func TestSVParallelMatchesSequential(t *testing.T) {
-	for _, g := range testCorpus(t) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
 		ref, _ := SVBranchBased(g)
 		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
-			for _, workers := range workerCounts {
-				name := fmt.Sprintf("%s/%s/w%d", g, variant, workers)
+			for _, workers := range testutil.WorkerCounts {
+				name := fmt.Sprintf("%s/w%d", variant, workers)
 				labels, st := SVParallel(g, ParallelOptions{Workers: workers, Variant: variant})
-				if len(labels) != len(ref) {
-					t.Fatalf("%s: %d labels, want %d", name, len(labels), len(ref))
-				}
-				for v := range labels {
-					if labels[v] != ref[v] {
-						t.Fatalf("%s: vertex %d labeled %d, sequential %d", name, v, labels[v], ref[v])
-					}
-				}
+				testutil.MustEqualLabels(t, name, labels, ref)
 				if g.NumVertices() > 0 {
 					if err := Verify(g, labels); err != nil {
 						t.Fatalf("%s: %v", name, err)
@@ -59,7 +31,7 @@ func TestSVParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		}
-	}
+	})
 }
 
 func TestSVParallelSharedPool(t *testing.T) {

@@ -31,12 +31,7 @@ import (
 // weightedStandIn attaches deterministic symmetric weights in [1, 64] to
 // a corpus graph.
 func weightedStandIn(g *graph.Graph, seed uint64) (*graph.Weighted, error) {
-	return graph.AttachWeights(g, func(u, v uint32) uint32 {
-		if u > v {
-			u, v = v, u
-		}
-		return uint32(xrand.Hash64(seed^(uint64(u)<<32|uint64(v))))%64 + 1
-	})
+	return graph.AttachWeights(g, xrand.SymmetricWeights(64, seed))
 }
 
 // ExtensionSSSP renders the Bellman-Ford extension table.

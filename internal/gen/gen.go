@@ -146,14 +146,27 @@ func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
 			endpoints = append(endpoints, uint32(i), uint32(j))
 		}
 	}
-	chosen := make(map[uint32]struct{}, k)
+	// chosen is a small slice with a linear dedup scan, not a map:
+	// ranging over a map would append endpoints in randomized order and
+	// silently break the generator's bit-reproducibility contract (the
+	// endpoint order feeds every later degree-proportional draw).
+	chosen := make([]uint32, 0, k)
 	for v := k + 1; v < n; v++ {
-		clear(chosen)
+		chosen = chosen[:0]
 		for len(chosen) < k {
 			t := endpoints[r.Intn(len(endpoints))]
-			chosen[t] = struct{}{}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			edges = append(edges, graph.Edge{U: uint32(v), V: t})
 			endpoints = append(endpoints, uint32(v), t)
 		}

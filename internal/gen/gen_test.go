@@ -300,3 +300,33 @@ func TestGeneratorsAlwaysValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGeneratorsBitReproducible pins the package contract the smoke
+// pipeline depends on: two calls with the same seed yield identical
+// edge lists. (BarabasiAlbert once ranged over a map while building
+// its endpoint list, which silently randomized every subsequent
+// degree-proportional draw.)
+func TestGeneratorsBitReproducible(t *testing.T) {
+	builders := map[string]func(seed uint64) *graph.Graph{
+		"gnm":  func(seed uint64) *graph.Graph { return GNM(200, 600, seed) },
+		"ba":   func(seed uint64) *graph.Graph { return BarabasiAlbert(300, 4, seed) },
+		"ws":   func(seed uint64) *graph.Graph { return WattsStrogatz(200, 3, 0.2, seed) },
+		"rmat": func(seed uint64) *graph.Graph { return RMAT(9, 6, DefaultRMAT, seed) },
+		"community": func(seed uint64) *graph.Graph {
+			return Community(8, 20, 0.3, 40, seed)
+		},
+	}
+	for name, build := range builders {
+		for _, seed := range []uint64{1, 7} {
+			a, b := build(seed).EdgeList(), build(seed).EdgeList()
+			if len(a) != len(b) {
+				t.Fatalf("%s seed %d: edge counts %d vs %d", name, seed, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s seed %d: edge %d differs: %v vs %v", name, seed, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package metis
+
+// Native fuzz targets for the parser: whatever the bytes, Read and
+// ReadWeighted must either return a descriptive error or a graph that
+// passes structural validation and survives a write/read round trip.
+// The parser fronts the daemon's graph-loading path, so "no panics, no
+// silently-invalid graphs" is a serving-layer invariant, not just
+// parser hygiene.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("4 4\n2 3\n1 3 4\n1 2\n2\n"))
+	f.Add([]byte("% comment\n3 1\n2\n1\n\n"))
+	f.Add([]byte("2 1 0\n2\n1\n"))
+	f.Add([]byte("3 5\n2\n1 3\n2\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("-1 0\n"))
+	f.Add([]byte("4\n"))
+	f.Add([]byte("2 1\n0\n1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted graph fails to serialize: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph fails: %v", err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed size: %s -> %s", g, h)
+		}
+	})
+}
+
+func FuzzReadWeighted(f *testing.F) {
+	f.Add([]byte("3 3 1\n2 5 3 9\n1 5 3 2\n1 9 2 2\n"))
+	f.Add([]byte("2 1\n2\n1\n"))
+	f.Add([]byte("2 1 1\n2 5\n1 6\n"))
+	f.Add([]byte("2 1 1\n2 5 9\n1 5\n"))
+	f.Add([]byte("2 1 11\n7 2 5\n7 1 5\n"))
+	f.Add([]byte("2 1 1\n2 4294967295\n1 4294967295\n"))
+	f.Add([]byte("3 2 1\n2 4\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadWeighted(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		if int64(len(g.ArcWeights())) != g.NumArcs() {
+			t.Fatalf("%d weights for %d arcs", len(g.ArcWeights()), g.NumArcs())
+		}
+		var buf bytes.Buffer
+		if err := WriteWeighted(&buf, g.Weighted); err != nil {
+			t.Fatalf("accepted graph fails to serialize: %v", err)
+		}
+		h, err := ReadWeighted(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph fails: %v", err)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+			t.Fatal("round trip changed size")
+		}
+		aw, bw := g.ArcWeights(), h.ArcWeights()
+		for i := range aw {
+			if aw[i] != bw[i] {
+				t.Fatalf("round trip changed weight %d: %d -> %d", i, aw[i], bw[i])
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"bagraph/internal/corpus"
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
+	"bagraph/internal/testutil"
 )
 
 func TestReadSimple(t *testing.T) {
@@ -54,7 +55,8 @@ func TestReadErrors(t *testing.T) {
 		"empty":           "",
 		"bad header":      "x y\n",
 		"one field":       "4\n",
-		"weighted":        "2 1 11\n2 5\n1 5\n",
+		"vertex weights":  "2 1 11\n2 5\n1 5\n",
+		"edge weights":    "2 1 1\n2 5\n1 5\n",
 		"neighbor oob":    "2 1\n3\n1\n",
 		"neighbor zero":   "2 1\n0\n1\n",
 		"bad token":       "2 1\nfoo\n1\n",
@@ -66,6 +68,134 @@ func TestReadErrors(t *testing.T) {
 		if _, err := Read(strings.NewReader(input)); err == nil {
 			t.Errorf("%s: accepted %q", name, input)
 		}
+	}
+}
+
+func TestReadWeightedSimple(t *testing.T) {
+	// Triangle with distinct weights, format code "1".
+	input := `% weighted triangle
+3 3 1
+2 5 3 9
+1 5 3 2
+1 9 2 2
+`
+	g, err := ReadWeighted(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasWeights {
+		t.Fatal("explicit weights not reported")
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	adj, ws := g.NeighborWeights(0)
+	want := map[uint32]uint32{1: 5, 2: 9}
+	for i, u := range adj {
+		if ws[i] != want[u] {
+			t.Fatalf("weight(0,%d) = %d, want %d", u, ws[i], want[u])
+		}
+	}
+}
+
+func TestReadWeightedUnweightedFile(t *testing.T) {
+	// Unweighted input parses with unit weights, ready for SSSP.
+	input := "2 1\n2\n1\n"
+	g, err := ReadWeighted(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasWeights {
+		t.Fatal("unit weights reported as explicit")
+	}
+	for _, w := range g.ArcWeights() {
+		if w != 1 {
+			t.Fatalf("unit weight = %d", w)
+		}
+	}
+}
+
+func TestReadWeightedErrors(t *testing.T) {
+	cases := map[string]string{
+		"odd tokens":        "2 1 1\n2 5 9\n1 5\n",
+		"bad weight":        "2 1 1\n2 x\n1 5\n",
+		"negative weight":   "2 1 1\n2 -3\n1 -3\n",
+		"asymmetric weight": "2 1 1\n2 5\n1 6\n",
+		"vertex weights":    "2 1 011\n7 2 5\n7 1 5\n",
+		"vertex sizes":      "2 1 101\n2 5\n1 5\n",
+		"bad format code":   "2 1 2\n2\n1\n",
+		"long format code":  "2 1 0001\n2\n1\n",
+		"ncon field":        "2 1 1 3\n2 5\n1 5\n",
+		"truncated":         "3 2 1\n2 4\n",
+		"edge count lies":   "3 1 1\n2 4\n1 4 3 6\n2 6\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadWeighted(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+// TestWeightedRoundTrip drives WriteWeighted→ReadWeighted equality:
+// structure, weights, and the explicit-weights marker must survive.
+func TestWeightedRoundTrip(t *testing.T) {
+	graphs := []*graph.Weighted{
+		testutil.RandomWeighted(40, 90, 9, 3),
+		testutil.RandomWeighted(120, 500, 1000, 4),
+		testutil.AttachHashWeights(t, gen.Grid2D(6, 7, true), 50, 5),
+		graph.MustBuildWeighted(5, []graph.WeightedEdge{{U: 0, V: 1, W: 7}}, false, "mostly-isolated"),
+		graph.MustBuildWeighted(3, nil, false, "edgeless"),
+	}
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := WriteWeighted(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g, err)
+		}
+		h, err := ReadWeighted(&buf)
+		if err != nil {
+			t.Fatalf("%s: read back: %v", g, err)
+		}
+		if g.NumEdges() > 0 && !h.HasWeights {
+			t.Fatalf("%s: weights lost in round trip", g)
+		}
+		if h.NumVertices() != g.NumVertices() || h.NumArcs() != g.NumArcs() {
+			t.Fatalf("%s: round trip changed size", g)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, aw := g.NeighborWeights(uint32(v))
+			b, bw := h.NeighborWeights(uint32(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d degree changed", g, v)
+			}
+			for i := range a {
+				if a[i] != b[i] || aw[i] != bw[i] {
+					t.Fatalf("%s: vertex %d arc %d changed: (%d,%d) -> (%d,%d)",
+						g, v, i, a[i], aw[i], b[i], bw[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedRoundTripThroughUnweightedRead pins the split contract:
+// a weighted file is rejected by Read but its structure matches what
+// ReadWeighted sees.
+func TestWeightedRoundTripThroughUnweightedRead(t *testing.T) {
+	g := testutil.RandomWeighted(30, 60, 5, 9)
+	var buf bytes.Buffer
+	if err := WriteWeighted(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("Read accepted a weighted file")
+	}
+	h, err := ReadWeighted(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumArcs() != g.NumArcs() {
+		t.Fatalf("arcs %d -> %d", g.NumArcs(), h.NumArcs())
 	}
 }
 

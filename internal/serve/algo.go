@@ -36,22 +36,31 @@ var ccAliases = map[string]string{
 }
 
 // bfsAliases maps accepted BFS variant names to their canonical form.
+// "ms" is the batch-aware multi-source kernel: every request that
+// lands in the same dispatch traverses through one shared bottom-up
+// mask sweep per level instead of k independent traversals.
 var bfsAliases = map[string]string{
-	"":        "par-do",
-	"bb":      "bb",
-	"ba":      "ba",
-	"dir-opt": "dir-opt",
-	"par-do":  "par-do",
+	"":             "par-do",
+	"bb":           "bb",
+	"ba":           "ba",
+	"dir-opt":      "dir-opt",
+	"par-do":       "par-do",
+	"ms":           "ms",
+	"multi-source": "ms",
 }
 
 // ssspAliases maps accepted SSSP algorithm names to their canonical
-// form.
+// form. The empty string selects the serving default: the parallel
+// delta-stepping hybrid on the warm pool, mirroring the CC default.
 var ssspAliases = map[string]string{
-	"":             "ba",
+	"":             "par-hybrid",
 	"bb":           "bb",
 	"bellman-ford": "bb",
 	"ba":           "ba",
 	"dijkstra":     "dijkstra",
+	"par-bb":       "par-bb",
+	"par-ba":       "par-ba",
+	"par-hybrid":   "par-hybrid",
 }
 
 // canon resolves an algorithm name against an alias table.
@@ -75,8 +84,10 @@ func canon(aliases map[string]string, name, family string) (string, error) {
 // inside pool.Run — the nested submit would wait on workers that are
 // busy running it — so the batcher runs them back to back, each one
 // owning the whole pool (intra-query parallelism), and fans out only
-// the sequential kernels (inter-query parallelism).
-func usesPool(algo string) bool { return strings.HasPrefix(algo, "par-") }
+// the sequential kernels (inter-query parallelism). The multi-source
+// BFS kernel also owns the pool, but runs once for the whole batch
+// (see Batcher.dispatch).
+func usesPool(algo string) bool { return strings.HasPrefix(algo, "par-") || algo == "ms" }
 
 // runCC executes a canonical CC algorithm and returns the min-id
 // component labeling.
@@ -128,9 +139,12 @@ func runBFS(algo string, g *graph.Graph, root uint32, pool *par.Pool) ([]uint32,
 	}
 }
 
-// runSSSP executes a canonical SSSP algorithm over the unit-weight view
-// and returns the weighted distances (sssp.Inf for unreached vertices).
-func runSSSP(algo string, w *graph.Weighted, root uint32) ([]uint64, error) {
+// runSSSP executes a canonical SSSP algorithm over the entry's
+// weighted view (real edge weights for weighted loads, unit weights
+// otherwise) and returns the distances (sssp.Inf for unreached
+// vertices). delta is the entry's cached bucket width for the par-*
+// kernels (Entry.SSSPDelta), saving the per-query weight-array sweep.
+func runSSSP(algo string, w *graph.Weighted, root uint32, delta uint64, pool *par.Pool) ([]uint64, error) {
 	switch algo {
 	case "bb":
 		dist, _ := sssp.BellmanFordBranchBased(w, root)
@@ -140,7 +154,23 @@ func runSSSP(algo string, w *graph.Weighted, root uint32) ([]uint64, error) {
 		return dist, nil
 	case "dijkstra":
 		return sssp.Dijkstra(w, root), nil
+	case "par-bb":
+		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.BranchBased, Delta: delta})
+		return dist, nil
+	case "par-ba":
+		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.BranchAvoiding, Delta: delta})
+		return dist, nil
+	case "par-hybrid":
+		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.Hybrid, Delta: delta})
+		return dist, nil
 	default:
 		return nil, fmt.Errorf("unknown SSSP algorithm %q", algo)
 	}
+}
+
+// runMultiSourceBFS executes one batch of BFS roots through the shared
+// multi-source kernel, returning one distance array per root in order.
+func runMultiSourceBFS(g *graph.Graph, roots []uint32, pool *par.Pool) [][]uint32 {
+	dists, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Pool: pool})
+	return dists
 }

@@ -9,9 +9,12 @@ package serve
 // window into one batch, and the batch of source vertices is fanned out
 // across the one resident worker pool. Kernels that parallelize
 // internally (par-*) instead run back to back, each owning the whole
-// pool. CC queries have no per-request source, so they coalesce harder:
-// concurrent identical queries share a single kernel run and the label
-// array is cached on the graph entry until its epoch is retired.
+// pool. The multi-source BFS kernel ("ms") coalesces deeper still: the
+// whole batch becomes one kernel run whose shared level sweeps advance
+// every batched source at once. CC queries have no per-request source,
+// so they coalesce hardest: concurrent identical queries share a single
+// kernel run and the label array is cached on the graph entry until its
+// epoch is retired.
 
 import (
 	"sync"
@@ -111,7 +114,8 @@ func (b *Batcher) BFS(e *Entry, algo string, root uint32) Result {
 	return b.traverse(&Request{entry: e, kind: kindBFS, algo: algo, root: root})
 }
 
-// SSSP enqueues a unit-weight SSSP query and blocks until its batch is
+// SSSP enqueues a weighted SSSP query (real edge weights for weighted
+// entries, unit weights otherwise) and blocks until its batch is
 // dispatched. algo must be canonical (see ssspAliases) and root in
 // range.
 func (b *Batcher) SSSP(e *Entry, algo string, root uint32) Result {
@@ -196,18 +200,33 @@ func (b *Batcher) flushTimed(pb *pendingBatch) {
 }
 
 // dispatch runs one claimed batch and delivers per-request results.
-// Sequential kernels fan out across the pool — the batch of sources is
-// the unit of parallelism; pool-using kernels run back to back, each
-// parallelizing internally (a nested pool.Run would deadlock on its own
-// workers).
+// Three shapes, in decreasing order of sharing:
+//
+//   - Multi-source BFS ("ms"): the whole batch is ONE kernel run — the
+//     batched roots traverse together through shared bottom-up mask
+//     sweeps, one graph pass per level for up to 64 sources.
+//   - Pool-using kernels (par-*): run back to back, each parallelizing
+//     internally (a nested pool.Run would deadlock on its own workers).
+//   - Sequential kernels: the batch of sources fans out across the
+//     pool — the batch is the unit of parallelism.
 func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 	n := len(reqs)
 	results := make([]Result, n)
-	if usesPool(key.algo) {
+	switch {
+	case key.kind == kindBFS && key.algo == "ms":
+		roots := make([]uint32, n)
+		for i, r := range reqs {
+			roots[i] = r.root
+		}
+		dists := runMultiSourceBFS(key.entry.Graph(), roots, b.pool)
+		for i := range results {
+			results[i] = Result{Hops: dists[i]}
+		}
+	case usesPool(key.algo):
 		for i, r := range reqs {
 			results[i] = b.runOne(r)
 		}
-	} else {
+	default:
 		b.pool.Run(n, func(i int) { results[i] = b.runOne(reqs[i]) })
 	}
 	for i, r := range reqs {
@@ -224,7 +243,7 @@ func (b *Batcher) runOne(r *Request) Result {
 		if err != nil {
 			return Result{Err: err}
 		}
-		dist, err := runSSSP(r.algo, w, r.root)
+		dist, err := runSSSP(r.algo, w, r.root, r.entry.SSSPDelta(), b.pool)
 		return Result{Dists: dist, Err: err}
 	default:
 		dist, err := runBFS(r.algo, r.entry.Graph(), r.root, b.pool)

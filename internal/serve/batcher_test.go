@@ -9,6 +9,7 @@ import (
 	"bagraph/internal/cc"
 	"bagraph/internal/gen"
 	"bagraph/internal/sssp"
+	"bagraph/internal/testutil"
 )
 
 // newTestEntry publishes a mid-size generated graph (disconnected, so
@@ -99,14 +100,14 @@ func TestBatcherImmediateWindow(t *testing.T) {
 	}
 }
 
-// TestBatcherSSSP checks the weighted family end to end: unit-weight
-// distances from the batcher equal the Dijkstra oracle on the shared
-// view.
+// TestBatcherSSSP checks the weighted family end to end: sequential
+// and parallel kernels alike, the batcher's distances must equal the
+// Dijkstra oracle on the entry's shared view.
 func TestBatcherSSSP(t *testing.T) {
 	e := newTestEntry(t)
 	b := NewBatcher(2, 4, -1)
 	defer b.Close()
-	for _, algo := range []string{"bb", "ba", "dijkstra"} {
+	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
 		res := b.SSSP(e, algo, 5)
 		if res.Err != nil {
 			t.Fatalf("%s: %v", algo, res.Err)
@@ -120,6 +121,89 @@ func TestBatcherSSSP(t *testing.T) {
 			if res.Dists[v] != want[v] {
 				t.Fatalf("%s: dist[%d] = %d, want %d", algo, v, res.Dists[v], want[v])
 			}
+		}
+	}
+}
+
+// TestBatcherSSSPRealWeights pins the weighted-entry path: a weighted
+// registry entry serves SSSP on its real edge weights, not the unit
+// view, for every algorithm.
+func TestBatcherSSSPRealWeights(t *testing.T) {
+	r := NewRegistry()
+	w := testutil.RandomWeighted(300, 800, 25, 21)
+	e, err := r.AddWeighted("wg", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasEdgeWeights() {
+		t.Fatal("weighted entry not marked weighted")
+	}
+	b := NewBatcher(2, 4, -1)
+	defer b.Close()
+	want := sssp.Dijkstra(w, 2)
+	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
+		res := b.SSSP(e, algo, 2)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", algo, res.Err)
+		}
+		for v := range want {
+			if res.Dists[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", algo, v, res.Dists[v], want[v])
+			}
+		}
+	}
+}
+
+// TestBatcherMultiSourceBFS fires a full batch of "ms" queries: the
+// size trigger must coalesce them into ONE multi-source kernel run and
+// every response must match an independent sequential traversal.
+func TestBatcherMultiSourceBFS(t *testing.T) {
+	e := newTestEntry(t)
+	const k = 6
+	b := NewBatcher(2, k, 5*time.Second)
+	defer b.Close()
+
+	results := make([]Result, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.BFS(e, "ms", uint32(i*7))
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("req %d: %v", i, res.Err)
+		}
+		if res.Batch != k {
+			t.Fatalf("req %d dispatched in batch of %d, want %d", i, res.Batch, k)
+		}
+		want, _ := bfs.TopDownBranchBased(e.Graph(), uint32(i*7))
+		for v := range want {
+			if res.Hops[v] != want[v] {
+				t.Fatalf("req %d: dist[%d] = %d, want %d", i, v, res.Hops[v], want[v])
+			}
+		}
+	}
+
+	// A lone "ms" query (batch of one, immediate dispatch) also
+	// answers correctly.
+	b1 := NewBatcher(2, 4, -1)
+	defer b1.Close()
+	solo := b1.BFS(e, "ms", 3)
+	if solo.Err != nil {
+		t.Fatal(solo.Err)
+	}
+	if solo.Batch != 1 {
+		t.Fatalf("solo batch = %d, want 1", solo.Batch)
+	}
+	want, _ := bfs.TopDownBranchBased(e.Graph(), 3)
+	for v := range want {
+		if solo.Hops[v] != want[v] {
+			t.Fatalf("solo: dist[%d] = %d, want %d", v, solo.Hops[v], want[v])
 		}
 	}
 }

@@ -8,22 +8,26 @@ import (
 	"bagraph/internal/corpus"
 	"bagraph/internal/graph"
 	"bagraph/internal/metis"
+	"bagraph/internal/sssp"
 )
 
 // Entry is one named graph resident in the daemon: the immutable CSR
-// graph, a lazily derived unit-weight view for the weighted kernels,
-// and the per-epoch connected-components cache. Entries are immutable
-// once published; Registry.Replace swaps in a fresh Entry under the
-// same name with a bumped epoch, which retires the old entry's caches
-// wholesale.
+// graph, its weighted view for the SSSP kernels — real per-edge
+// weights when the graph was loaded from a weighted METIS file, a
+// lazily derived unit-weight view otherwise — and the per-epoch
+// connected-components cache. Entries are immutable once published;
+// Registry.Replace swaps in a fresh Entry under the same name with a
+// bumped epoch, which retires the old entry's caches wholesale.
 type Entry struct {
 	name  string
 	epoch uint64
 	g     *graph.Graph
 
-	wOnce    sync.Once
-	weighted *graph.Weighted
-	wErr     error
+	wOnce          sync.Once
+	weighted       *graph.Weighted // preset for weighted loads, else lazily unit
+	wErr           error
+	ssspDelta      uint64 // delta-stepping bucket width, cached with the view
+	hasEdgeWeights bool
 
 	ccMu    sync.Mutex
 	ccCache map[string]*ccResult
@@ -48,14 +52,33 @@ func (e *Entry) Graph() *graph.Graph { return e.g }
 // the name is replaced, and retires cached results from prior epochs.
 func (e *Entry) Epoch() uint64 { return e.epoch }
 
-// Weighted returns the unit-weight view used by the SSSP kernels,
-// derived on first use and shared by all subsequent queries.
+// Weighted returns the view the SSSP kernels run on: the graph's real
+// per-edge weights when it was published weighted, otherwise a
+// unit-weight view derived on first use. Either way the view is shared
+// by all subsequent queries against this entry.
 func (e *Entry) Weighted() (*graph.Weighted, error) {
 	e.wOnce.Do(func() {
-		e.weighted, e.wErr = graph.AttachWeights(e.g, func(u, v uint32) uint32 { return 1 })
+		if e.weighted == nil {
+			e.weighted, e.wErr = graph.AttachWeights(e.g, func(u, v uint32) uint32 { return 1 })
+		}
+		if e.wErr == nil {
+			// The delta-stepping default bucket width costs a pass over
+			// the weight array; the view is immutable, so pay it once
+			// per entry rather than per query.
+			e.ssspDelta = sssp.DefaultDelta(e.weighted)
+		}
 	})
 	return e.weighted, e.wErr
 }
+
+// SSSPDelta returns the cached delta-stepping bucket width for the
+// entry's weighted view. Valid after a successful Weighted call.
+func (e *Entry) SSSPDelta() uint64 { return e.ssspDelta }
+
+// HasEdgeWeights reports whether the entry was published with real
+// per-edge weights (as opposed to the derived unit-weight view). Set
+// at publish time and immutable afterwards.
+func (e *Entry) HasEdgeWeights() bool { return e.hasEdgeWeights }
 
 // Registry is the daemon's set of named resident graphs. Lookups are
 // lock-cheap reads; loading happens at startup or through an explicit
@@ -71,26 +94,19 @@ func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*Entry)}
 }
 
-// Add publishes g under name; the name must be new.
-func (r *Registry) Add(name string, g *graph.Graph) (*Entry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("serve: empty graph name")
+// newEntry builds an unpublished entry; w, when non-nil, presets the
+// weighted view with real per-edge weights.
+func newEntry(name string, epoch uint64, g *graph.Graph, w *graph.Weighted) *Entry {
+	return &Entry{
+		name: name, epoch: epoch, g: g,
+		weighted: w, hasEdgeWeights: w != nil,
+		ccCache: make(map[string]*ccResult),
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; ok {
-		return nil, fmt.Errorf("serve: graph %q already loaded", name)
-	}
-	e := &Entry{name: name, epoch: 1, g: g, ccCache: make(map[string]*ccResult)}
-	r.entries[name] = e
-	r.order = append(r.order, name)
-	return e, nil
 }
 
-// Replace publishes g under name, bumping the epoch past any previous
-// entry's. In-flight queries against the old entry finish against the
-// graph they started with; its caches are never consulted again.
-func (r *Registry) Replace(name string, g *graph.Graph) (*Entry, error) {
+// publish installs an entry under name. With replace set the name may
+// exist (its epoch is bumped); otherwise it must be new.
+func (r *Registry) publish(name string, g *graph.Graph, w *graph.Weighted, replace bool) (*Entry, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty graph name")
 	}
@@ -98,28 +114,60 @@ func (r *Registry) Replace(name string, g *graph.Graph) (*Entry, error) {
 	defer r.mu.Unlock()
 	epoch := uint64(1)
 	if old, ok := r.entries[name]; ok {
+		if !replace {
+			return nil, fmt.Errorf("serve: graph %q already loaded", name)
+		}
 		epoch = old.epoch + 1
 	} else {
 		r.order = append(r.order, name)
 	}
-	e := &Entry{name: name, epoch: epoch, g: g, ccCache: make(map[string]*ccResult)}
+	e := newEntry(name, epoch, g, w)
 	r.entries[name] = e
 	return e, nil
 }
 
-// LoadMETISFile reads a METIS graph from path and publishes it.
+// Add publishes g under name; the name must be new.
+func (r *Registry) Add(name string, g *graph.Graph) (*Entry, error) {
+	return r.publish(name, g, nil, false)
+}
+
+// AddWeighted publishes w under name with its real per-edge weights;
+// the name must be new. SSSP queries against the entry run on these
+// weights instead of the derived unit-weight view.
+func (r *Registry) AddWeighted(name string, w *graph.Weighted) (*Entry, error) {
+	return r.publish(name, w.Graph, w, false)
+}
+
+// Replace publishes g under name, bumping the epoch past any previous
+// entry's. In-flight queries against the old entry finish against the
+// graph they started with; its caches are never consulted again.
+func (r *Registry) Replace(name string, g *graph.Graph) (*Entry, error) {
+	return r.publish(name, g, nil, true)
+}
+
+// ReplaceWeighted is Replace for a graph with real per-edge weights.
+func (r *Registry) ReplaceWeighted(name string, w *graph.Weighted) (*Entry, error) {
+	return r.publish(name, w.Graph, w, true)
+}
+
+// LoadMETISFile reads a METIS graph from path and publishes it. Files
+// carrying per-edge weights (format code "1") publish a weighted
+// entry; unweighted files serve SSSP through the unit-weight view.
 func (r *Registry) LoadMETISFile(name, path string) (*Entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	defer f.Close()
-	g, err := metis.Read(f)
+	w, err := metis.ReadWeighted(f)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %s: %w", path, err)
 	}
-	g.SetName(name)
-	return r.Add(name, g)
+	w.SetName(name)
+	if w.HasWeights {
+		return r.AddWeighted(name, w.Weighted)
+	}
+	return r.Add(name, w.Graph)
 }
 
 // AddCorpus generates the named Table 2 stand-in at the given scale and

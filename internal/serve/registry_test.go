@@ -8,6 +8,7 @@ import (
 
 	"bagraph/internal/gen"
 	"bagraph/internal/metis"
+	"bagraph/internal/testutil"
 )
 
 func TestRegistryAddAndGet(t *testing.T) {
@@ -116,6 +117,9 @@ func TestEntryWeightedIsUnitAndShared(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if e.HasEdgeWeights() {
+		t.Fatal("unweighted entry marked weighted")
+	}
 	w1, err := e.Weighted()
 	if err != nil {
 		t.Fatal(err)
@@ -128,5 +132,71 @@ func TestEntryWeightedIsUnitAndShared(t *testing.T) {
 		if wt != 1 {
 			t.Fatalf("non-unit weight %d", wt)
 		}
+	}
+}
+
+// TestRegistryLoadWeightedMETISFile pins the daemon's weighted path: a
+// weighted file publishes a weighted entry whose SSSP view carries the
+// file's weights byte for byte.
+func TestRegistryLoadWeightedMETISFile(t *testing.T) {
+	w := testutil.RandomWeighted(40, 90, 12, 33)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.metis")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metis.WriteWeighted(f, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	e, err := r.LoadMETISFile("wg", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.HasEdgeWeights() {
+		t.Fatal("weighted file published an unweighted entry")
+	}
+	got, err := e.Weighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, bw := w.ArcWeights(), got.ArcWeights()
+	if len(aw) != len(bw) {
+		t.Fatalf("%d arcs, want %d", len(bw), len(aw))
+	}
+	for i := range aw {
+		if aw[i] != bw[i] {
+			t.Fatalf("arc %d weight %d, want %d", i, bw[i], aw[i])
+		}
+	}
+}
+
+// TestRegistryReplaceWeighted checks weighted hot-swap: epochs bump
+// and the weighted marker follows the new entry.
+func TestRegistryReplaceWeighted(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Add("g", gen.Path(6)); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := r.ReplaceWeighted("g", testutil.RandomWeighted(20, 40, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Epoch() != 2 || !e2.HasEdgeWeights() {
+		t.Fatalf("epoch %d weighted %v", e2.Epoch(), e2.HasEdgeWeights())
+	}
+	e3, err := r.Replace("g", gen.Star(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Epoch() != 3 || e3.HasEdgeWeights() {
+		t.Fatalf("epoch %d weighted %v", e3.Epoch(), e3.HasEdgeWeights())
+	}
+	if _, err := r.AddWeighted("g", testutil.RandomWeighted(10, 20, 3, 2)); err == nil {
+		t.Fatal("AddWeighted over an existing name accepted")
 	}
 }

@@ -8,15 +8,22 @@
 // Endpoints:
 //
 //	GET  /healthz     — liveness: status, graph count, pool size
-//	GET  /graphs      — the resident graphs with sizes and epochs
+//	GET  /graphs      — the resident graphs with sizes, epochs, and
+//	                    whether they carry real edge weights
 //	POST /query/cc    — {"graph","algo","labels"} → component count
 //	                    (+labels on request); cached per graph epoch
-//	POST /query/bfs   — {"graph","root","algo"} → hop distances
-//	POST /query/sssp  — {"graph","root","algo"} → unit-weight distances
+//	POST /query/bfs   — {"graph","root","algo"} → hop distances; algo
+//	                    "ms" lets concurrent queries share one
+//	                    multi-source kernel run
+//	POST /query/sssp  — {"graph","root","algo"} → weighted distances
+//	                    (real edge weights for graphs loaded from
+//	                    weighted METIS files, unit weights otherwise)
 //
 // Distance arrays use in-band sentinels for unreached vertices
 // (4294967295 for BFS hops, 2^62 for SSSP), mirroring the library's
-// Unreached/InfDistance constants.
+// Unreached/InfDistance constants. SSSP responses also carry the sum
+// of finite distances, the cheap cross-check the smoke script compares
+// against the CLI kernels.
 package serve
 
 import (
@@ -158,6 +165,7 @@ type graphInfo struct {
 	Vertices int    `json:"vertices"`
 	Edges    int64  `json:"edges"`
 	Directed bool   `json:"directed"`
+	Weighted bool   `json:"weighted"`
 	Epoch    uint64 `json:"epoch"`
 }
 
@@ -171,6 +179,7 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 			Vertices: g.NumVertices(),
 			Edges:    g.NumEdges(),
 			Directed: g.Directed(),
+			Weighted: e.HasEdgeWeights(),
 			Epoch:    e.Epoch(),
 		})
 	}
@@ -284,7 +293,9 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ssspResponse is the /query/sssp response body.
+// ssspResponse is the /query/sssp response body. Sum (of finite
+// distances) is the order-independent digest the smoke script compares
+// against the CLI kernels without parsing the whole array.
 type ssspResponse struct {
 	Graph   string   `json:"graph"`
 	Epoch   uint64   `json:"epoch"`
@@ -292,6 +303,7 @@ type ssspResponse struct {
 	Root    uint32   `json:"root"`
 	Batch   int      `json:"batch"`
 	Reached int      `json:"reached"`
+	Sum     uint64   `json:"sum"`
 	Dist    []uint64 `json:"dist"`
 }
 
@@ -315,9 +327,11 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reached := 0
+	sum := uint64(0)
 	for _, d := range res.Dists {
 		if d != sssp.Inf {
 			reached++
+			sum += d
 		}
 	}
 	writeJSON(w, http.StatusOK, ssspResponse{
@@ -327,6 +341,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		Root:    q.Root,
 		Batch:   res.Batch,
 		Reached: reached,
+		Sum:     sum,
 		Dist:    res.Dists,
 	})
 }

@@ -76,6 +76,7 @@ type travResp struct {
 type ssspResp struct {
 	Dist    []uint64 `json:"dist"`
 	Reached int      `json:"reached"`
+	Sum     uint64   `json:"sum"`
 	Batch   int      `json:"batch"`
 }
 
@@ -143,6 +144,13 @@ func TestServerBFSMatchesFacade(t *testing.T) {
 		"ba":      func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSBranchAvoiding) },
 		"dir-opt": func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSDirectionOptimizing) },
 		"par-do":  func() ([]uint32, error) { return bagraph.ShortestHopsParallel(g, 3, 2) },
+		"ms": func() ([]uint32, error) {
+			dists, err := bagraph.ShortestHopsMultiSource(g, []uint32{3}, 2)
+			if err != nil {
+				return nil, err
+			}
+			return dists[0], nil
+		},
 	}
 	for algo, oracle := range variants {
 		code, got := post[travResp](t, ts.URL+"/query/bfs",
@@ -175,28 +183,40 @@ func TestServerSSSPMatchesFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	facade := map[string]bagraph.SSSPAlgorithm{
-		"bb":       bagraph.SSSPBellmanFord,
-		"ba":       bagraph.SSSPBellmanFordBranchAvoiding,
-		"dijkstra": bagraph.SSSPDijkstra,
+	facade := map[string]func() ([]uint64, error){
+		"bb":       func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPBellmanFord) },
+		"ba":       func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPBellmanFordBranchAvoiding) },
+		"dijkstra": func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPDijkstra) },
+		"par-bb":   func() ([]uint64, error) { return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPBellmanFord, 2) },
+		"par-ba": func() ([]uint64, error) {
+			return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPBellmanFordBranchAvoiding, 2)
+		},
+		"par-hybrid": func() ([]uint64, error) { return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPHybrid, 2) },
 	}
-	for algo, alg := range facade {
+	for algo, oracle := range facade {
 		code, got := post[ssspResp](t, ts.URL+"/query/sssp",
 			map[string]any{"graph": "cm", "root": 7, "algo": algo})
 		if code != http.StatusOK {
 			t.Fatalf("%s: status %d", algo, code)
 		}
-		want, err := bagraph.ShortestPaths(w, 7, alg)
+		want, err := oracle()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(got.Dist) != len(want) {
 			t.Fatalf("%s: length %d, want %d", algo, len(got.Dist), len(want))
 		}
+		var sum uint64
 		for v := range want {
 			if got.Dist[v] != want[v] {
 				t.Fatalf("%s: dist[%d] = %d, want %d", algo, v, got.Dist[v], want[v])
 			}
+			if want[v] != bagraph.InfDistance {
+				sum += want[v]
+			}
+		}
+		if got.Sum != sum {
+			t.Fatalf("%s: sum = %d, want %d", algo, got.Sum, sum)
 		}
 	}
 }

@@ -1,0 +1,136 @@
+package serve
+
+// Epoch-safety stress: the registry's contract is that a query runs to
+// completion against the entry it resolved, while Replace concurrently
+// publishes fresh entries (different sizes, weighted and unweighted)
+// under the same name. Under -race this is the proof that hot graph
+// replacement never shares mutable state with in-flight traversals —
+// the property the ROADMAP's admin-reload direction leans on.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bagraph/internal/gen"
+	"bagraph/internal/graph"
+	"bagraph/internal/testutil"
+)
+
+func TestReplaceUnderConcurrentQueries(t *testing.T) {
+	r := NewRegistry()
+	b := NewBatcher(2, 8, 100*time.Microsecond)
+	defer b.Close()
+
+	// Alternating replacement targets with different vertex counts, so
+	// a query that illegally crossed epochs would trip the length
+	// checks below.
+	shapes := []*graph.Graph{
+		gen.GNM(300, 700, 1),
+		gen.GNM(500, 1200, 2),
+		gen.Grid2D(15, 15, false),
+	}
+	weighted := testutil.RandomWeighted(400, 900, 9, 3)
+	if _, err := r.Add("hot", shapes[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	const queriers = 4
+	const queriesEach = 60
+	// stop lets a failed replacer cut the query loops short instead of
+	// letting them grind on against a registry that stopped changing.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, queriers+1)
+
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			algos := []struct {
+				kind string
+				algo string
+			}{
+				{"bfs", "ba"}, {"bfs", "ms"}, {"bfs", "par-do"},
+				{"sssp", "par-hybrid"}, {"cc", "hybrid"},
+			}
+			for i := 0; i < queriesEach && !stop.Load(); i++ {
+				e, ok := r.Get("hot")
+				if !ok {
+					errc <- fmt.Errorf("querier %d: graph vanished", q)
+					return
+				}
+				n := e.Graph().NumVertices()
+				root := uint32((q*31 + i*7) % n)
+				a := algos[(q+i)%len(algos)]
+				switch a.kind {
+				case "bfs":
+					res := b.BFS(e, a.algo, root)
+					if res.Err != nil {
+						errc <- fmt.Errorf("querier %d: bfs %s: %w", q, a.algo, res.Err)
+						return
+					}
+					if len(res.Hops) != n {
+						errc <- fmt.Errorf("querier %d: bfs %s: %d hops for %d vertices", q, a.algo, len(res.Hops), n)
+						return
+					}
+					if res.Hops[root] != 0 {
+						errc <- fmt.Errorf("querier %d: bfs %s: dist[root] = %d", q, a.algo, res.Hops[root])
+						return
+					}
+				case "sssp":
+					res := b.SSSP(e, a.algo, root)
+					if res.Err != nil {
+						errc <- fmt.Errorf("querier %d: sssp: %w", q, res.Err)
+						return
+					}
+					if len(res.Dists) != n || res.Dists[root] != 0 {
+						errc <- fmt.Errorf("querier %d: sssp: %d dists for %d vertices, dist[root]=%d",
+							q, len(res.Dists), n, res.Dists[root])
+						return
+					}
+				default:
+					labels, comps, _, err := b.CC(e, a.algo)
+					if err != nil {
+						errc <- fmt.Errorf("querier %d: cc: %w", q, err)
+						return
+					}
+					if len(labels) != n || comps < 1 {
+						errc <- fmt.Errorf("querier %d: cc: %d labels for %d vertices, %d comps",
+							q, len(labels), n, comps)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+
+	// Replacer: hot-swap between shapes (including a weighted one)
+	// while the queriers hammer the name.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			var err error
+			if i%4 == 3 {
+				_, err = r.ReplaceWeighted("hot", weighted)
+			} else {
+				_, err = r.Replace("hot", shapes[i%len(shapes)])
+			}
+			if err != nil {
+				errc <- fmt.Errorf("replace %d: %w", i, err)
+				stop.Store(true)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

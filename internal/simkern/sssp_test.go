@@ -6,21 +6,12 @@ import (
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 	"bagraph/internal/sssp"
-	"bagraph/internal/xrand"
+	"bagraph/internal/testutil"
 )
 
 func weighted(t *testing.T, g *graph.Graph, seed uint64) *graph.Weighted {
 	t.Helper()
-	w, err := graph.AttachWeights(g, func(u, v uint32) uint32 {
-		if u > v {
-			u, v = v, u
-		}
-		return uint32(xrand.Hash64(seed^uint64(u)<<32|uint64(v)))%30 + 1
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return w
+	return testutil.AttachHashWeights(t, g, 30, seed)
 }
 
 func TestBellmanFordMatchesNativeAndDijkstra(t *testing.T) {

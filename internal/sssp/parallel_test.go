@@ -1,0 +1,134 @@
+package sssp
+
+import (
+	"fmt"
+	"testing"
+
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+	"bagraph/internal/testutil"
+)
+
+// TestParallelMatchesDijkstra is the acceptance property: every
+// relaxation variant, every worker count, every corpus graph — the
+// delta-stepping kernel must reproduce the Dijkstra oracle element for
+// element.
+func TestParallelMatchesDijkstra(t *testing.T) {
+	testutil.ForEachWeighted(t, nil, func(t *testing.T, g *graph.Weighted) {
+		want := Dijkstra(g, 0)
+		if g.NumVertices() > 0 {
+			if err := Verify(g, 0, want); err != nil {
+				t.Fatalf("dijkstra oracle invalid: %v", err)
+			}
+		}
+		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
+			for _, workers := range testutil.WorkerCounts {
+				name := fmt.Sprintf("%s/w%d", variant, workers)
+				dist, st := Parallel(g, 0, ParallelOptions{Workers: workers, Variant: variant})
+				testutil.MustEqualDists(t, name, dist, want)
+				if g.NumVertices() > 0 {
+					if err := Verify(g, 0, dist); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if st.Passes == 0 || st.Buckets == 0 {
+						t.Fatalf("%s: no passes/buckets recorded (%d/%d)", name, st.Passes, st.Buckets)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestParallelDeltaSweep pins that correctness is independent of the
+// bucket width: tiny deltas (many buckets, Dijkstra-like) and huge
+// deltas (one bucket, Bellman-Ford-like) must agree with the oracle.
+func TestParallelDeltaSweep(t *testing.T) {
+	g := testutil.RandomWeighted(300, 900, 50, 7)
+	want := Dijkstra(g, 3)
+	for _, delta := range []uint64{1, 2, 16, 1 << 20} {
+		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
+			dist, _ := Parallel(g, 3, ParallelOptions{Workers: 4, Variant: variant, Delta: delta})
+			testutil.MustEqualDists(t, fmt.Sprintf("delta=%d/%s", delta, variant), dist, want)
+		}
+	}
+}
+
+// TestParallelNonZeroSourceAndBuffer covers non-zero sources and the
+// Dist reuse contract: a |V|-length buffer is aliased, anything else
+// allocates.
+func TestParallelNonZeroSourceAndBuffer(t *testing.T) {
+	g := testutil.RandomWeighted(200, 700, 30, 9)
+	n := g.NumVertices()
+	buf := make([]uint64, n)
+	for _, src := range []uint32{1, 17, uint32(n - 1)} {
+		want := Dijkstra(g, src)
+		dist, _ := Parallel(g, src, ParallelOptions{Workers: 3, Dist: buf})
+		if &dist[0] != &buf[0] {
+			t.Fatal("result does not alias the caller buffer")
+		}
+		testutil.MustEqualDists(t, fmt.Sprintf("src=%d", src), dist, want)
+	}
+	small := make([]uint64, 3)
+	dist, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Dist: small})
+	if len(dist) != n {
+		t.Fatalf("wrong-size buffer: len=%d, want %d", len(dist), n)
+	}
+}
+
+// TestParallelSharedPool reuses one resident pool across runs; the
+// kernel must not close it and repeated runs must stay correct.
+func TestParallelSharedPool(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	g := testutil.RandomWeighted(150, 500, 20, 11)
+	want := Dijkstra(g, 0)
+	for run := 0; run < 3; run++ {
+		dist, _ := Parallel(g, 0, ParallelOptions{Pool: pool, Variant: Hybrid})
+		testutil.MustEqualDists(t, fmt.Sprintf("run%d", run), dist, want)
+	}
+}
+
+// TestParallelStoreAsymmetry pins the paper's headline on the scatter
+// phase: the branch-avoiding loop stores one candidate per scanned
+// arc, the branch-based loop only per improvement.
+func TestParallelStoreAsymmetry(t *testing.T) {
+	g := testutil.RandomWeighted(400, 1600, 9, 13)
+	_, bb := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchBased})
+	_, ba := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchAvoiding})
+	if ba.CandStores <= bb.CandStores {
+		t.Fatalf("BA cand stores = %d, not above BB's %d", ba.CandStores, bb.CandStores)
+	}
+	if bb.CandStores == 0 {
+		t.Fatal("BB recorded no candidate stores")
+	}
+	if bb.Total() <= 0 || ba.Total() <= 0 {
+		t.Fatal("no pass time recorded")
+	}
+}
+
+// TestParallelOutOfRangeSource mirrors the sequential kernels: an
+// out-of-range source yields an all-Inf labeling rather than a panic.
+func TestParallelOutOfRangeSource(t *testing.T) {
+	g := graph.MustBuildWeighted(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}}, false, "tiny")
+	dist, st := Parallel(g, 9, ParallelOptions{Workers: 2})
+	for v, d := range dist {
+		if d != Inf {
+			t.Fatalf("dist[%d] = %d, want Inf", v, d)
+		}
+	}
+	if st.Passes != 0 {
+		t.Fatalf("passes = %d for out-of-range source", st.Passes)
+	}
+}
+
+// TestVariantString pins the canonical names the CLI and daemon expose.
+func TestVariantString(t *testing.T) {
+	for v, want := range map[Variant]string{
+		BranchBased: "branch-based", BranchAvoiding: "branch-avoiding",
+		Hybrid: "hybrid", Variant(42): "unknown",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}

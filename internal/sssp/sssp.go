@@ -28,10 +28,11 @@ import (
 // the 64-bit branchless comparisons.
 const Inf = uint64(1) << 62
 
-// Stats describes one Bellman-Ford run.
+// Stats describes one SSSP kernel run (a Bellman-Ford sweep sequence,
+// or the parallel delta-stepping kernel's pass sequence).
 type Stats struct {
-	// Passes counts outer-loop sweeps, including the final no-change
-	// sweep.
+	// Passes counts outer-loop sweeps — for Bellman-Ford including the
+	// final no-change sweep, for Parallel one per scatter/merge pass.
 	Passes int
 	// PassDurations holds wall-clock time per sweep.
 	PassDurations []time.Duration
@@ -40,6 +41,15 @@ type Stats struct {
 	PassChanges []int
 	// DistStores counts writes to the distance array.
 	DistStores uint64
+	// CandStores counts candidate-buffer writes in the parallel
+	// kernel's scatter phase. The branch-avoiding loop stores one
+	// candidate per scanned arc (the paper's §5.2 store blow-up, with
+	// the candidate buffer in the queue's role); the branch-based loop
+	// stores only improvements. Zero for the sequential kernels.
+	CandStores uint64
+	// Buckets counts delta-stepping bucket activations (zero for the
+	// sequential kernels).
+	Buckets int
 }
 
 // Total returns the summed wall-clock time of all sweeps.

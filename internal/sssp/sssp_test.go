@@ -1,87 +1,45 @@
 package sssp
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
-	"bagraph/internal/xrand"
+	"bagraph/internal/testutil"
 )
 
-// weightedRandom builds a random connected-ish weighted graph.
-func weightedRandom(n, m int, maxW uint32, seed uint64) *graph.Weighted {
-	r := xrand.New(seed)
-	edges := make([]graph.WeightedEdge, 0, m+n)
-	// A random spanning path keeps most graphs connected.
-	perm := r.Perm(n)
-	for i := 0; i+1 < n; i++ {
-		edges = append(edges, graph.WeightedEdge{
-			U: uint32(perm[i]), V: uint32(perm[i+1]), W: 1 + r.Uint32()%maxW,
-		})
-	}
-	for i := 0; i < m; i++ {
-		edges = append(edges, graph.WeightedEdge{
-			U: uint32(r.Intn(n)), V: uint32(r.Intn(n)), W: 1 + r.Uint32()%maxW,
-		})
-	}
-	return graph.MustBuildWeighted(n, edges, false, "wrand")
-}
-
-func weightedFromUnweighted(t *testing.T, g *graph.Graph, seed uint64) *graph.Weighted {
-	t.Helper()
-	w, err := graph.AttachWeights(g, func(u, v uint32) uint32 {
-		if u > v {
-			u, v = v, u
-		}
-		return uint32(xrand.Hash64(seed^uint64(u)<<32|uint64(v)))%50 + 1
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return w
-}
-
 func TestKernelsAgreeWithDijkstra(t *testing.T) {
-	graphs := []*graph.Weighted{
-		weightedRandom(50, 120, 10, 1),
-		weightedRandom(200, 600, 100, 2),
-		weightedFromUnweighted(t, gen.Grid2D(8, 9, false), 3),
-		weightedFromUnweighted(t, gen.BarabasiAlbert(150, 3, 4), 5),
-		graph.MustBuildWeighted(4, []graph.WeightedEdge{{U: 0, V: 1, W: 10}, {U: 0, V: 2, W: 1}, {U: 2, V: 1, W: 1}}, false, "shortcut"),
-	}
-	for _, g := range graphs {
+	testutil.ForEachWeighted(t, nil, func(t *testing.T, g *graph.Weighted) {
 		want := Dijkstra(g, 0)
 		bb, stBB := BellmanFordBranchBased(g, 0)
 		ba, stBA := BellmanFordBranchAvoiding(g, 0)
-		if err := Verify(g, 0, want); err != nil {
-			t.Fatalf("%s: dijkstra oracle invalid: %v", g, err)
-		}
-		for v := range want {
-			if bb[v] != want[v] {
-				t.Fatalf("%s: branch-based dist[%d] = %d, dijkstra %d", g, v, bb[v], want[v])
-			}
-			if ba[v] != want[v] {
-				t.Fatalf("%s: branch-avoiding dist[%d] = %d, dijkstra %d", g, v, ba[v], want[v])
+		if g.NumVertices() > 0 {
+			if err := Verify(g, 0, want); err != nil {
+				t.Fatalf("dijkstra oracle invalid: %v", err)
 			}
 		}
+		testutil.MustEqualDists(t, "branch-based", bb, want)
+		testutil.MustEqualDists(t, "branch-avoiding", ba, want)
 		// Both BF variants sweep identically.
 		if stBB.Passes != stBA.Passes {
-			t.Fatalf("%s: passes differ: %d vs %d", g, stBB.Passes, stBA.Passes)
+			t.Fatalf("passes differ: %d vs %d", stBB.Passes, stBA.Passes)
 		}
-	}
+	})
 }
 
 func TestAgreementProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		n := 10 + int(seed%80)
-		g := weightedRandom(n, 2*n, 20, seed)
+		g := testutil.RandomWeighted(n, 2*n, 20, seed)
 		src := uint32(seed % uint64(n))
 		want := Dijkstra(g, src)
 		bb, _ := BellmanFordBranchBased(g, src)
 		ba, _ := BellmanFordBranchAvoiding(g, src)
+		par, _ := Parallel(g, src, ParallelOptions{Workers: 2, Variant: Hybrid})
 		for v := range want {
-			if bb[v] != want[v] || ba[v] != want[v] {
+			if bb[v] != want[v] || ba[v] != want[v] || par[v] != want[v] {
 				return false
 			}
 		}
@@ -95,7 +53,7 @@ func TestAgreementProperty(t *testing.T) {
 func TestStoreAsymmetry(t *testing.T) {
 	// Branch-avoiding stores exactly |V| per pass; branch-based stores
 	// per improvement.
-	g := weightedFromUnweighted(t, gen.Grid3D(6, 6, 6, 1), 7)
+	g := testutil.AttachHashWeights(t, gen.Grid3D(6, 6, 6, 1), 50, 7)
 	_, bb := BellmanFordBranchBased(g, 0)
 	_, ba := BellmanFordBranchAvoiding(g, 0)
 	v := uint64(g.NumVertices())
@@ -115,7 +73,7 @@ func TestStoreAsymmetry(t *testing.T) {
 }
 
 func TestPassChangesAgree(t *testing.T) {
-	g := weightedRandom(120, 400, 9, 11)
+	g := testutil.RandomWeighted(120, 400, 9, 11)
 	_, bb := BellmanFordBranchBased(g, 5)
 	_, ba := BellmanFordBranchAvoiding(g, 5)
 	for i := range bb.PassChanges {
@@ -167,8 +125,35 @@ func TestEmptyAndSingleton(t *testing.T) {
 	}
 }
 
+// TestMaxWeightNoOverflow pins the overflow contract: path sums of
+// maximal uint32 weights stay far below the 2^62 Inf sentinel, so the
+// branchless 64-bit comparisons stay in their safe range and every
+// kernel still agrees.
+func TestMaxWeightNoOverflow(t *testing.T) {
+	const maxW = ^uint32(0)
+	n := 50
+	edges := make([]graph.WeightedEdge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.WeightedEdge{U: uint32(i), V: uint32(i + 1), W: maxW})
+	}
+	g := graph.MustBuildWeighted(n, edges, false, "maxw-path")
+	want := Dijkstra(g, 0)
+	if want[n-1] != uint64(n-1)*uint64(maxW) {
+		t.Fatalf("end distance = %d, want %d", want[n-1], uint64(n-1)*uint64(maxW))
+	}
+	bb, _ := BellmanFordBranchBased(g, 0)
+	ba, _ := BellmanFordBranchAvoiding(g, 0)
+	par, _ := Parallel(g, 0, ParallelOptions{Workers: 3})
+	testutil.MustEqualDists(t, "branch-based", bb, want)
+	testutil.MustEqualDists(t, "branch-avoiding", ba, want)
+	testutil.MustEqualDists(t, "parallel", par, want)
+	if err := Verify(g, 0, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestVerifyCatchesCorruption(t *testing.T) {
-	g := weightedRandom(30, 80, 10, 13)
+	g := testutil.RandomWeighted(30, 80, 10, 13)
 	dist := Dijkstra(g, 0)
 	cases := []func([]uint64){
 		func(d []uint64) { d[0] = 1 },             // source nonzero
@@ -185,5 +170,38 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	}
 	if err := Verify(g, 0, dist[:5]); err == nil {
 		t.Error("length mismatch not caught")
+	}
+}
+
+// TestVerifyMessages pins each distinct Verify failure mode by its
+// diagnostic, so a refactor cannot silently merge or drop a check.
+func TestVerifyMessages(t *testing.T) {
+	g := graph.MustBuildWeighted(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}, false, "p3")
+	cases := []struct {
+		dist []uint64
+		want string
+	}{
+		{[]uint64{0, 2}, "distances for"},
+		{[]uint64{7, 2, 5}, "dist[src"},
+		{[]uint64{0, 9, 5}, "not relaxed"},
+		{[]uint64{0, 2, 4}, "no tight predecessor"},
+	}
+	for _, tc := range cases {
+		err := Verify(g, 0, tc.dist)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Verify(%v) = %v, want %q", tc.dist, err, tc.want)
+		}
+	}
+	// Valid labelings (including unreached-as-Inf and empty graphs) pass.
+	if err := Verify(g, 0, []uint64{0, 2, 5}); err != nil {
+		t.Errorf("valid labeling rejected: %v", err)
+	}
+	empty := graph.MustBuildWeighted(0, nil, false, "")
+	if err := Verify(empty, 0, nil); err != nil {
+		t.Errorf("empty graph rejected: %v", err)
+	}
+	two := graph.MustBuildWeighted(2, nil, false, "")
+	if err := Verify(two, 0, []uint64{0, Inf}); err != nil {
+		t.Errorf("unreached vertex rejected: %v", err)
 	}
 }

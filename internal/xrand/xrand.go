@@ -35,6 +35,26 @@ func Hash64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// SymmetricWeights returns a deterministic symmetric per-edge weight
+// function in [1, maxW], hashed from the endpoint pair and a seed —
+// the one scheme shared by the weighted CLIs, exhibits, benches and
+// tests (graph.AttachWeights requires symmetry on undirected graphs).
+// maxW must be positive.
+func SymmetricWeights(maxW uint32, seed uint64) func(u, v uint32) uint32 {
+	if maxW == 0 {
+		panic("xrand: SymmetricWeights needs maxW >= 1")
+	}
+	return func(u, v uint32) uint32 {
+		if u > v {
+			u, v = v, u
+		}
+		// Parenthesized: ^ and | share precedence, so the bare form
+		// would OR the seed's low bits into v and collapse distinct
+		// neighbors onto one weight.
+		return uint32(Hash64(seed^(uint64(u)<<32|uint64(v))))%maxW + 1
+	}
+}
+
 // Rand is a xoshiro256** generator. The zero value is not usable; construct
 // with New.
 type Rand struct {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Daemon smoke test: build the binaries, serve a small generated graph
-# with baserved, check that CC and BFS answers over HTTP match the bacc
-# and babfs command-line kernels on the same file, and verify the
-# daemon drains cleanly on SIGTERM. Run from the repository root; CI
-# runs it as a dedicated job.
+# (plus a weighted variant) with baserved, check that CC, BFS and
+# weighted SSSP answers over HTTP match the bacc, babfs and basssp
+# command-line kernels on the same files, and verify the daemon drains
+# cleanly on SIGTERM. Run from the repository root; CI runs it as a
+# dedicated job.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -16,11 +17,13 @@ echo "== build"
 mkdir -p "$bindir"
 go build -o "$bindir" ./cmd/...
 
-echo "== generate graph"
+echo "== generate graphs"
 "$bindir/bagen" -kind ba -n 2000 -k 4 -seed 7 -out "$workdir/smoke.metis"
+"$bindir/bagen" -kind ba -n 2000 -k 4 -seed 7 -wmax 9 -out "$workdir/wsmoke.metis"
 
 echo "== start daemon"
 "$bindir/baserved" -listen "$addr" -graph "smoke=$workdir/smoke.metis" \
+    -graph "wsmoke=$workdir/wsmoke.metis" \
     -batch-window 1ms >"$workdir/baserved.log" 2>&1 &
 daemon_pid=$!
 
@@ -54,6 +57,34 @@ bfs_direct=$("$bindir/babfs" -in "$workdir/smoke.metis" -root 0 -variant ba \
 echo "daemon=$bfs_daemon direct=$bfs_direct"
 [ -n "$bfs_daemon" ] && [ "$bfs_daemon" = "$bfs_direct" ] \
     || { echo "BFS mismatch" >&2; exit 1; }
+
+echo "== multi-source BFS equivalence (daemon ms vs babfs)"
+ms_daemon=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"ms"}' "http://$addr/query/bfs" \
+    | grep -o '"reached":[0-9]*' | cut -d: -f2)
+echo "daemon(ms)=$ms_daemon direct=$bfs_direct"
+[ -n "$ms_daemon" ] && [ "$ms_daemon" = "$bfs_direct" ] \
+    || { echo "multi-source BFS mismatch" >&2; exit 1; }
+
+echo "== weighted SSSP equivalence (daemon vs basssp, real edge weights)"
+# /graphs must report the weighted entry as weighted.
+curl -sf "http://$addr/graphs" | grep -q '"name":"wsmoke"[^}]*"weighted":true' \
+    || { echo "wsmoke not served as weighted" >&2; exit 1; }
+sssp_daemon=$(curl -sf -d '{"graph":"wsmoke","root":0,"algo":"par-hybrid"}' "http://$addr/query/sssp" \
+    | grep -o '"sum":[0-9]*' | cut -d: -f2)
+sssp_direct=$("$bindir/basssp" -in "$workdir/wsmoke.metis" -root 0 -algo par-hybrid \
+    | awk '/^sum /{print $2}')
+sssp_seq=$("$bindir/basssp" -in "$workdir/wsmoke.metis" -root 0 -algo ba \
+    | awk '/^sum /{print $2}')
+echo "daemon=$sssp_daemon direct=$sssp_direct sequential=$sssp_seq"
+[ -n "$sssp_daemon" ] && [ "$sssp_daemon" = "$sssp_direct" ] && [ "$sssp_daemon" = "$sssp_seq" ] \
+    || { echo "weighted SSSP mismatch" >&2; exit 1; }
+# Unit-weight sanity: on the unweighted graph the SSSP sum must differ
+# from the weighted one (weights actually reached the kernels).
+sssp_unit=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"par-hybrid"}' "http://$addr/query/sssp" \
+    | grep -o '"sum":[0-9]*' | cut -d: -f2)
+echo "unit-weight sum=$sssp_unit"
+[ -n "$sssp_unit" ] && [ "$sssp_unit" != "$sssp_daemon" ] \
+    || { echo "weighted and unit-weight sums identical; weights ignored?" >&2; exit 1; }
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$daemon_pid"
