@@ -9,8 +9,7 @@
 //     baseline (ConnectedComponents);
 //   - top-down BFS in branch-based and branch-avoiding forms, plus a
 //     direction-optimizing baseline (ShortestHops);
-//   - multi-core variants of both kernels on a shared worker-pool engine
-//     (ConnectedComponentsParallel, ShortestHopsParallel);
+//   - multi-core variants of both kernels on a shared worker-pool engine;
 //   - an instrumented machine model — 2-bit branch predictor, LRU cache
 //     hierarchy, per-microarchitecture cost model — that reproduces the
 //     paper's per-iteration hardware-event measurements (ProfileSV,
@@ -21,15 +20,21 @@
 //   - runners that regenerate every table and figure of the paper's
 //     evaluation (Experiments, RunExperiment).
 //
+// Every kernel family is executed through the unified request/response
+// entry point Run (and WorkerPool.Run for resident-pool serving), which
+// carries cooperative cancellation, the kernel's Stats, and reusable
+// Workspaces — see run.go. The per-kernel free functions below predate
+// Run and remain as thin deprecated wrappers.
+//
 // The deeper machinery lives in the internal packages; this facade is the
 // supported API surface.
 package bagraph
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"bagraph/internal/bfs"
 	"bagraph/internal/cc"
 	"bagraph/internal/corpus"
 	"bagraph/internal/exp"
@@ -98,22 +103,15 @@ func (a CCAlgorithm) String() string {
 
 // ConnectedComponents labels every vertex with the smallest vertex id in
 // its connected component. All algorithms produce identical labels.
+//
+// Deprecated: use Run with Request{Kind: KindCC, CC: alg}, which also
+// returns the kernel's Stats and honors a context.
 func ConnectedComponents(g *Graph, alg CCAlgorithm) ([]uint32, error) {
-	switch alg {
-	case CCBranchBased:
-		labels, _ := cc.SVBranchBased(g)
-		return labels, nil
-	case CCBranchAvoiding:
-		labels, _ := cc.SVBranchAvoiding(g)
-		return labels, nil
-	case CCHybrid:
-		labels, _ := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
-		return labels, nil
-	case CCUnionFind:
-		return cc.UnionFind(g), nil
-	default:
-		return nil, fmt.Errorf("bagraph: unknown CC algorithm %v", alg)
+	res, err := Run(context.Background(), g, Request{Kind: KindCC, CC: alg})
+	if err != nil {
+		return nil, err
 	}
+	return res.Labels, nil
 }
 
 // ComponentCount returns the number of connected components given a
@@ -139,13 +137,17 @@ func ccVariant(alg CCAlgorithm) (cc.Variant, error) {
 // degree-balanced vertex ranges with a per-pass barrier (internal/par).
 // workers < 1 means GOMAXPROCS. The labeling is identical to the
 // sequential kernels'. CCUnionFind has no parallel form and is rejected.
+//
+// Deprecated: use Run with Request{Kind: KindCC, CC: alg, Parallel:
+// true, Workers: workers}.
 func ConnectedComponentsParallel(g *Graph, alg CCAlgorithm, workers int) ([]uint32, error) {
-	variant, err := ccVariant(alg)
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindCC, CC: alg, Parallel: true, Workers: workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	labels, _ := cc.SVParallel(g, cc.ParallelOptions{Workers: workers, Variant: variant})
-	return labels, nil
+	return res.Labels, nil
 }
 
 // WorkerPool is a persistent set of worker goroutines shared across
@@ -175,30 +177,36 @@ func (p *WorkerPool) Close() { p.pool.Close() }
 // labels and scratch, when of length |V| and distinct, provide the
 // kernel's label double-buffer and suppress per-call allocations (the
 // returned labeling aliases one of them); pass nil to allocate.
+//
+// Deprecated: use WorkerPool.Run with Request{Kind: KindCC, Parallel:
+// true} and a reusable Workspace in place of the positional buffers.
 func (p *WorkerPool) ConnectedComponents(g *Graph, alg CCAlgorithm, labels, scratch []uint32) ([]uint32, error) {
-	variant, err := ccVariant(alg)
+	res, err := p.Run(context.Background(), g, Request{
+		Kind: KindCC, CC: alg, Parallel: true,
+		Workspace: &Workspace{Labels: labels, Scratch: scratch},
+	})
 	if err != nil {
 		return nil, err
 	}
-	out, _ := cc.SVParallel(g, cc.ParallelOptions{
-		Pool:    p.pool,
-		Variant: variant,
-		Labels:  labels,
-		Scratch: scratch,
-	})
-	return out, nil
+	return res.Labels, nil
 }
 
 // ShortestHops runs the parallel direction-optimizing BFS on the
 // resident pool. dist, when of length |V|, receives the distances and
 // suppresses the per-call result allocation (the returned slice aliases
 // it); pass nil to allocate.
+//
+// Deprecated: use WorkerPool.Run with Request{Kind: KindBFS, Parallel:
+// true} and a reusable Workspace in place of the positional buffer.
 func (p *WorkerPool) ShortestHops(g *Graph, root uint32, dist []uint32) ([]uint32, error) {
-	if err := checkRoot(g, root); err != nil {
+	res, err := p.Run(context.Background(), g, Request{
+		Kind: KindBFS, Parallel: true, Root: root,
+		Workspace: &Workspace{Hops: dist},
+	})
+	if err != nil {
 		return nil, err
 	}
-	out, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Pool: p.pool, Dist: dist})
-	return out, nil
+	return res.Hops, nil
 }
 
 // ShortestHopsBatch runs every root of a batch through shared
@@ -208,28 +216,35 @@ func (p *WorkerPool) ShortestHops(g *Graph, root uint32, dist []uint32) ([]uint3
 // holding len(roots) slices of length |V|, receives the results and
 // suppresses the per-call allocations (the returned slices alias it);
 // pass nil to allocate.
+//
+// Deprecated: use WorkerPool.Run with Request{Kind: KindBFSBatch} and
+// a reusable Workspace in place of the positional buffers.
 func (p *WorkerPool) ShortestHopsBatch(g *Graph, roots []uint32, dists [][]uint32) ([][]uint32, error) {
-	for _, r := range roots {
-		if err := checkRoot(g, r); err != nil {
-			return nil, err
-		}
+	res, err := p.Run(context.Background(), g, Request{
+		Kind: KindBFSBatch, Roots: roots,
+		Workspace: &Workspace{HopsBatch: dists},
+	})
+	if err != nil {
+		return nil, err
 	}
-	out, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Pool: p.pool, Dists: dists})
-	return out, nil
+	return res.HopsBatch, nil
 }
 
 // ShortestHopsMultiSource is the batch-aware counterpart of
 // ShortestHops: all roots traverse together through shared bottom-up
 // mask sweeps (see WorkerPool.ShortestHopsBatch). workers < 1 means
 // GOMAXPROCS.
+//
+// Deprecated: use Run with Request{Kind: KindBFSBatch, Roots: roots,
+// Workers: workers}.
 func ShortestHopsMultiSource(g *Graph, roots []uint32, workers int) ([][]uint32, error) {
-	for _, r := range roots {
-		if err := checkRoot(g, r); err != nil {
-			return nil, err
-		}
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindBFSBatch, Roots: roots, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
 	}
-	out, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Workers: workers})
-	return out, nil
+	return res.HopsBatch, nil
 }
 
 // BFSVariant selects a breadth-first-search kernel.
@@ -261,9 +276,11 @@ func (v BFSVariant) String() string {
 	}
 }
 
-// checkRoot validates a BFS source vertex against the graph.
+// checkRoot validates a BFS source vertex against the graph. On a
+// 0-vertex graph every root is out of range — no vertex exists for the
+// traversal to start from.
 func checkRoot(g *Graph, root uint32) error {
-	if g.NumVertices() > 0 && int(root) >= g.NumVertices() {
+	if int(root) >= g.NumVertices() {
 		return fmt.Errorf("bagraph: root %d out of range for %d vertices", root, g.NumVertices())
 	}
 	return nil
@@ -272,35 +289,34 @@ func checkRoot(g *Graph, root uint32) error {
 // ShortestHops returns the hop distance from root to every vertex
 // (Unreached for vertices in other components). All variants produce
 // identical distances.
+//
+// Deprecated: use Run with Request{Kind: KindBFS, BFS: variant, Root:
+// root}, which also returns the kernel's Stats and honors a context.
 func ShortestHops(g *Graph, root uint32, variant BFSVariant) ([]uint32, error) {
-	if err := checkRoot(g, root); err != nil {
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindBFS, BFS: variant, Root: root,
+	})
+	if err != nil {
 		return nil, err
 	}
-	switch variant {
-	case BFSBranchBased:
-		dist, _ := bfs.TopDownBranchBased(g, root)
-		return dist, nil
-	case BFSBranchAvoiding:
-		dist, _ := bfs.TopDownBranchAvoiding(g, root)
-		return dist, nil
-	case BFSDirectionOptimizing:
-		dist, _ := bfs.DirectionOptimizing(g, root, 0, 0)
-		return dist, nil
-	default:
-		return nil, fmt.Errorf("bagraph: unknown BFS variant %v", variant)
-	}
+	return res.Hops, nil
 }
 
 // ShortestHopsParallel is the data-parallel counterpart of ShortestHops:
 // direction-optimizing BFS with per-worker top-down frontier queues and a
 // branch-avoiding bottom-up bitset sweep (internal/par). workers < 1
 // means GOMAXPROCS. Distances are identical to the sequential variants'.
+//
+// Deprecated: use Run with Request{Kind: KindBFS, Parallel: true, Root:
+// root, Workers: workers}.
 func ShortestHopsParallel(g *Graph, root uint32, workers int) ([]uint32, error) {
-	if err := checkRoot(g, root); err != nil {
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindBFS, Parallel: true, Root: root, Workers: workers,
+	})
+	if err != nil {
 		return nil, err
 	}
-	dist, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Workers: workers})
-	return dist, nil
+	return res.Hops, nil
 }
 
 // Platforms returns the names of the simulated microarchitectures (the

@@ -303,15 +303,19 @@ func TestFacadeErrorPaths(t *testing.T) {
 		t.Fatal("union-find accepted by the parallel facade")
 	}
 
-	// The empty graph accepts any root: there is nothing to range-check
-	// against and the kernels return empty results.
+	// A 0-vertex graph has no valid root: every root — including 0 —
+	// is out of range. (Regression: checkRoot used to carry a
+	// `NumVertices() > 0 &&` guard that waved any root through on the
+	// empty graph.)
 	empty, err := NewGraph(0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dist, err := ShortestHops(empty, 3, BFSBranchAvoiding)
-	if err != nil || len(dist) != 0 {
-		t.Fatalf("empty graph: dist=%v err=%v", dist, err)
+	if _, err := ShortestHops(empty, 3, BFSBranchAvoiding); err == nil {
+		t.Fatal("out-of-range root accepted on the 0-vertex graph")
+	}
+	if _, err := ShortestHops(empty, 0, BFSBranchAvoiding); err == nil {
+		t.Fatal("root 0 accepted on the 0-vertex graph")
 	}
 }
 

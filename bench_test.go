@@ -15,6 +15,7 @@ package bagraph
 // loops (the paper's §6.1 compiler discussion applies to Go as well).
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -304,7 +305,7 @@ func BenchmarkParallelSV(b *testing.B) {
 		pool := par.NewPool(w)
 		b.Run(fmt.Sprintf("hybrid/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
+				labels, _, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
 				if len(labels) == 0 {
 					b.Fatal("no labels")
 				}
@@ -330,7 +331,7 @@ func BenchmarkParallelBFS(b *testing.B) {
 		pool := par.NewPool(w)
 		b.Run(fmt.Sprintf("dir-opt/workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				dist, _ := bfs.ParallelDO(g, 0, bfs.ParallelOptions{Pool: pool})
+				dist, _, _ := bfs.ParallelDO(g, 0, bfs.ParallelOptions{Pool: pool})
 				if len(dist) == 0 {
 					b.Fatal("no distances")
 				}
@@ -363,7 +364,7 @@ func BenchmarkParallelSSSP(b *testing.B) {
 		b.Run(fmt.Sprintf("hybrid/workers=%d", workers), func(b *testing.B) {
 			dist := make([]uint64, g.NumVertices())
 			for i := 0; i < b.N; i++ {
-				dist, _ = sssp.Parallel(w, 0, sssp.ParallelOptions{
+				dist, _, _ = sssp.Parallel(w, 0, sssp.ParallelOptions{
 					Pool: pool, Variant: sssp.Hybrid, Dist: dist,
 				})
 				if len(dist) == 0 {
@@ -446,4 +447,53 @@ func BenchmarkExtensionAPSP(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- unified API dispatch overhead ---------------------------------------
+
+// BenchmarkRunOverhead quantifies what the unified request/response API
+// costs on top of a direct kernel call: request validation, the kind
+// dispatch, the context entry check, and the Stats normalization. The
+// graph is deliberately tiny — a few-microsecond kernel — so any facade
+// overhead would be a visible fraction of the time; on serving-size
+// graphs it vanishes entirely. Paired with the direct-call baselines
+// below, the bench artifact records that Run's dispatch is negligible.
+func BenchmarkRunOverhead(b *testing.B) {
+	g := gen.Grid2D(16, 16, false) // 256 vertices: kernel time ~µs
+	ctx := context.Background()
+
+	b.Run("bfs/direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist, _ := bfs.TopDownBranchBased(g, 0)
+			if len(dist) == 0 {
+				b.Fatal("no distances")
+			}
+		}
+	})
+	b.Run("bfs/run", func(b *testing.B) {
+		req := Request{Kind: KindBFS, BFS: BFSBranchBased, Root: 0}
+		for i := 0; i < b.N; i++ {
+			res, err := Run(ctx, g, req)
+			if err != nil || len(res.Hops) == 0 {
+				b.Fatal("no distances")
+			}
+		}
+	})
+	b.Run("cc/direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			labels, _ := cc.SVBranchAvoiding(g)
+			if len(labels) == 0 {
+				b.Fatal("no labels")
+			}
+		}
+	})
+	b.Run("cc/run", func(b *testing.B) {
+		req := Request{Kind: KindCC, CC: CCBranchAvoiding}
+		for i := 0; i < b.N; i++ {
+			res, err := Run(ctx, g, req)
+			if err != nil || len(res.Labels) == 0 {
+				b.Fatal("no labels")
+			}
+		}
+	})
 }

@@ -12,19 +12,27 @@
 // multi-source kernel: shared bottom-up mask sweeps advance up to 64
 // searches per graph pass (the kernel the daemon's batched BFS
 // dispatch uses).
+//
+// Kernels run through the unified bagraph.Run API; SIGINT/SIGTERM
+// cancels the context, and the kernel stops at its next level barrier
+// with a partial-progress report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"bagraph"
+	"bagraph/internal/algoreq"
 	"bagraph/internal/bfs"
-	"bagraph/internal/graph"
-	"bagraph/internal/metis"
 )
 
 func main() {
@@ -35,6 +43,9 @@ func main() {
 	workers := flag.Int("workers", 0, "workers for par-do/ms (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -44,53 +55,56 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	g, err := metis.Read(r)
+	g, err := bagraph.ReadMETIS(r)
 	if err != nil {
 		fail(err)
 	}
 	if *variant == "ms" {
-		runMultiSource(g, *roots, uint32(*root), *workers)
+		runMultiSource(ctx, g, *roots, uint32(*root), *workers)
 		return
 	}
 	if *roots != "" {
 		fail(fmt.Errorf("-roots is only meaningful with -variant ms"))
 	}
-	if int(*root) >= g.NumVertices() {
-		fail(fmt.Errorf("root %d out of range for %d vertices", *root, g.NumVertices()))
+	req, err := algoreq.BFS(*variant, uint32(*root))
+	if err != nil {
+		fail(err)
 	}
+	req.Workers = *workers
 	fmt.Printf("graph: %s, root %d\n", g, *root)
 
-	var dist []uint32
-	var st bfs.Stats
-	switch *variant {
-	case "bb":
-		dist, st = bfs.TopDownBranchBased(g, uint32(*root))
-	case "ba":
-		dist, st = bfs.TopDownBranchAvoiding(g, uint32(*root))
-	case "dir-opt":
-		dist, st = bfs.DirectionOptimizing(g, uint32(*root), 0, 0)
-	case "par-do":
-		dist, st = bfs.ParallelDO(g, uint32(*root), bfs.ParallelOptions{Workers: *workers})
-	default:
-		fail(fmt.Errorf("unknown variant %q", *variant))
+	res, err := bagraph.Run(ctx, g, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "babfs: interrupted after %d completed level(s) (%v, %d vertices reached); distances are partial\n",
+					res.Stats.Passes, res.Stats.Total(), res.Stats.Reached)
+			} else {
+				fmt.Fprintln(os.Stderr, "babfs: interrupted before the kernel started")
+			}
+			os.Exit(130)
+		}
+		fail(err)
 	}
+	dist, st := res.Hops, res.Stats
 
 	if err := bfs.Verify(g, uint32(*root), dist); err != nil {
 		fail(fmt.Errorf("result failed verification: %w", err))
 	}
 
-	fmt.Printf("reached %d/%d vertices in %d levels (total %v)\n",
-		st.Reached, g.NumVertices(), st.Levels, st.Total())
+	fmt.Printf("reached %d/%d vertices in %d levels (%d top-down, %d bottom-up, total %v)\n",
+		st.Reached, g.NumVertices(), st.Passes, st.TopDownLevels, st.BottomUpLevels, st.Total())
 	fmt.Printf("stores: %d distance, %d queue\n", st.DistStores, st.QueueStores)
 	for i, size := range st.LevelSizes {
-		fmt.Printf("  level %3d: %8d vertices  %10v\n", i, size, st.LevelDurations[i])
+		fmt.Printf("  level %3d: %8d vertices  %10v\n", i, size, st.PassDurations[i])
 	}
 }
 
-// runMultiSource parses the root list, runs the batch-aware kernel,
-// verifies every member against the BFS invariants, and prints the
-// per-root reach alongside the shared-sweep economics.
-func runMultiSource(g *graph.Graph, rootsFlag string, root uint32, workers int) {
+// runMultiSource parses the root list, runs the batch-aware kernel
+// through the facade, verifies every member against the BFS
+// invariants, and prints the per-root reach alongside the shared-sweep
+// economics.
+func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, root uint32, workers int) {
 	var srcs []uint32
 	if rootsFlag == "" {
 		srcs = []uint32{root}
@@ -103,14 +117,24 @@ func runMultiSource(g *graph.Graph, rootsFlag string, root uint32, workers int) 
 			srcs = append(srcs, uint32(v))
 		}
 	}
-	for _, s := range srcs {
-		if int(s) >= g.NumVertices() {
-			fail(fmt.Errorf("root %d out of range for %d vertices", s, g.NumVertices()))
-		}
-	}
 	fmt.Printf("graph: %s, %d sources\n", g, len(srcs))
 
-	dists, st := bfs.MultiSource(g, srcs, bfs.MultiSourceOptions{Workers: workers})
+	res, err := bagraph.Run(ctx, g, bagraph.Request{
+		Kind: bagraph.KindBFSBatch, Roots: srcs, Workers: workers,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "babfs: interrupted after %d shared sweep(s) over %d wave(s) (%v); distances are partial\n",
+					res.Stats.Passes, res.Stats.Waves, res.Stats.Total())
+			} else {
+				fmt.Fprintln(os.Stderr, "babfs: interrupted before the kernel started")
+			}
+			os.Exit(130)
+		}
+		fail(err)
+	}
+	dists, st := res.HopsBatch, res.Stats
 	for i, s := range srcs {
 		if err := bfs.Verify(g, s, dists[i]); err != nil {
 			fail(fmt.Errorf("root %d failed verification: %w", s, err))
@@ -124,7 +148,7 @@ func runMultiSource(g *graph.Graph, rootsFlag string, root uint32, workers int) 
 		fmt.Printf("  root %6d: reached %d/%d\n", s, reached, g.NumVertices())
 	}
 	fmt.Printf("reached %d source-vertex pairs in %d shared sweeps over %d waves (total %v)\n",
-		st.Reached, st.Levels, st.Waves, st.Total())
+		st.Reached, st.Passes, st.Waves, st.Total())
 }
 
 func fail(err error) {

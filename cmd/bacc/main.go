@@ -6,17 +6,26 @@
 //	bacc -in graph.metis -algo sv-ba
 //	bagen -kind ba -n 20000 | bacc -algo hybrid
 //	bagen -kind rmat -scale 17 | bacc -algo par-hybrid -workers 8
+//
+// Kernels run through the unified bagraph.Run API; SIGINT/SIGTERM
+// cancels the context, and the kernel stops at its next pass barrier
+// with a partial-progress report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
+	"bagraph"
+	"bagraph/internal/algoreq"
 	"bagraph/internal/cc"
-	"bagraph/internal/metis"
 )
 
 func main() {
@@ -27,6 +36,10 @@ func main() {
 	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the kernel at its next pass barrier.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -36,32 +49,31 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	g, err := metis.Read(r)
+	g, err := bagraph.ReadMETIS(r)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("graph: %s\n", g)
 
-	var labels []uint32
-	var st cc.Stats
-	switch *algo {
-	case "sv-bb":
-		labels, st = cc.SVBranchBased(g)
-	case "sv-ba":
-		labels, st = cc.SVBranchAvoiding(g)
-	case "hybrid":
-		labels, st = cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
-	case "unionfind":
-		labels = cc.UnionFind(g)
-	case "par-bb":
-		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.BranchBased})
-	case "par-ba":
-		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.BranchAvoiding})
-	case "par-hybrid":
-		labels, st = cc.SVParallel(g, cc.ParallelOptions{Workers: *workers, Variant: cc.Hybrid})
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	req, err := algoreq.CC(*algo)
+	if err != nil {
+		fail(err)
 	}
+	req.Workers = *workers
+	res, err := bagraph.Run(ctx, g, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "bacc: interrupted after %d completed pass(es) (%v, %d label stores); labels are partial\n",
+					res.Stats.Passes, res.Stats.Total(), res.Stats.LabelStores)
+			} else {
+				fmt.Fprintln(os.Stderr, "bacc: interrupted before the kernel started")
+			}
+			os.Exit(130)
+		}
+		fail(err)
+	}
+	labels, st := res.Labels, res.Stats
 
 	if err := cc.Verify(g, labels); err != nil {
 		fail(fmt.Errorf("result failed verification: %w", err))
@@ -69,10 +81,10 @@ func main() {
 
 	sizes := cc.ComponentSizes(labels)
 	fmt.Printf("components: %d\n", len(sizes))
-	if st.Iterations > 0 {
-		fmt.Printf("passes: %d, total %v, label stores %d\n", st.Iterations, st.Total(), st.LabelStores)
-		for i := range st.IterDurations {
-			fmt.Printf("  pass %2d: %10v  changed %d\n", i+1, st.IterDurations[i], st.IterChanges[i])
+	if st.Passes > 0 {
+		fmt.Printf("passes: %d, total %v, label stores %d\n", st.Passes, st.Total(), st.LabelStores)
+		for i := range st.PassDurations {
+			fmt.Printf("  pass %2d: %10v  changed %d\n", i+1, st.PassDurations[i], st.PassChanges[i])
 		}
 	}
 

@@ -11,14 +11,24 @@
 //
 // The "reached" and "sum" lines are the equivalence digest the daemon
 // smoke script compares against baserved's /query/sssp responses.
+//
+// Kernels run through the unified bagraph.Run API; SIGINT/SIGTERM
+// cancels the context, and the kernel stops at its next pass barrier
+// with a partial-progress report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"bagraph"
+	"bagraph/internal/algoreq"
 	"bagraph/internal/metis"
 	"bagraph/internal/sssp"
 )
@@ -31,6 +41,9 @@ func main() {
 	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
 	delta := flag.Uint64("delta", 0, "bucket width for par-* kernels (0 = auto)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -45,9 +58,6 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if int(*root) >= g.NumVertices() {
-		fail(fmt.Errorf("root %d out of range for %d vertices", *root, g.NumVertices()))
-	}
 	kind := "unit"
 	if g.HasWeights {
 		kind = "explicit"
@@ -55,29 +65,32 @@ func main() {
 	fmt.Printf("graph: %s (%s weights), root %d\n", g.Graph, kind, *root)
 
 	src := uint32(*root)
-	var dist []uint64
-	var st sssp.Stats
-	switch *algo {
-	case "bb":
-		dist, st = sssp.BellmanFordBranchBased(g.Weighted, src)
-	case "ba":
-		dist, st = sssp.BellmanFordBranchAvoiding(g.Weighted, src)
-	case "dijkstra":
-		dist = sssp.Dijkstra(g.Weighted, src)
-	case "par-bb", "par-ba", "par-hybrid":
-		variant := sssp.BranchBased
-		switch *algo {
-		case "par-ba":
-			variant = sssp.BranchAvoiding
-		case "par-hybrid":
-			variant = sssp.Hybrid
-		}
-		dist, st = sssp.Parallel(g.Weighted, src, sssp.ParallelOptions{
-			Workers: *workers, Variant: variant, Delta: *delta,
-		})
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	req, err := algoreq.SSSP(*algo, src, *delta)
+	if err != nil {
+		fail(err)
 	}
+	req.Workers = *workers
+	res, err := bagraph.Run(ctx, g.Weighted, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			switch {
+			case res != nil && req.Parallel:
+				fmt.Fprintf(os.Stderr, "basssp: interrupted after %d completed pass(es) over %d bucket(s) (%v); distances are partial\n",
+					res.Stats.Passes, res.Stats.Buckets, res.Stats.Total())
+			case res != nil && res.Stats.Passes > 0:
+				fmt.Fprintf(os.Stderr, "basssp: interrupted after %d completed pass(es) (%v); distances are partial\n",
+					res.Stats.Passes, res.Stats.Total())
+			case res != nil:
+				// Dijkstra has no pass structure to report.
+				fmt.Fprintln(os.Stderr, "basssp: interrupted mid-kernel; distances are partial")
+			default:
+				fmt.Fprintln(os.Stderr, "basssp: interrupted before the kernel started")
+			}
+			os.Exit(130)
+		}
+		fail(err)
+	}
+	dist, st := res.Dists, res.Stats
 
 	if err := sssp.Verify(g.Weighted, src, dist); err != nil {
 		fail(fmt.Errorf("result failed verification: %w", err))

@@ -1,0 +1,48 @@
+package bagraph_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bagraph"
+)
+
+// ExampleRun runs two kernel families through the unified
+// request/response API and reads the kernel statistics the older
+// per-kernel functions used to discard.
+func ExampleRun() {
+	// Two components plus an isolated vertex.
+	g, err := bagraph.NewGraph(6, []bagraph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Connected components with the branch-avoiding kernel.
+	cc, err := bagraph.Run(context.Background(), g, bagraph.Request{
+		Kind: bagraph.KindCC, CC: bagraph.CCBranchAvoiding,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("components:", bagraph.ComponentCount(cc.Labels))
+	fmt.Println("label-propagation passes:", cc.Stats.Passes)
+
+	// BFS hop distances from vertex 0 (Unreached elsewhere).
+	bfs, err := bagraph.Run(context.Background(), g, bagraph.Request{
+		Kind: bagraph.KindBFS, BFS: bagraph.BFSBranchAvoiding, Root: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hops to vertex 2:", bfs.Hops[2])
+	fmt.Println("vertices reached:", bfs.Stats.Reached)
+
+	// Output:
+	// components: 3
+	// label-propagation passes: 2
+	// hops to vertex 2: 2
+	// vertices reached: 3
+}

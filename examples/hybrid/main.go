@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -86,9 +87,12 @@ func main() {
 
 	// The runnable production version: bagraph.CCHybrid switches
 	// adaptively when label churn drops.
-	labels, err := bagraph.ConnectedComponents(g, bagraph.CCHybrid)
+	res, err := bagraph.Run(context.Background(), g, bagraph.Request{
+		Kind: bagraph.KindCC, CC: bagraph.CCHybrid,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nadaptive native hybrid found %d component(s)\n", bagraph.ComponentCount(labels))
+	fmt.Printf("\nadaptive native hybrid found %d component(s) in %d passes\n",
+		bagraph.ComponentCount(res.Labels), res.Stats.Passes)
 }

@@ -1,22 +1,22 @@
 // Parallel: run the data-parallel SV and direction-optimizing BFS
-// kernels against their sequential oracles on an RMAT graph, sweeping
-// worker counts 1..GOMAXPROCS and printing the speedup curve.
+// kernels against their sequential oracles on an RMAT graph through
+// the unified Run API, sweeping worker counts 1..GOMAXPROCS and
+// printing the speedup curve.
 //
 //	go run ./examples/parallel
 //	go run ./examples/parallel -scale 18 -workers 16
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"bagraph/internal/bfs"
-	"bagraph/internal/cc"
+	"bagraph"
 	"bagraph/internal/gen"
-	"bagraph/internal/par"
 )
 
 func main() {
@@ -25,21 +25,32 @@ func main() {
 	maxWorkers := flag.Int("workers", runtime.GOMAXPROCS(0), "largest worker count to sweep")
 	flag.Parse()
 
+	ctx := context.Background()
 	g := gen.RMAT(*scale, *edgeFactor, gen.DefaultRMAT, 42)
 	fmt.Println("graph:", g)
 
 	// Sequential oracles: the parallel kernels must reproduce these
 	// labelings exactly.
 	svStart := time.Now()
-	refLabels, svStats := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
+	sv, err := bagraph.Run(ctx, g, bagraph.Request{Kind: bagraph.KindCC, CC: bagraph.CCHybrid})
+	if err != nil {
+		log.Fatal(err)
+	}
 	svSeq := time.Since(svStart)
-	fmt.Printf("sequential SV (hybrid):   %10v  (%d passes)\n", svSeq, svStats.Iterations)
+	fmt.Printf("sequential SV (hybrid):   %10v  (%d passes)\n", svSeq, sv.Stats.Passes)
 
 	bfsStart := time.Now()
-	refDist, bfsStats := bfs.DirectionOptimizing(g, 0, 0, 0)
+	bfsRes, err := bagraph.Run(ctx, g, bagraph.Request{
+		Kind: bagraph.KindBFS, BFS: bagraph.BFSDirectionOptimizing, Root: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	bfsSeq := time.Since(bfsStart)
-	fmt.Printf("sequential BFS (dir-opt): %10v  (%d levels, %d reached)\n",
-		bfsSeq, bfsStats.Levels, bfsStats.Reached)
+	fmt.Printf("sequential BFS (dir-opt): %10v  (%d levels: %d top-down + %d bottom-up, %d reached)\n",
+		bfsSeq, bfsRes.Stats.Passes, bfsRes.Stats.TopDownLevels,
+		bfsRes.Stats.BottomUpLevels, bfsRes.Stats.Reached)
+	refLabels, refDist := sv.Labels, bfsRes.Hops
 
 	// 1, 2, 4, ... plus the full -workers count itself when it is not a
 	// power of two.
@@ -53,29 +64,43 @@ func main() {
 
 	fmt.Printf("\n%8s  %12s %8s  %12s %8s\n", "workers", "SV", "speedup", "BFS", "speedup")
 	for _, w := range sweep {
-		pool := par.NewPool(w)
+		// One resident pool and one reusable workspace per worker count:
+		// the serving configuration, amortizing both goroutine startup
+		// and result-buffer allocation across the two kernel runs.
+		pool := bagraph.NewWorkerPool(w)
+		ws := &bagraph.Workspace{}
 
 		start := time.Now()
-		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
+		ccPar, err := pool.Run(ctx, g, bagraph.Request{
+			Kind: bagraph.KindCC, CC: bagraph.CCHybrid, Parallel: true, Workspace: ws,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		svPar := time.Since(start)
-		for v := range labels {
-			if labels[v] != refLabels[v] {
+		for v := range ccPar.Labels {
+			if ccPar.Labels[v] != refLabels[v] {
 				log.Fatalf("SV workers=%d: label mismatch at vertex %d", w, v)
 			}
 		}
 
 		start = time.Now()
-		dist, _ := bfs.ParallelDO(g, 0, bfs.ParallelOptions{Pool: pool})
-		bfsPar := time.Since(start)
-		for v := range dist {
-			if dist[v] != refDist[v] {
+		bfsPar, err := pool.Run(ctx, g, bagraph.Request{
+			Kind: bagraph.KindBFS, Parallel: true, Root: 0, Workspace: ws,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bfsParT := time.Since(start)
+		for v := range bfsPar.Hops {
+			if bfsPar.Hops[v] != refDist[v] {
 				log.Fatalf("BFS workers=%d: distance mismatch at vertex %d", w, v)
 			}
 		}
 
 		pool.Close()
 		fmt.Printf("%8d  %12v %7.2fx  %12v %7.2fx\n",
-			w, svPar, svSeq.Seconds()/svPar.Seconds(), bfsPar, bfsSeq.Seconds()/bfsPar.Seconds())
+			w, svPar, svSeq.Seconds()/svPar.Seconds(), bfsParT, bfsSeq.Seconds()/bfsParT.Seconds())
 	}
 	fmt.Println("\nall parallel results match the sequential oracles")
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,26 +21,33 @@ func main() {
 	}
 	fmt.Println("graph:", g)
 
-	// Connected components: every algorithm returns the same canonical
-	// labels (the smallest vertex id in each component).
-	labels, err := bagraph.ConnectedComponents(g, bagraph.CCBranchAvoiding)
+	// Connected components through the unified Run API: every algorithm
+	// returns the same canonical labels (the smallest vertex id in each
+	// component), and Result.Stats carries the kernel's pass structure.
+	cc, err := bagraph.Run(context.Background(), g, bagraph.Request{
+		Kind: bagraph.KindCC, CC: bagraph.CCBranchAvoiding,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("components: %d\n", bagraph.ComponentCount(labels))
+	fmt.Printf("components: %d (%d label-propagation passes, %d label stores)\n",
+		bagraph.ComponentCount(cc.Labels), cc.Stats.Passes, cc.Stats.LabelStores)
 
 	// BFS hop distances from vertex 0.
-	dist, err := bagraph.ShortestHops(g, 0, bagraph.BFSBranchAvoiding)
+	bfs, err := bagraph.Run(context.Background(), g, bagraph.Request{
+		Kind: bagraph.KindBFS, BFS: bagraph.BFSBranchAvoiding, Root: 0,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	maxHops := uint32(0)
-	for _, d := range dist {
+	for _, d := range bfs.Hops {
 		if d != bagraph.Unreached && d > maxHops {
 			maxHops = d
 		}
 	}
-	fmt.Printf("eccentricity of vertex 0: %d hops\n", maxHops)
+	fmt.Printf("eccentricity of vertex 0: %d hops (%d levels, %d queue stores)\n",
+		maxHops, bfs.Stats.Passes, bfs.Stats.QueueStores)
 
 	// The paper's instrument: simulate both Shiloach-Vishkin variants on
 	// a Haswell-class machine model and compare branch behaviour.

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,10 +42,13 @@ func main() {
 	var ref []uint64
 	for _, a := range algos {
 		start := time.Now()
-		dist, err := bagraph.ShortestPaths(roads, src, a)
+		res, err := bagraph.Run(context.Background(), roads, bagraph.Request{
+			Kind: bagraph.KindSSSP, SSSP: a, Root: src,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		dist := res.Dists
 		elapsed := time.Since(start)
 		if ref == nil {
 			ref = dist

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -33,10 +34,13 @@ func main() {
 	var ref []uint32
 	for _, a := range algos {
 		start := time.Now()
-		labels, err := bagraph.ConnectedComponents(g, a)
+		res, err := bagraph.Run(context.Background(), g, bagraph.Request{
+			Kind: bagraph.KindCC, CC: a,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		labels := res.Labels
 		elapsed := time.Since(start)
 		if ref == nil {
 			ref = labels

@@ -5,6 +5,7 @@ package bagraph
 // centrality, APSP).
 
 import (
+	"context"
 	"fmt"
 
 	"bagraph/internal/apsp"
@@ -82,6 +83,9 @@ func (a SSSPAlgorithm) String() string {
 // ShortestPaths returns weighted shortest-path distances from src
 // (InfDistance for unreachable vertices). All algorithms produce
 // identical distances.
+//
+// Deprecated: use Run with Request{Kind: KindSSSP, SSSP: alg, Root:
+// src}, which also returns the kernel's Stats and honors a context.
 func ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm) ([]uint64, error) {
 	return ShortestPathsInto(g, src, alg, nil)
 }
@@ -89,29 +93,25 @@ func ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm) ([]uint64, e
 // ShortestPathsInto is ShortestPaths writing into dist when it has
 // length |V| (the returned slice aliases it); any other length
 // allocates. Long-lived callers reuse the buffer across queries.
+//
+// Deprecated: use Run with Request{Kind: KindSSSP, SSSP: alg, Root:
+// src} and a reusable Workspace in place of the positional buffer.
 func ShortestPathsInto(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []uint64) ([]uint64, error) {
-	if err := checkSource(g, src); err != nil {
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindSSSP, SSSP: alg, Root: src,
+		Workspace: &Workspace{Dists: dist},
+	})
+	if err != nil {
 		return nil, err
 	}
-	switch alg {
-	case SSSPBellmanFord:
-		out, _ := sssp.BellmanFordBranchBasedInto(g, src, dist)
-		return out, nil
-	case SSSPBellmanFordBranchAvoiding:
-		out, _ := sssp.BellmanFordBranchAvoidingInto(g, src, dist)
-		return out, nil
-	case SSSPDijkstra:
-		return sssp.DijkstraInto(g, src, dist), nil
-	case SSSPHybrid:
-		return nil, fmt.Errorf("bagraph: %v exists only in the parallel kernel (ShortestPathsParallel)", alg)
-	default:
-		return nil, fmt.Errorf("bagraph: unknown SSSP algorithm %v", alg)
-	}
+	return res.Dists, nil
 }
 
-// checkSource validates an SSSP source vertex against the graph.
+// checkSource validates an SSSP source vertex against the graph. On a
+// 0-vertex graph every source is out of range — no vertex exists for
+// the traversal to start from.
 func checkSource(g *WeightedGraph, src uint32) error {
-	if g.NumVertices() > 0 && int(src) >= g.NumVertices() {
+	if int(src) >= g.NumVertices() {
 		return fmt.Errorf("bagraph: source %d out of range for %d vertices", src, g.NumVertices())
 	}
 	return nil
@@ -138,32 +138,36 @@ func ssspVariant(alg SSSPAlgorithm) (sssp.Variant, error) {
 // relaxation loop selected by alg. workers < 1 means GOMAXPROCS.
 // Distances are identical to the sequential kernels'. SSSPDijkstra has
 // no parallel form and is rejected.
+//
+// Deprecated: use Run with Request{Kind: KindSSSP, SSSP: alg,
+// Parallel: true, Root: src, Workers: workers}.
 func ShortestPathsParallel(g *WeightedGraph, src uint32, alg SSSPAlgorithm, workers int) ([]uint64, error) {
-	if err := checkSource(g, src); err != nil {
-		return nil, err
-	}
-	variant, err := ssspVariant(alg)
+	res, err := Run(context.Background(), g, Request{
+		Kind: KindSSSP, SSSP: alg, Parallel: true, Root: src, Workers: workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	dist, _ := sssp.Parallel(g, src, sssp.ParallelOptions{Workers: workers, Variant: variant})
-	return dist, nil
+	return res.Dists, nil
 }
 
 // ShortestPaths runs the parallel SSSP kernel on the resident pool.
 // dist, when of length |V|, receives the distances and suppresses the
 // per-call result allocation (the returned slice aliases it); pass nil
 // to allocate. SSSPDijkstra has no parallel form and is rejected.
+//
+// Deprecated: use WorkerPool.Run with Request{Kind: KindSSSP,
+// Parallel: true} and a reusable Workspace in place of the positional
+// buffer.
 func (p *WorkerPool) ShortestPaths(g *WeightedGraph, src uint32, alg SSSPAlgorithm, dist []uint64) ([]uint64, error) {
-	if err := checkSource(g, src); err != nil {
-		return nil, err
-	}
-	variant, err := ssspVariant(alg)
+	res, err := p.Run(context.Background(), g, Request{
+		Kind: KindSSSP, SSSP: alg, Parallel: true, Root: src,
+		Workspace: &Workspace{Dists: dist},
+	})
 	if err != nil {
 		return nil, err
 	}
-	out, _ := sssp.Parallel(g, src, sssp.ParallelOptions{Pool: p.pool, Variant: variant, Dist: dist})
-	return out, nil
+	return res.Dists, nil
 }
 
 // Betweenness returns the exact betweenness centrality of every vertex.

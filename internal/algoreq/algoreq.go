@@ -1,0 +1,83 @@
+// Package algoreq is the single translation table from canonical
+// kernel-algorithm names — the vocabulary the bacc/babfs/basssp
+// command lines and the daemon's query bodies share — to the facade
+// Requests the unified bagraph.Run API executes. The CLIs and
+// internal/serve both dispatch through it, so adding or renaming a
+// kernel variant is a one-place change and the daemon stays
+// byte-identical to the command-line kernels by construction.
+package algoreq
+
+import (
+	"fmt"
+
+	"bagraph"
+)
+
+// CC translates a canonical connected-components algorithm name.
+func CC(algo string) (bagraph.Request, error) {
+	req := bagraph.Request{Kind: bagraph.KindCC}
+	switch algo {
+	case "sv-bb":
+		req.CC = bagraph.CCBranchBased
+	case "sv-ba":
+		req.CC = bagraph.CCBranchAvoiding
+	case "hybrid":
+		req.CC = bagraph.CCHybrid
+	case "unionfind":
+		req.CC = bagraph.CCUnionFind
+	case "par-bb":
+		req.CC, req.Parallel = bagraph.CCBranchBased, true
+	case "par-ba":
+		req.CC, req.Parallel = bagraph.CCBranchAvoiding, true
+	case "par-hybrid":
+		req.CC, req.Parallel = bagraph.CCHybrid, true
+	default:
+		return req, fmt.Errorf("unknown CC algorithm %q", algo)
+	}
+	return req, nil
+}
+
+// BFS translates a canonical BFS variant name. "ms" has no
+// single-source form — a batch of sources becomes one KindBFSBatch
+// request — so it is rejected here.
+func BFS(algo string, root uint32) (bagraph.Request, error) {
+	req := bagraph.Request{Kind: bagraph.KindBFS, Root: root}
+	switch algo {
+	case "bb":
+		req.BFS = bagraph.BFSBranchBased
+	case "ba":
+		req.BFS = bagraph.BFSBranchAvoiding
+	case "dir-opt":
+		req.BFS = bagraph.BFSDirectionOptimizing
+	case "par-do":
+		req.Parallel = true
+	default:
+		return req, fmt.Errorf("unknown BFS variant %q", algo)
+	}
+	return req, nil
+}
+
+// SSSP translates a canonical SSSP algorithm name. delta is the
+// delta-stepping bucket width for the par-* kernels (0 = kernel
+// default); long-lived callers pass a per-graph cached value to skip
+// the per-query weight sweep.
+func SSSP(algo string, root uint32, delta uint64) (bagraph.Request, error) {
+	req := bagraph.Request{Kind: bagraph.KindSSSP, Root: root}
+	switch algo {
+	case "bb":
+		req.SSSP = bagraph.SSSPBellmanFord
+	case "ba":
+		req.SSSP = bagraph.SSSPBellmanFordBranchAvoiding
+	case "dijkstra":
+		req.SSSP = bagraph.SSSPDijkstra
+	case "par-bb":
+		req.SSSP, req.Parallel, req.Delta = bagraph.SSSPBellmanFord, true, delta
+	case "par-ba":
+		req.SSSP, req.Parallel, req.Delta = bagraph.SSSPBellmanFordBranchAvoiding, true, delta
+	case "par-hybrid":
+		req.SSSP, req.Parallel, req.Delta = bagraph.SSSPHybrid, true, delta
+	default:
+		return req, fmt.Errorf("unknown SSSP algorithm %q", algo)
+	}
+	return req, nil
+}

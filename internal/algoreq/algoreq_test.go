@@ -1,0 +1,86 @@
+package algoreq
+
+import (
+	"strings"
+	"testing"
+
+	"bagraph"
+)
+
+func TestCCMappings(t *testing.T) {
+	cases := map[string]struct {
+		alg      bagraph.CCAlgorithm
+		parallel bool
+	}{
+		"sv-bb":      {bagraph.CCBranchBased, false},
+		"sv-ba":      {bagraph.CCBranchAvoiding, false},
+		"hybrid":     {bagraph.CCHybrid, false},
+		"unionfind":  {bagraph.CCUnionFind, false},
+		"par-bb":     {bagraph.CCBranchBased, true},
+		"par-ba":     {bagraph.CCBranchAvoiding, true},
+		"par-hybrid": {bagraph.CCHybrid, true},
+	}
+	for name, want := range cases {
+		req, err := CC(name)
+		if err != nil {
+			t.Fatalf("CC(%q): %v", name, err)
+		}
+		if req.Kind != bagraph.KindCC || req.CC != want.alg || req.Parallel != want.parallel {
+			t.Errorf("CC(%q) = %+v", name, req)
+		}
+	}
+	if _, err := CC("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("CC(nope) = %v, want error naming it", err)
+	}
+}
+
+func TestBFSMappings(t *testing.T) {
+	for name, wantPar := range map[string]bool{"bb": false, "ba": false, "dir-opt": false, "par-do": true} {
+		req, err := BFS(name, 7)
+		if err != nil {
+			t.Fatalf("BFS(%q): %v", name, err)
+		}
+		if req.Kind != bagraph.KindBFS || req.Root != 7 || req.Parallel != wantPar {
+			t.Errorf("BFS(%q) = %+v", name, req)
+		}
+	}
+	// The multi-source kernel has no single-source request form.
+	if _, err := BFS("ms", 0); err == nil {
+		t.Error("BFS(ms) accepted; batches must go through KindBFSBatch")
+	}
+}
+
+func TestSSSPMappings(t *testing.T) {
+	for name, want := range map[string]struct {
+		alg      bagraph.SSSPAlgorithm
+		parallel bool
+	}{
+		"bb":         {bagraph.SSSPBellmanFord, false},
+		"ba":         {bagraph.SSSPBellmanFordBranchAvoiding, false},
+		"dijkstra":   {bagraph.SSSPDijkstra, false},
+		"par-bb":     {bagraph.SSSPBellmanFord, true},
+		"par-ba":     {bagraph.SSSPBellmanFordBranchAvoiding, true},
+		"par-hybrid": {bagraph.SSSPHybrid, true},
+	} {
+		req, err := SSSP(name, 3, 16)
+		if err != nil {
+			t.Fatalf("SSSP(%q): %v", name, err)
+		}
+		if req.Kind != bagraph.KindSSSP || req.Root != 3 || req.SSSP != want.alg || req.Parallel != want.parallel {
+			t.Errorf("SSSP(%q) = %+v", name, req)
+		}
+		// Delta only matters to (and is only set for) the delta-stepping
+		// kernels.
+		if wantDelta := uint64(0); want.parallel {
+			wantDelta = 16
+			if req.Delta != wantDelta {
+				t.Errorf("SSSP(%q).Delta = %d, want %d", name, req.Delta, wantDelta)
+			}
+		} else if req.Delta != 0 {
+			t.Errorf("SSSP(%q).Delta = %d, want 0", name, req.Delta)
+		}
+	}
+	if _, err := SSSP("nope", 0, 0); err == nil {
+		t.Error("SSSP(nope) accepted")
+	}
+}

@@ -20,6 +20,7 @@
 package bfs
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,12 @@ type Stats struct {
 	// Levels is the number of BFS levels (eccentricity of the root + 1
 	// for the root's own level).
 	Levels int
+	// TopDownLevels and BottomUpLevels split Levels by traversal
+	// direction. Pure top-down kernels count every level as top-down;
+	// the direction-optimizing kernels record which way the Beamer
+	// heuristic actually went — the observability the serving layer
+	// wants when tuning alpha/beta.
+	TopDownLevels, BottomUpLevels int
 	// LevelSizes[i] is the number of vertices at distance i.
 	LevelSizes []int
 	// LevelDurations holds per-level wall-clock times.
@@ -61,6 +68,15 @@ func (s Stats) Total() time.Duration {
 // TopDownBranchBased runs the classical top-down BFS (Algorithm 4) from
 // root and returns the distance array.
 func TopDownBranchBased(g *graph.Graph, root uint32) ([]uint32, Stats) {
+	dist, st, _ := TopDownBranchBasedCtx(context.Background(), g, root)
+	return dist, st
+}
+
+// TopDownBranchBasedCtx is TopDownBranchBased with cooperative
+// cancellation: the context is observed between levels (never in the
+// per-edge loop, preserving the paper's operation mix), and a cancelled
+// run returns the distances computed so far alongside ctx's error.
+func TopDownBranchBasedCtx(ctx context.Context, g *graph.Graph, root uint32) ([]uint32, Stats, error) {
 	n := g.NumVertices()
 	dist := make([]uint32, n)
 	for i := range dist {
@@ -68,7 +84,7 @@ func TopDownBranchBased(g *graph.Graph, root uint32) ([]uint32, Stats) {
 	}
 	var st Stats
 	if n == 0 {
-		return dist, st
+		return dist, st, ctx.Err()
 	}
 	q := queue.New(n)
 	dist[root] = 0
@@ -83,6 +99,10 @@ func TopDownBranchBased(g *graph.Graph, root uint32) ([]uint32, Stats) {
 	// Per-level accounting: the queue is level-ordered, so levels are
 	// contiguous [head, levelEnd) windows.
 	for head < tail {
+		if err := ctx.Err(); err != nil {
+			st.Reached = tail
+			return dist, st, err
+		}
 		levelEnd := tail
 		start := time.Now()
 		for head < levelEnd {
@@ -102,9 +122,10 @@ func TopDownBranchBased(g *graph.Graph, root uint32) ([]uint32, Stats) {
 		st.LevelDurations = append(st.LevelDurations, time.Since(start))
 		st.LevelSizes = append(st.LevelSizes, levelEnd-lastLevelStart(st))
 		st.Levels++
+		st.TopDownLevels++
 	}
 	st.Reached = tail
-	return dist, st
+	return dist, st, nil
 }
 
 // lastLevelStart returns the queue index where the level just accounted
@@ -123,6 +144,13 @@ func lastLevelStart(st Stats) int {
 // conditional moves select the new distance and advance the tail only
 // when the neighbor was undiscovered. Stores grow from O(|V|) to O(|E|).
 func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
+	dist, st, _ := TopDownBranchAvoidingCtx(context.Background(), g, root)
+	return dist, st
+}
+
+// TopDownBranchAvoidingCtx is TopDownBranchAvoiding with cooperative
+// cancellation at level boundaries (see TopDownBranchBasedCtx).
+func TopDownBranchAvoidingCtx(ctx context.Context, g *graph.Graph, root uint32) ([]uint32, Stats, error) {
 	n := g.NumVertices()
 	dist := make([]uint32, n)
 	for i := range dist {
@@ -130,7 +158,7 @@ func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
 	}
 	var st Stats
 	if n == 0 {
-		return dist, st
+		return dist, st, ctx.Err()
 	}
 	q := queue.New(n)
 	dist[root] = 0
@@ -143,6 +171,10 @@ func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
 	buf := q.Buf()
 	head, tail := 0, 1
 	for head < tail {
+		if err := ctx.Err(); err != nil {
+			st.Reached = tail
+			return dist, st, err
+		}
 		levelEnd := tail
 		start := time.Now()
 		for head < levelEnd {
@@ -166,9 +198,10 @@ func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
 		st.LevelDurations = append(st.LevelDurations, time.Since(start))
 		st.LevelSizes = append(st.LevelSizes, levelEnd-lastLevelStart(st))
 		st.Levels++
+		st.TopDownLevels++
 	}
 	st.Reached = tail
-	return dist, st
+	return dist, st, nil
 }
 
 // DirectionOptimizing runs Beamer-style direction-optimizing BFS: top-down
@@ -178,6 +211,13 @@ func TopDownBranchAvoiding(g *graph.Graph, root uint32) ([]uint32, Stats) {
 // [8]; it is included as an extension to position the branch-avoiding
 // variants against, and for validating the top-down kernels at scale.
 func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32, Stats) {
+	dist, st, _ := DirectionOptimizingCtx(context.Background(), g, root, alpha, beta)
+	return dist, st
+}
+
+// DirectionOptimizingCtx is DirectionOptimizing with cooperative
+// cancellation at level boundaries (see TopDownBranchBasedCtx).
+func DirectionOptimizingCtx(ctx context.Context, g *graph.Graph, root uint32, alpha, beta int) ([]uint32, Stats, error) {
 	if alpha <= 0 {
 		alpha = 15
 	}
@@ -191,7 +231,7 @@ func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32
 	}
 	var st Stats
 	if n == 0 {
-		return dist, st
+		return dist, st, ctx.Err()
 	}
 	frontier := make([]uint32, 0, n)
 	nextFrontier := make([]uint32, 0, n)
@@ -205,6 +245,9 @@ func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32
 	offs := g.Offsets()
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return dist, st, err
+		}
 		start := time.Now()
 		st.LevelSizes = append(st.LevelSizes, len(frontier))
 		st.Reached += len(frontier)
@@ -216,6 +259,7 @@ func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32
 		}
 		nextFrontier = nextFrontier[:0]
 		if volume > arcs/int64(alpha) && len(frontier) > n/beta {
+			st.BottomUpLevels++
 			// Bottom-up: every undiscovered vertex scans its neighbors
 			// for a parent in the frontier.
 			for v := 0; v < n; v++ {
@@ -233,6 +277,7 @@ func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32
 				}
 			}
 		} else {
+			st.TopDownLevels++
 			for _, v := range frontier {
 				for _, w := range adj[offs[v]:offs[v+1]] {
 					if dist[w] == Inf {
@@ -249,7 +294,7 @@ func DirectionOptimizing(g *graph.Graph, root uint32, alpha, beta int) ([]uint32
 		st.Levels++
 		st.LevelDurations = append(st.LevelDurations, time.Since(start))
 	}
-	return dist, st
+	return dist, st, nil
 }
 
 // Verify checks that dist is a valid BFS distance labeling of g from

@@ -27,6 +27,7 @@ package bfs
 // waves over reused mask arrays.
 
 import (
+	"context"
 	"math/bits"
 	"time"
 
@@ -40,6 +41,11 @@ const msWave = 64
 
 // MultiSourceOptions configures MultiSource.
 type MultiSourceOptions struct {
+	// Ctx, when non-nil, cancels the run cooperatively: it is observed
+	// at each shared level-sweep barrier (workers never see it) and a
+	// cancelled run returns the distances computed so far alongside the
+	// context's error.
+	Ctx context.Context
 	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
 	Workers int
 	// Pool, when non-nil, supplies the worker pool (its size overrides
@@ -91,8 +97,14 @@ type msWorker struct {
 // sweeps and returns one distance array per root, each identical to
 // what the sequential kernels produce for that root. Roots must be in
 // range (the facade and the daemon validate); duplicate roots are
-// allowed and produce identical arrays.
-func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]uint32, MultiStats) {
+// allowed and produce identical arrays. A cancelled
+// MultiSourceOptions.Ctx is observed at the next sweep barrier and
+// returned as the error.
+func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]uint32, MultiStats, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
 	k := len(roots)
 	dists := opt.Dists
@@ -109,7 +121,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 	}
 	var st MultiStats
 	if n == 0 || k == 0 {
-		return dists, st
+		return dists, st, ctx.Err()
 	}
 	pool := opt.Pool
 	if pool == nil {
@@ -148,6 +160,9 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 		}
 
 		for level := uint32(1); ; level++ {
+			if err := ctx.Err(); err != nil {
+				return dists, st, err
+			}
 			start := time.Now()
 			pool.Run(len(vranges), func(t int) {
 				a := msWorker{}
@@ -189,5 +204,5 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 			}
 		}
 	}
-	return dists, st
+	return dists, st, nil
 }

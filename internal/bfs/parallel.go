@@ -29,6 +29,7 @@ package bfs
 // volume exceeds |arcs|/alpha and its size exceeds |V|/beta.
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,11 @@ import (
 
 // ParallelOptions configures ParallelDO.
 type ParallelOptions struct {
+	// Ctx, when non-nil, cancels the run cooperatively: it is observed
+	// at each level barrier (workers never see it) and a cancelled run
+	// returns the distances computed so far alongside the context's
+	// error.
+	Ctx context.Context
 	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
 	Workers int
 	// Alpha and Beta are the direction-switch thresholds; <= 0 means the
@@ -65,8 +71,14 @@ type perWorkerLevel struct {
 }
 
 // ParallelDO runs direction-optimizing BFS from root across workers and
-// returns the distance array, identical to the sequential kernels'.
-func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Stats) {
+// returns the distance array, identical to the sequential kernels'. A
+// cancelled ParallelOptions.Ctx is observed at the next level barrier
+// and returned as the error.
+func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Stats, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	alpha := opt.Alpha
 	if alpha <= 0 {
 		alpha = 15
@@ -85,7 +97,7 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 	}
 	var st Stats
 	if n == 0 {
-		return dist, st
+		return dist, st, ctx.Err()
 	}
 	pool := opt.Pool
 	if pool == nil {
@@ -112,12 +124,18 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 	level := uint32(0)
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			// Cancelled at the level barrier: dist holds every level
+			// completed so far, the deeper vertices still Inf.
+			return dist, st, err
+		}
 		start := time.Now()
 		st.LevelSizes = append(st.LevelSizes, len(frontier))
 		st.Reached += len(frontier)
 
 		bottomUp := volume > arcs/int64(alpha) && len(frontier) > n/beta
 		if bottomUp {
+			st.BottomUpLevels++
 			if !bitsValid {
 				frontierBits.Reset()
 				for _, v := range frontier {
@@ -169,6 +187,7 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				frontier = appendN(frontier, nextLen)
 			}
 		} else {
+			st.TopDownLevels++
 			chunks := par.PartitionSlice(len(frontier), pool.Workers())
 			pool.Run(len(chunks), func(t int) {
 				a := perWorkerLevel{}
@@ -203,7 +222,7 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 		st.Levels++
 		st.LevelDurations = append(st.LevelDurations, time.Since(start))
 	}
-	return dist, st
+	return dist, st, nil
 }
 
 // appendSetBits appends every set bit of s to dst in increasing order.

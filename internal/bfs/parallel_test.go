@@ -24,7 +24,7 @@ func TestParallelDOMatchesSequential(t *testing.T) {
 				{Workers: workers, Alpha: 1 << 20, Beta: 1 << 20},
 			} {
 				name := fmt.Sprintf("w%d/a%d", workers, opt.Alpha)
-				dist, st := ParallelDO(g, 0, opt)
+				dist, st, _ := ParallelDO(g, 0, opt)
 				testutil.MustEqualDists(t, name, dist, ref)
 				if err := Verify(g, 0, dist); err != nil {
 					t.Fatalf("%s: %v", name, err)
@@ -47,7 +47,7 @@ func TestParallelDONonZeroRoot(t *testing.T) {
 	g := gen.RMAT(11, 6, gen.DefaultRMAT, 6)
 	for _, root := range []uint32{1, 17, uint32(g.NumVertices() - 1)} {
 		ref, _ := TopDownBranchBased(g, root)
-		dist, _ := ParallelDO(g, root, ParallelOptions{Workers: 4})
+		dist, _, _ := ParallelDO(g, root, ParallelOptions{Workers: 4})
 		for v := range dist {
 			if dist[v] != ref[v] {
 				t.Fatalf("root %d: dist[%d] = %d, want %d", root, v, dist[v], ref[v])
@@ -62,7 +62,7 @@ func TestParallelDOSharedPool(t *testing.T) {
 	g := gen.Grid3D(10, 10, 10, 1)
 	ref, _ := TopDownBranchBased(g, 0)
 	for run := 0; run < 3; run++ {
-		dist, _ := ParallelDO(g, 0, ParallelOptions{Pool: pool})
+		dist, _, _ := ParallelDO(g, 0, ParallelOptions{Pool: pool})
 		for v := range dist {
 			if dist[v] != ref[v] {
 				t.Fatalf("run %d: dist[%d] = %d, want %d", run, v, dist[v], ref[v])
@@ -73,7 +73,7 @@ func TestParallelDOSharedPool(t *testing.T) {
 
 func TestParallelDOEmptyGraph(t *testing.T) {
 	g := graph.MustBuild(0, nil, graph.Options{})
-	dist, st := ParallelDO(g, 0, ParallelOptions{Workers: 2})
+	dist, st, _ := ParallelDO(g, 0, ParallelOptions{Workers: 2})
 	if len(dist) != 0 || st.Reached != 0 {
 		t.Fatalf("empty graph: dist=%v reached=%d", dist, st.Reached)
 	}

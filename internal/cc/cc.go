@@ -21,6 +21,7 @@
 package cc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -62,6 +63,15 @@ func initLabels(n int) []uint32 {
 // SVBranchBased runs the branch-based Shiloach-Vishkin kernel
 // (Algorithm 2): the inner loop branches on every label comparison.
 func SVBranchBased(g *graph.Graph) ([]uint32, Stats) {
+	labels, st, _ := SVBranchBasedCtx(context.Background(), g)
+	return labels, st
+}
+
+// SVBranchBasedCtx is SVBranchBased with cooperative cancellation: the
+// context is observed between passes (never inside the inner loop,
+// which stays exactly the paper's operation mix), and a cancelled run
+// returns the labels computed so far alongside ctx's error.
+func SVBranchBasedCtx(ctx context.Context, g *graph.Graph) ([]uint32, Stats, error) {
 	n := g.NumVertices()
 	labels := initLabels(n)
 	var st Stats
@@ -69,6 +79,9 @@ func SVBranchBased(g *graph.Graph) ([]uint32, Stats) {
 	offs := g.Offsets()
 
 	for change := true; change; {
+		if err := ctx.Err(); err != nil {
+			return labels, st, err
+		}
 		change = false
 		changed := 0
 		start := time.Now()
@@ -92,7 +105,7 @@ func SVBranchBased(g *graph.Graph) ([]uint32, Stats) {
 		st.IterChanges = append(st.IterChanges, changed)
 		st.Iterations++
 	}
-	return labels, st
+	return labels, st, nil
 }
 
 // SVBranchAvoiding runs the branch-avoiding Shiloach-Vishkin kernel
@@ -100,6 +113,13 @@ func SVBranchBased(g *graph.Graph) ([]uint32, Stats) {
 // move; the only branches left are the loop tests. Every vertex writes its
 // label exactly once per pass, so LabelStores is Iterations × |V|.
 func SVBranchAvoiding(g *graph.Graph) ([]uint32, Stats) {
+	labels, st, _ := SVBranchAvoidingCtx(context.Background(), g)
+	return labels, st
+}
+
+// SVBranchAvoidingCtx is SVBranchAvoiding with cooperative cancellation
+// at pass boundaries (see SVBranchBasedCtx).
+func SVBranchAvoidingCtx(ctx context.Context, g *graph.Graph) ([]uint32, Stats, error) {
 	n := g.NumVertices()
 	labels := initLabels(n)
 	var st Stats
@@ -107,6 +127,9 @@ func SVBranchAvoiding(g *graph.Graph) ([]uint32, Stats) {
 	offs := g.Offsets()
 
 	for change := uint32(1); change != 0; {
+		if err := ctx.Err(); err != nil {
+			return labels, st, err
+		}
 		change = 0
 		changed := 0
 		start := time.Now()
@@ -130,7 +153,7 @@ func SVBranchAvoiding(g *graph.Graph) ([]uint32, Stats) {
 		st.IterChanges = append(st.IterChanges, changed)
 		st.Iterations++
 	}
-	return labels, st
+	return labels, st, nil
 }
 
 // HybridOptions configures SVHybrid.
@@ -151,6 +174,13 @@ type HybridOptions struct {
 // branch-avoiding kernel in the early, misprediction-heavy passes and the
 // branch-based kernel once labels stabilize.
 func SVHybrid(g *graph.Graph, opt HybridOptions) ([]uint32, Stats) {
+	labels, st, _ := SVHybridCtx(context.Background(), g, opt)
+	return labels, st
+}
+
+// SVHybridCtx is SVHybrid with cooperative cancellation at pass
+// boundaries (see SVBranchBasedCtx).
+func SVHybridCtx(ctx context.Context, g *graph.Graph, opt HybridOptions) ([]uint32, Stats, error) {
 	n := g.NumVertices()
 	labels := initLabels(n)
 	var st Stats
@@ -163,6 +193,9 @@ func SVHybrid(g *graph.Graph, opt HybridOptions) ([]uint32, Stats) {
 
 	avoiding := true
 	for change := true; change; {
+		if err := ctx.Err(); err != nil {
+			return labels, st, err
+		}
 		if opt.SwitchIteration >= 0 && st.Iterations >= opt.SwitchIteration {
 			avoiding = false
 		}
@@ -211,7 +244,7 @@ func SVHybrid(g *graph.Graph, opt HybridOptions) ([]uint32, Stats) {
 			avoiding = false
 		}
 	}
-	return labels, st
+	return labels, st, nil
 }
 
 // UnionFind computes components with a weighted quick-union with path

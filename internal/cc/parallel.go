@@ -24,6 +24,7 @@ package cc
 // the paper measures).
 
 import (
+	"context"
 	"time"
 
 	"bagraph/internal/core"
@@ -63,6 +64,11 @@ func (v Variant) String() string {
 
 // ParallelOptions configures SVParallel.
 type ParallelOptions struct {
+	// Ctx, when non-nil, cancels the run cooperatively: it is observed
+	// at each pass barrier (workers never see it, staying atomic-free)
+	// and a cancelled run returns the labels computed so far alongside
+	// the context's error.
+	Ctx context.Context
 	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
 	Workers int
 	// Variant selects the inner loop (default BranchBased).
@@ -85,12 +91,17 @@ type ParallelOptions struct {
 // returns the canonical min-id component labeling, identical to the
 // sequential kernels'. Vertex ranges are degree-balanced across workers;
 // each pass ends at a barrier where per-worker change counts merge and
-// the label buffers swap.
-func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
+// the label buffers swap. A cancelled ParallelOptions.Ctx is observed
+// at the next pass barrier and returned as the error.
+func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
 	var st Stats
 	if n == 0 {
-		return []uint32{}, st
+		return []uint32{}, st, ctx.Err()
 	}
 	pool := opt.Pool
 	if pool == nil {
@@ -122,8 +133,9 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
 
 	for {
 		start := time.Now()
+		var err error
 		if avoiding {
-			pool.Run(len(ranges), func(t int) {
+			err = pool.RunCtx(ctx, len(ranges), func(t int) {
 				changed := 0
 				r := ranges[t]
 				for v := r.Lo; v < r.Hi; v++ {
@@ -139,7 +151,7 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
 				perWorker[t] = changed
 			})
 		} else {
-			pool.Run(len(ranges), func(t int) {
+			err = pool.RunCtx(ctx, len(ranges), func(t int) {
 				changed := 0
 				r := ranges[t]
 				for v := r.Lo; v < r.Hi; v++ {
@@ -158,6 +170,11 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
 				perWorker[t] = changed
 			})
 		}
+		if err != nil {
+			// Cancelled at the pass barrier: prev holds the labels of
+			// the last completed pass.
+			return prev, st, err
+		}
 		changed := 0
 		for _, c := range perWorker {
 			changed += c
@@ -174,5 +191,5 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats) {
 			avoiding = false
 		}
 	}
-	return prev, st
+	return prev, st, nil
 }

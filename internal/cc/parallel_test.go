@@ -16,7 +16,7 @@ func TestSVParallelMatchesSequential(t *testing.T) {
 		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
 			for _, workers := range testutil.WorkerCounts {
 				name := fmt.Sprintf("%s/w%d", variant, workers)
-				labels, st := SVParallel(g, ParallelOptions{Workers: workers, Variant: variant})
+				labels, st, _ := SVParallel(g, ParallelOptions{Workers: workers, Variant: variant})
 				testutil.MustEqualLabels(t, name, labels, ref)
 				if g.NumVertices() > 0 {
 					if err := Verify(g, labels); err != nil {
@@ -41,7 +41,7 @@ func TestSVParallelSharedPool(t *testing.T) {
 	ref, _ := SVBranchBased(g)
 	// Reuse one pool across runs; the kernel must not close it.
 	for run := 0; run < 3; run++ {
-		labels, _ := SVParallel(g, ParallelOptions{Pool: pool, Variant: Hybrid})
+		labels, _, _ := SVParallel(g, ParallelOptions{Pool: pool, Variant: Hybrid})
 		for v := range labels {
 			if labels[v] != ref[v] {
 				t.Fatalf("run %d: vertex %d labeled %d, want %d", run, v, labels[v], ref[v])
@@ -63,7 +63,7 @@ func TestVariantString(t *testing.T) {
 
 func TestTalliesMatchParallelLabels(t *testing.T) {
 	g := gen.Disconnected(gen.GNM(400, 700, 9), 3)
-	labels, _ := SVParallel(g, ParallelOptions{Workers: 4, Variant: BranchAvoiding})
+	labels, _, _ := SVParallel(g, ParallelOptions{Workers: 4, Variant: BranchAvoiding})
 	want := make(map[uint32]int)
 	for _, l := range labels {
 		want[l]++

@@ -15,6 +15,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -164,6 +165,23 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		p.tasks <- task{fn: fn, i: i, done: &done}
 	}
 	done.Wait()
+}
+
+// RunCtx is Run with cooperative cancellation at the pass barrier: it
+// skips the pass entirely when ctx is already cancelled, and otherwise
+// reports ctx.Err() after the barrier. Workers never observe ctx — a
+// pass always runs to completion once dispatched, which is what keeps
+// the kernels' inner loops free of per-element atomics and branches;
+// the granularity of cancellation is one pass (one SV sweep, one BFS
+// level, one SSSP scatter). Cancellation is detected through ctx.Err()
+// alone, never Done(), so tests can drive deterministic barrier-exact
+// cancellation with an Err-only context.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.Run(n, fn)
+	return ctx.Err()
 }
 
 // Close stops the worker goroutines. The pool must not be used after

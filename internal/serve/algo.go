@@ -2,20 +2,17 @@ package serve
 
 // Per-request algorithm selection. Query bodies name kernels with the
 // same strings the bacc/babfs command lines use; the tables below
-// canonicalize aliases (so "bb" and "sv-bb" coalesce into one batch key)
-// and dispatch to exactly the kernels the facade enums map to, which is
-// what keeps daemon responses byte-identical to direct library calls.
+// canonicalize aliases (so "bb" and "sv-bb" coalesce into one batch key);
+// canonical names dispatch through internal/algoreq, the translation
+// table the CLIs share, into the facade Requests the unified
+// bagraph.Run API executes — which is what keeps daemon responses
+// byte-identical to direct library calls, and what threads each HTTP
+// request's context down to the kernel pass barriers.
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"bagraph/internal/bfs"
-	"bagraph/internal/cc"
-	"bagraph/internal/graph"
-	"bagraph/internal/par"
-	"bagraph/internal/sssp"
 )
 
 // ccAliases maps accepted CC algorithm names to their canonical form.
@@ -81,96 +78,10 @@ func canon(aliases map[string]string, name, family string) (string, error) {
 
 // usesPool reports whether a canonical algorithm runs its own passes on
 // the shared worker pool. Such kernels must not be dispatched from
-// inside pool.Run — the nested submit would wait on workers that are
-// busy running it — so the batcher runs them back to back, each one
+// inside pool fan-out — the nested submit would wait on workers that
+// are busy running it — so the batcher runs them back to back, each one
 // owning the whole pool (intra-query parallelism), and fans out only
 // the sequential kernels (inter-query parallelism). The multi-source
 // BFS kernel also owns the pool, but runs once for the whole batch
 // (see Batcher.dispatch).
 func usesPool(algo string) bool { return strings.HasPrefix(algo, "par-") || algo == "ms" }
-
-// runCC executes a canonical CC algorithm and returns the min-id
-// component labeling.
-func runCC(algo string, g *graph.Graph, pool *par.Pool) ([]uint32, error) {
-	switch algo {
-	case "sv-bb":
-		labels, _ := cc.SVBranchBased(g)
-		return labels, nil
-	case "sv-ba":
-		labels, _ := cc.SVBranchAvoiding(g)
-		return labels, nil
-	case "hybrid":
-		labels, _ := cc.SVHybrid(g, cc.HybridOptions{SwitchIteration: -1})
-		return labels, nil
-	case "unionfind":
-		return cc.UnionFind(g), nil
-	case "par-bb":
-		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.BranchBased})
-		return labels, nil
-	case "par-ba":
-		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.BranchAvoiding})
-		return labels, nil
-	case "par-hybrid":
-		labels, _ := cc.SVParallel(g, cc.ParallelOptions{Pool: pool, Variant: cc.Hybrid})
-		return labels, nil
-	default:
-		return nil, fmt.Errorf("unknown CC algorithm %q", algo)
-	}
-}
-
-// runBFS executes a canonical BFS variant and returns the hop distances
-// (bfs.Inf for unreached vertices).
-func runBFS(algo string, g *graph.Graph, root uint32, pool *par.Pool) ([]uint32, error) {
-	switch algo {
-	case "bb":
-		dist, _ := bfs.TopDownBranchBased(g, root)
-		return dist, nil
-	case "ba":
-		dist, _ := bfs.TopDownBranchAvoiding(g, root)
-		return dist, nil
-	case "dir-opt":
-		dist, _ := bfs.DirectionOptimizing(g, root, 0, 0)
-		return dist, nil
-	case "par-do":
-		dist, _ := bfs.ParallelDO(g, root, bfs.ParallelOptions{Pool: pool})
-		return dist, nil
-	default:
-		return nil, fmt.Errorf("unknown BFS variant %q", algo)
-	}
-}
-
-// runSSSP executes a canonical SSSP algorithm over the entry's
-// weighted view (real edge weights for weighted loads, unit weights
-// otherwise) and returns the distances (sssp.Inf for unreached
-// vertices). delta is the entry's cached bucket width for the par-*
-// kernels (Entry.SSSPDelta), saving the per-query weight-array sweep.
-func runSSSP(algo string, w *graph.Weighted, root uint32, delta uint64, pool *par.Pool) ([]uint64, error) {
-	switch algo {
-	case "bb":
-		dist, _ := sssp.BellmanFordBranchBased(w, root)
-		return dist, nil
-	case "ba":
-		dist, _ := sssp.BellmanFordBranchAvoiding(w, root)
-		return dist, nil
-	case "dijkstra":
-		return sssp.Dijkstra(w, root), nil
-	case "par-bb":
-		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.BranchBased, Delta: delta})
-		return dist, nil
-	case "par-ba":
-		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.BranchAvoiding, Delta: delta})
-		return dist, nil
-	case "par-hybrid":
-		dist, _ := sssp.Parallel(w, root, sssp.ParallelOptions{Pool: pool, Variant: sssp.Hybrid, Delta: delta})
-		return dist, nil
-	default:
-		return nil, fmt.Errorf("unknown SSSP algorithm %q", algo)
-	}
-}
-
-// runMultiSourceBFS executes one batch of BFS roots through the shared
-// multi-source kernel, returning one distance array per root in order.
-func runMultiSourceBFS(g *graph.Graph, roots []uint32, pool *par.Pool) [][]uint32 {
-	dists, _ := bfs.MultiSource(g, roots, bfs.MultiSourceOptions{Pool: pool})
-	return dists
-}

@@ -15,30 +15,41 @@ package serve
 // so they coalesce hardest: concurrent identical queries share a single
 // kernel run and the label array is cached on the graph entry until its
 // epoch is retired.
+//
+// Every request carries its originating context (the HTTP request's,
+// for daemon traffic), threaded through Submit down to the kernel pass
+// barriers. A request whose context dies while queued is dropped from
+// the coalesced dispatch without running; a batch whose every waiter
+// is gone cancels its shared kernel run at the next barrier.
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bagraph"
+	"bagraph/internal/algoreq"
 	"bagraph/internal/cc"
-	"bagraph/internal/par"
 )
 
-// kind separates the two traversal families a batch can hold.
-type kind int
+// Kind separates the two traversal families a batch can hold.
+type Kind int
 
+// Traversal families.
 const (
-	kindBFS kind = iota
-	kindSSSP
+	KindBFS Kind = iota
+	KindSSSP
 )
 
 // Request is one traversal query: a source vertex against a resident
-// graph with a canonical algorithm name.
+// graph with a canonical algorithm name, on behalf of a context.
 type Request struct {
 	entry *Entry
-	kind  kind
+	kind  Kind
 	algo  string
 	root  uint32
+	ctx   context.Context
 	done  chan Result
 }
 
@@ -52,7 +63,8 @@ type Result struct {
 	// Batch is the number of requests dispatched together, the
 	// coalescing observability hook the tests and clients read.
 	Batch int
-	// Err is the per-request failure, if any.
+	// Err is the per-request failure, if any; a request abandoned by
+	// its context carries the context's error.
 	Err error
 }
 
@@ -61,7 +73,7 @@ type Result struct {
 // algorithm.
 type batchKey struct {
 	entry *Entry
-	kind  kind
+	kind  Kind
 	algo  string
 }
 
@@ -76,7 +88,7 @@ type pendingBatch struct {
 
 // Batcher owns the worker pool and the pending-batch table.
 type Batcher struct {
-	pool     *par.Pool
+	wp       *bagraph.WorkerPool
 	maxBatch int
 	window   time.Duration
 
@@ -94,7 +106,7 @@ func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
 		maxBatch = 32
 	}
 	return &Batcher{
-		pool:     par.NewPool(workers),
+		wp:       bagraph.NewWorkerPool(workers),
 		maxBatch: maxBatch,
 		window:   window,
 		pending:  make(map[batchKey]*pendingBatch),
@@ -102,24 +114,24 @@ func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
 }
 
 // Workers returns the resident pool size.
-func (b *Batcher) Workers() int { return b.pool.Workers() }
+func (b *Batcher) Workers() int { return b.wp.Workers() }
 
 // Close releases the worker pool. In-flight dispatches must have
 // drained; the HTTP server's shutdown guarantees that.
-func (b *Batcher) Close() { b.pool.Close() }
+func (b *Batcher) Close() { b.wp.Close() }
 
-// BFS enqueues a BFS query and blocks until its batch is dispatched.
-// algo must be canonical (see bfsAliases) and root in range.
-func (b *Batcher) BFS(e *Entry, algo string, root uint32) Result {
-	return b.traverse(&Request{entry: e, kind: kindBFS, algo: algo, root: root})
+// BFS enqueues a BFS query and blocks until its batch is dispatched or
+// ctx dies. algo must be canonical (see bfsAliases) and root in range.
+func (b *Batcher) BFS(ctx context.Context, e *Entry, algo string, root uint32) Result {
+	return b.Submit(ctx, e, KindBFS, algo, root)
 }
 
 // SSSP enqueues a weighted SSSP query (real edge weights for weighted
 // entries, unit weights otherwise) and blocks until its batch is
-// dispatched. algo must be canonical (see ssspAliases) and root in
-// range.
-func (b *Batcher) SSSP(e *Entry, algo string, root uint32) Result {
-	return b.traverse(&Request{entry: e, kind: kindSSSP, algo: algo, root: root})
+// dispatched or ctx dies. algo must be canonical (see ssspAliases) and
+// root in range.
+func (b *Batcher) SSSP(ctx context.Context, e *Entry, algo string, root uint32) Result {
+	return b.Submit(ctx, e, KindSSSP, algo, root)
 }
 
 // CC returns the component labeling and count for (e, algo), computing
@@ -128,7 +140,15 @@ func (b *Batcher) SSSP(e *Entry, algo string, root uint32) Result {
 // from the entry's cache. shared reports whether this call reused a
 // computation started by another request (or an earlier one). The
 // returned labels are shared and must not be mutated.
-func (b *Batcher) CC(e *Entry, algo string) (labels []uint32, components int, shared bool, err error) {
+//
+// ctx gates entry (a dead context returns its error without touching
+// the cache) but does not cancel the fill itself: the labeling is a
+// per-epoch shared artifact every later query reuses, so one abandoned
+// client must not poison the cache with a context error.
+func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint32, components int, shared bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, false, err
+	}
 	e.ccMu.Lock()
 	res, ok := e.ccCache[algo]
 	if !ok {
@@ -139,7 +159,7 @@ func (b *Batcher) CC(e *Entry, algo string) (labels []uint32, components int, sh
 	first := false
 	res.once.Do(func() {
 		first = true
-		res.labels, res.err = runCC(algo, e.Graph(), b.pool)
+		res.labels, res.err = b.runCC(algo, e)
 		if res.err == nil {
 			res.components = cc.CountComponents(res.labels)
 		}
@@ -147,11 +167,34 @@ func (b *Batcher) CC(e *Entry, algo string) (labels []uint32, components int, sh
 	return res.labels, res.components, !first, res.err
 }
 
-// traverse joins (or opens) the pending batch for the request's key and
-// waits for the dispatch to deliver its result.
-func (b *Batcher) traverse(req *Request) Result {
+// runCC executes one detached CC cache fill through the facade.
+func (b *Batcher) runCC(algo string, e *Entry) ([]uint32, error) {
+	req, err := algoreq.CC(algo)
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.wp.Run(context.Background(), e.Graph(), req)
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// Submit joins (or opens) the pending batch for the query's key and
+// waits for the dispatch to deliver its result. A context that dies
+// before dispatch unblocks Submit immediately with ctx's error and the
+// queued request is dropped when its batch flushes; one that dies
+// mid-kernel is observed at the next pass barrier.
+func (b *Batcher) Submit(ctx context.Context, e *Entry, k Kind, algo string, root uint32) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Err: err}
+	}
+	req := &Request{entry: e, kind: k, algo: algo, root: root, ctx: ctx}
 	req.done = make(chan Result, 1)
-	key := batchKey{entry: req.entry, kind: req.kind, algo: req.algo}
+	key := batchKey{entry: e, kind: k, algo: algo}
 
 	b.mu.Lock()
 	pb := b.pending[key]
@@ -172,7 +215,15 @@ func (b *Batcher) traverse(req *Request) Result {
 	if dispatch != nil {
 		b.dispatch(key, dispatch)
 	}
-	return <-req.done
+	// done is buffered, so an early ctx exit never blocks the
+	// dispatcher; the request's result (or drop notice) is simply
+	// discarded.
+	select {
+	case res := <-req.done:
+		return res
+	case <-ctx.Done():
+		return Result{Err: ctx.Err()}
+	}
 }
 
 // takeLocked claims a pending batch for dispatch. Callers hold b.mu.
@@ -199,35 +250,91 @@ func (b *Batcher) flushTimed(pb *pendingBatch) {
 	}
 }
 
+// dropAbandoned filters a claimed batch down to the requests still
+// worth running; requests whose context died while queued are answered
+// with their context's error in place, without running anything.
+func dropAbandoned(reqs []*Request) []*Request {
+	live := reqs[:0]
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- Result{Err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
+// batchContext derives a context that is cancelled once every request
+// of the batch has been abandoned — the shared multi-source kernel run
+// serves all waiters at once, so it keeps going while any of them is
+// still listening, and stops at the next level barrier when none is.
+// stop releases the watchers; it must be called when the dispatch
+// finishes.
+func batchContext(reqs []*Request) (ctx context.Context, stop func()) {
+	bctx, cancel := context.WithCancel(context.Background())
+	remaining := int64(len(reqs))
+	stops := make([]func() bool, 0, len(reqs))
+	for _, r := range reqs {
+		stops = append(stops, context.AfterFunc(r.ctx, func() {
+			if atomic.AddInt64(&remaining, -1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return bctx, func() {
+		for _, s := range stops {
+			s()
+		}
+		cancel()
+	}
+}
+
 // dispatch runs one claimed batch and delivers per-request results.
-// Three shapes, in decreasing order of sharing:
+// Requests abandoned while queued are dropped first; the survivors run
+// in one of three shapes, in decreasing order of sharing:
 //
 //   - Multi-source BFS ("ms"): the whole batch is ONE kernel run — the
 //     batched roots traverse together through shared bottom-up mask
-//     sweeps, one graph pass per level for up to 64 sources.
+//     sweeps, one graph pass per level for up to 64 sources — executed
+//     under a context that dies only when every waiter is gone.
 //   - Pool-using kernels (par-*): run back to back, each parallelizing
-//     internally (a nested pool.Run would deadlock on its own workers).
+//     internally (a nested pool fan-out would deadlock on its own
+//     workers) under its own request's context.
 //   - Sequential kernels: the batch of sources fans out across the
-//     pool — the batch is the unit of parallelism.
+//     pool — the batch is the unit of parallelism — each under its own
+//     request's context.
 func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
+	reqs = dropAbandoned(reqs)
 	n := len(reqs)
+	if n == 0 {
+		return
+	}
 	results := make([]Result, n)
 	switch {
-	case key.kind == kindBFS && key.algo == "ms":
+	case key.kind == KindBFS && key.algo == "ms":
 		roots := make([]uint32, n)
 		for i, r := range reqs {
 			roots[i] = r.root
 		}
-		dists := runMultiSourceBFS(key.entry.Graph(), roots, b.pool)
+		bctx, stop := batchContext(reqs)
+		res, err := b.wp.Run(bctx, key.entry.Graph(), bagraph.Request{
+			Kind: bagraph.KindBFSBatch, Roots: roots,
+		})
+		stop()
 		for i := range results {
-			results[i] = Result{Hops: dists[i]}
+			if err != nil {
+				results[i] = Result{Err: err}
+			} else {
+				results[i] = Result{Hops: res.HopsBatch[i]}
+			}
 		}
 	case usesPool(key.algo):
 		for i, r := range reqs {
 			results[i] = b.runOne(r)
 		}
 	default:
-		b.pool.Run(n, func(i int) { results[i] = b.runOne(reqs[i]) })
+		b.wp.Each(n, func(i int) { results[i] = b.runOne(reqs[i]) })
 	}
 	for i, r := range reqs {
 		results[i].Batch = n
@@ -235,18 +342,32 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 	}
 }
 
-// runOne executes a single traversal.
+// runOne executes a single traversal under its request's context.
 func (b *Batcher) runOne(r *Request) Result {
 	switch r.kind {
-	case kindSSSP:
+	case KindSSSP:
 		w, err := r.entry.Weighted()
 		if err != nil {
 			return Result{Err: err}
 		}
-		dist, err := runSSSP(r.algo, w, r.root, r.entry.SSSPDelta(), b.pool)
-		return Result{Dists: dist, Err: err}
+		req, err := algoreq.SSSP(r.algo, r.root, r.entry.SSSPDelta())
+		if err != nil {
+			return Result{Err: err}
+		}
+		res, err := b.wp.Run(r.ctx, w, req)
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{Dists: res.Dists}
 	default:
-		dist, err := runBFS(r.algo, r.entry.Graph(), r.root, b.pool)
-		return Result{Hops: dist, Err: err}
+		req, err := algoreq.BFS(r.algo, r.root)
+		if err != nil {
+			return Result{Err: err}
+		}
+		res, err := b.wp.Run(r.ctx, r.entry.Graph(), req)
+		if err != nil {
+			return Result{Err: err}
+		}
+		return Result{Hops: res.Hops}
 	}
 }

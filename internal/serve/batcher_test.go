@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestBatcherCoalescesBFS(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = b.BFS(e, "ba", uint32(i))
+			results[i] = b.BFS(context.Background(), e, "ba", uint32(i))
 		}(i)
 	}
 	wg.Wait()
@@ -71,8 +72,8 @@ func TestBatcherSeparatesKeys(t *testing.T) {
 	var wg sync.WaitGroup
 	var ba, bb Result
 	wg.Add(2)
-	go func() { defer wg.Done(); ba = b.BFS(e, "ba", 0) }()
-	go func() { defer wg.Done(); bb = b.BFS(e, "bb", 0) }()
+	go func() { defer wg.Done(); ba = b.BFS(context.Background(), e, "ba", 0) }()
+	go func() { defer wg.Done(); bb = b.BFS(context.Background(), e, "bb", 0) }()
 	wg.Wait()
 	if ba.Err != nil || bb.Err != nil {
 		t.Fatalf("errs: %v %v", ba.Err, bb.Err)
@@ -88,11 +89,11 @@ func TestBatcherImmediateWindow(t *testing.T) {
 	e := newTestEntry(t)
 	b := NewBatcher(1, 4, -1)
 	defer b.Close()
-	res := b.BFS(e, "par-do", 3)
+	res := b.BFS(context.Background(), e, "par-do", 3)
 	if res.Err != nil || res.Batch != 1 {
 		t.Fatalf("immediate dispatch: batch %d err %v", res.Batch, res.Err)
 	}
-	want, _ := bfs.ParallelDO(e.Graph(), 3, bfs.ParallelOptions{Workers: 1})
+	want, _, _ := bfs.ParallelDO(e.Graph(), 3, bfs.ParallelOptions{Workers: 1})
 	for v := range want {
 		if res.Hops[v] != want[v] {
 			t.Fatalf("dist[%d] = %d, want %d", v, res.Hops[v], want[v])
@@ -108,7 +109,7 @@ func TestBatcherSSSP(t *testing.T) {
 	b := NewBatcher(2, 4, -1)
 	defer b.Close()
 	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
-		res := b.SSSP(e, algo, 5)
+		res := b.SSSP(context.Background(), e, algo, 5)
 		if res.Err != nil {
 			t.Fatalf("%s: %v", algo, res.Err)
 		}
@@ -142,7 +143,7 @@ func TestBatcherSSSPRealWeights(t *testing.T) {
 	defer b.Close()
 	want := sssp.Dijkstra(w, 2)
 	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
-		res := b.SSSP(e, algo, 2)
+		res := b.SSSP(context.Background(), e, algo, 2)
 		if res.Err != nil {
 			t.Fatalf("%s: %v", algo, res.Err)
 		}
@@ -169,7 +170,7 @@ func TestBatcherMultiSourceBFS(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = b.BFS(e, "ms", uint32(i*7))
+			results[i] = b.BFS(context.Background(), e, "ms", uint32(i*7))
 		}(i)
 	}
 	wg.Wait()
@@ -193,7 +194,7 @@ func TestBatcherMultiSourceBFS(t *testing.T) {
 	// answers correctly.
 	b1 := NewBatcher(2, 4, -1)
 	defer b1.Close()
-	solo := b1.BFS(e, "ms", 3)
+	solo := b1.BFS(context.Background(), e, "ms", 3)
 	if solo.Err != nil {
 		t.Fatal(solo.Err)
 	}
@@ -216,14 +217,14 @@ func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 	b := NewBatcher(2, 4, -1)
 	defer b.Close()
 
-	labels1, comps1, shared1, err := b.CC(e, "par-hybrid")
+	labels1, comps1, shared1, err := b.CC(context.Background(), e, "par-hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if shared1 {
 		t.Fatal("first CC query reported shared")
 	}
-	labels2, comps2, shared2, err := b.CC(e, "par-hybrid")
+	labels2, comps2, shared2, err := b.CC(context.Background(), e, "par-hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 	}
 
 	// A different algorithm gets its own slot (fresh computation).
-	_, _, sharedOther, err := b.CC(e, "unionfind")
+	_, _, sharedOther, err := b.CC(context.Background(), e, "unionfind")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, shared, err := b.CC(e2, "hybrid")
+			_, _, shared, err := b.CC(context.Background(), e2, "hybrid")
 			if err != nil {
 				t.Error(err)
 				return
@@ -290,7 +291,7 @@ func TestReplaceInvalidatesCCCache(t *testing.T) {
 	}
 	b := NewBatcher(1, 4, -1)
 	defer b.Close()
-	if _, _, shared, err := b.CC(e1, "hybrid"); err != nil || shared {
+	if _, _, shared, err := b.CC(context.Background(), e1, "hybrid"); err != nil || shared {
 		t.Fatalf("first query: shared=%v err=%v", shared, err)
 	}
 	e2, err := r.Replace("g", gen.Star(20))
@@ -300,7 +301,7 @@ func TestReplaceInvalidatesCCCache(t *testing.T) {
 	if e2.Epoch() != e1.Epoch()+1 {
 		t.Fatalf("epoch = %d, want %d", e2.Epoch(), e1.Epoch()+1)
 	}
-	_, comps, shared, err := b.CC(e2, "hybrid")
+	_, comps, shared, err := b.CC(context.Background(), e2, "hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}

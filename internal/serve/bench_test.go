@@ -18,10 +18,12 @@ package serve
 // queries are the small frequent ones.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"bagraph"
 	"bagraph/internal/bfs"
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
@@ -52,13 +54,13 @@ func BenchmarkServeBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("bfs/batched/k=%d", k), func(b *testing.B) {
 			bt := NewBatcher(0, k, -1)
 			defer bt.Close()
-			key := batchKey{entry: e, kind: kindBFS, algo: "ba"}
+			key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reqs := make([]*Request, k)
 				for j := range reqs {
 					reqs[j] = &Request{
-						entry: e, kind: kindBFS, algo: "ba", root: roots[j],
+						entry: e, kind: KindBFS, algo: "ba", root: roots[j], ctx: context.Background(),
 						done: make(chan Result, 1),
 					}
 				}
@@ -112,7 +114,7 @@ func BenchmarkServeBatch(b *testing.B) {
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
-						if _, comps, _, err := bt.CC(fresh, "hybrid"); err != nil || comps == 0 {
+						if _, comps, _, err := bt.CC(context.Background(), fresh, "hybrid"); err != nil || comps == 0 {
 							b.Error("bad result")
 						}
 					}()
@@ -133,8 +135,9 @@ func BenchmarkServeBatch(b *testing.B) {
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
-						labels, err := runCC("hybrid", g, bt.pool)
-						if err != nil || len(labels) == 0 {
+						res, err := bagraph.Run(context.Background(), g,
+							bagraph.Request{Kind: bagraph.KindCC, CC: bagraph.CCHybrid})
+						if err != nil || len(res.Labels) == 0 {
 							b.Error("bad result")
 						}
 					}()
@@ -170,7 +173,7 @@ func BenchmarkServeMultiSourceBFS(b *testing.B) {
 			reqs := make([]*Request, k)
 			for j := range reqs {
 				reqs[j] = &Request{
-					entry: e, kind: kindBFS, algo: algo, root: roots[j],
+					entry: e, kind: KindBFS, algo: algo, root: roots[j], ctx: context.Background(),
 					done: make(chan Result, 1),
 				}
 			}
@@ -187,7 +190,7 @@ func BenchmarkServeMultiSourceBFS(b *testing.B) {
 		b.Run(fmt.Sprintf("multi-source/k=%d", k), func(b *testing.B) {
 			bt := NewBatcher(0, k, -1)
 			defer bt.Close()
-			key := batchKey{entry: e, kind: kindBFS, algo: "ms"}
+			key := batchKey{entry: e, kind: KindBFS, algo: "ms"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reqs := newReqs("ms")
@@ -199,7 +202,7 @@ func BenchmarkServeMultiSourceBFS(b *testing.B) {
 		b.Run(fmt.Sprintf("independent/k=%d", k), func(b *testing.B) {
 			bt := NewBatcher(0, k, -1)
 			defer bt.Close()
-			key := batchKey{entry: e, kind: kindBFS, algo: "ba"}
+			key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				reqs := newReqs("ba")
@@ -221,12 +224,12 @@ func BenchmarkServeCCCache(b *testing.B) {
 	}
 	bt := NewBatcher(0, 4, -1)
 	defer bt.Close()
-	if _, _, _, err := bt.CC(e, "par-hybrid"); err != nil { // warm the cache
+	if _, _, _, err := bt.CC(context.Background(), e, "par-hybrid"); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, shared, err := bt.CC(e, "par-hybrid")
+		_, _, shared, err := bt.CC(context.Background(), e, "par-hybrid")
 		if err != nil || !shared {
 			b.Fatal("cache miss")
 		}

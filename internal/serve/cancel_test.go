@@ -1,0 +1,187 @@
+package serve
+
+// Cancellation behaviour of the batching dispatcher: queued requests
+// whose context dies are dropped from the coalesced dispatch, a batch
+// whose every waiter is gone cancels its shared kernel run, and the
+// batcher (and its resident pool) stays fully usable afterwards. The
+// stress test runs the whole mix under -race.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// enqueuedLen reports how many requests the pending batch for key
+// currently holds (0 if none). Test-only peek under the batcher lock.
+func (b *Batcher) enqueuedLen(key batchKey) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pb := b.pending[key]
+	if pb == nil {
+		return 0
+	}
+	return len(pb.reqs)
+}
+
+// TestSubmitPreCancelled: a context dead on arrival returns its error
+// without enqueueing anything.
+func TestSubmitPreCancelled(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(2, 8, time.Hour) // window never fires in this test
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := b.Submit(ctx, e, KindBFS, "ba", 0)
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", res.Err)
+	}
+	if n := b.enqueuedLen(batchKey{entry: e, kind: KindBFS, algo: "ba"}); n != 0 {
+		t.Fatalf("pre-cancelled request was enqueued (%d pending)", n)
+	}
+}
+
+// TestAbandonedRequestDroppedFromBatch: request A joins a batch, its
+// client goes away, request B fills the batch — the dispatch must run
+// B alone (Batch == 1) and A must come back with the context error.
+func TestAbandonedRequestDroppedFromBatch(t *testing.T) {
+	e := newTestEntry(t)
+	// maxBatch 2: the second submit triggers the flush deterministically.
+	b := NewBatcher(2, 2, time.Hour)
+	defer b.Close()
+	key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	resA := make(chan Result, 1)
+	go func() { resA <- b.Submit(ctxA, e, KindBFS, "ba", 0) }()
+	for b.enqueuedLen(key) == 0 { // wait until A is in the pending batch
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancelA()
+
+	resB := b.Submit(context.Background(), e, KindBFS, "ba", 1)
+	if resB.Err != nil {
+		t.Fatalf("live request failed: %v", resB.Err)
+	}
+	if resB.Batch != 1 {
+		t.Fatalf("Batch = %d, want 1 (abandoned request not dropped)", resB.Batch)
+	}
+	if got := <-resA; !errors.Is(got.Err, context.Canceled) {
+		t.Fatalf("abandoned request Err = %v, want context.Canceled", got.Err)
+	}
+}
+
+// TestBatchContextCancelsWhenAllWaitersGone: the merged context of a
+// shared dispatch dies exactly when the last member context dies.
+func TestBatchContextCancelsWhenAllWaitersGone(t *testing.T) {
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	reqs := []*Request{{ctx: ctx1}, {ctx: ctx2}}
+	bctx, stop := batchContext(reqs)
+	defer stop()
+
+	cancel1()
+	select {
+	case <-bctx.Done():
+		t.Fatal("batch context died while a waiter remained")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-bctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch context survived all waiters dying")
+	}
+	if !errors.Is(bctx.Err(), context.Canceled) {
+		t.Fatalf("Err = %v", bctx.Err())
+	}
+}
+
+// TestCancellationStress hammers the dispatcher with concurrent
+// batched queries across every dispatch shape while roughly half the
+// clients abandon their requests at random points. Invariants: live
+// requests always succeed with non-empty results, abandoned ones
+// surface only context errors, and the batcher answers a clean query
+// correctly afterwards. Run under -race this is the proof the
+// cancellation paths share no mutable state with in-flight kernels.
+func TestCancellationStress(t *testing.T) {
+	e := newTestEntry(t)
+	b := NewBatcher(4, 8, 200*time.Microsecond)
+	defer b.Close()
+
+	algos := []struct {
+		kind Kind
+		algo string
+	}{
+		{KindBFS, "ba"},     // sequential: pool fan-out
+		{KindBFS, "par-do"}, // pool-owning, back to back
+		{KindBFS, "ms"},     // one shared kernel run per batch
+		{KindSSSP, "par-hybrid"},
+		{KindSSSP, "dijkstra"},
+	}
+	n := uint32(e.Graph().NumVertices())
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				a := algos[rng.Intn(len(algos))]
+				root := uint32(rng.Intn(int(n)))
+				ctx := context.Context(context.Background())
+				abandoned := rng.Intn(2) == 0
+				if abandoned {
+					c, cancel := context.WithCancel(context.Background())
+					ctx = c
+					if rng.Intn(2) == 0 {
+						cancel() // dead on arrival
+					} else {
+						delay := time.Duration(rng.Intn(300)) * time.Microsecond
+						time.AfterFunc(delay, cancel) // dies somewhere in flight
+					}
+				}
+				res := b.Submit(ctx, e, a.kind, a.algo, root)
+				switch {
+				case res.Err != nil:
+					if !errors.Is(res.Err, context.Canceled) {
+						t.Errorf("%v/%s: unexpected error %v", a.kind, a.algo, res.Err)
+					}
+					if !abandoned {
+						t.Errorf("%v/%s: live request got %v", a.kind, a.algo, res.Err)
+					}
+				case a.kind == KindBFS:
+					if len(res.Hops) != int(n) {
+						t.Errorf("%s: %d hops, want %d", a.algo, len(res.Hops), n)
+					}
+				default:
+					if len(res.Dists) != int(n) {
+						t.Errorf("%s: %d dists, want %d", a.algo, len(res.Dists), n)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The batcher and its pool survived: a clean query still answers
+	// correctly against an independent traversal.
+	res := b.Submit(context.Background(), e, KindBFS, "par-do", 3)
+	if res.Err != nil || len(res.Hops) != int(n) {
+		t.Fatalf("post-stress query: err=%v len=%d", res.Err, len(res.Hops))
+	}
+	want := b.Submit(context.Background(), e, KindBFS, "bb", 3)
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+	for v := range want.Hops {
+		if res.Hops[v] != want.Hops[v] {
+			t.Fatalf("post-stress distances differ at %d", v)
+		}
+	}
+}

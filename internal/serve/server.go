@@ -27,7 +27,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -104,6 +106,22 @@ func bodyLimited(maxBody int64, h http.HandlerFunc) http.HandlerFunc {
 // errorResponse is the uniform failure body.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// statusClientClosedRequest is the (nginx-popularized) status for a
+// request abandoned by its client: the response is written for logs
+// and middleware — the client is no longer listening.
+const statusClientClosedRequest = 499
+
+// queryStatus maps a traversal failure to its HTTP status: context
+// errors mean the client went away (or its deadline passed) and the
+// batcher dropped or cancelled the work; anything else is a server
+// fault.
+func queryStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -221,9 +239,9 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	labels, components, shared, err := s.batcher.CC(e, algo)
+	labels, components, shared, err := s.batcher.CC(r.Context(), e, algo)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, queryStatus(err), "%v", err)
 		return
 	}
 	resp := ccResponse{
@@ -271,9 +289,9 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
-	res := s.batcher.BFS(e, algo, q.Root)
+	res := s.batcher.BFS(r.Context(), e, algo, q.Root)
 	if res.Err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", res.Err)
+		writeError(w, queryStatus(res.Err), "%v", res.Err)
 		return
 	}
 	reached := 0
@@ -321,9 +339,9 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
-	res := s.batcher.SSSP(e, algo, q.Root)
+	res := s.batcher.SSSP(r.Context(), e, algo, q.Root)
 	if res.Err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", res.Err)
+		writeError(w, queryStatus(res.Err), "%v", res.Err)
 		return
 	}
 	reached := 0

@@ -6,6 +6,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -98,10 +99,11 @@ func TestServerCCMatchesFacade(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("%s: status %d", algo, code)
 		}
-		want, err := bagraph.ConnectedComponents(g, alg)
+		res, err := bagraph.Run(context.Background(), g, bagraph.Request{Kind: bagraph.KindCC, CC: alg})
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := res.Labels
 		if !equalU32(got.Labels, want) {
 			t.Fatalf("%s: labels differ from facade", algo)
 		}
@@ -118,11 +120,13 @@ func TestServerCCMatchesFacade(t *testing.T) {
 	for algo, alg := range parallel {
 		_, got := post[ccResp](t, ts.URL+"/query/cc",
 			map[string]any{"graph": "cm", "algo": algo, "labels": true})
-		want, err := bagraph.ConnectedComponentsParallel(g, alg, 2)
+		res, err := bagraph.Run(context.Background(), g, bagraph.Request{
+			Kind: bagraph.KindCC, CC: alg, Parallel: true, Workers: 2,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !equalU32(got.Labels, want) {
+		if !equalU32(got.Labels, res.Labels) {
 			t.Fatalf("%s: labels differ from parallel facade", algo)
 		}
 	}
@@ -139,18 +143,24 @@ func TestServerCCMatchesFacade(t *testing.T) {
 
 func TestServerBFSMatchesFacade(t *testing.T) {
 	ts, g := newTestServer(t)
-	variants := map[string]func() ([]uint32, error){
-		"bb":      func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSBranchBased) },
-		"ba":      func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSBranchAvoiding) },
-		"dir-opt": func() ([]uint32, error) { return bagraph.ShortestHops(g, 3, bagraph.BFSDirectionOptimizing) },
-		"par-do":  func() ([]uint32, error) { return bagraph.ShortestHopsParallel(g, 3, 2) },
-		"ms": func() ([]uint32, error) {
-			dists, err := bagraph.ShortestHopsMultiSource(g, []uint32{3}, 2)
+	hops := func(req bagraph.Request) func() ([]uint32, error) {
+		return func() ([]uint32, error) {
+			res, err := bagraph.Run(context.Background(), g, req)
 			if err != nil {
 				return nil, err
 			}
-			return dists[0], nil
-		},
+			if req.Kind == bagraph.KindBFSBatch {
+				return res.HopsBatch[0], nil
+			}
+			return res.Hops, nil
+		}
+	}
+	variants := map[string]func() ([]uint32, error){
+		"bb":      hops(bagraph.Request{Kind: bagraph.KindBFS, BFS: bagraph.BFSBranchBased, Root: 3}),
+		"ba":      hops(bagraph.Request{Kind: bagraph.KindBFS, BFS: bagraph.BFSBranchAvoiding, Root: 3}),
+		"dir-opt": hops(bagraph.Request{Kind: bagraph.KindBFS, BFS: bagraph.BFSDirectionOptimizing, Root: 3}),
+		"par-do":  hops(bagraph.Request{Kind: bagraph.KindBFS, Parallel: true, Root: 3, Workers: 2}),
+		"ms":      hops(bagraph.Request{Kind: bagraph.KindBFSBatch, Roots: []uint32{3}, Workers: 2}),
 	}
 	for algo, oracle := range variants {
 		code, got := post[travResp](t, ts.URL+"/query/bfs",
@@ -183,15 +193,22 @@ func TestServerSSSPMatchesFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	paths := func(req bagraph.Request) func() ([]uint64, error) {
+		return func() ([]uint64, error) {
+			res, err := bagraph.Run(context.Background(), w, req)
+			if err != nil {
+				return nil, err
+			}
+			return res.Dists, nil
+		}
+	}
 	facade := map[string]func() ([]uint64, error){
-		"bb":       func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPBellmanFord) },
-		"ba":       func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPBellmanFordBranchAvoiding) },
-		"dijkstra": func() ([]uint64, error) { return bagraph.ShortestPaths(w, 7, bagraph.SSSPDijkstra) },
-		"par-bb":   func() ([]uint64, error) { return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPBellmanFord, 2) },
-		"par-ba": func() ([]uint64, error) {
-			return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPBellmanFordBranchAvoiding, 2)
-		},
-		"par-hybrid": func() ([]uint64, error) { return bagraph.ShortestPathsParallel(w, 7, bagraph.SSSPHybrid, 2) },
+		"bb":         paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPBellmanFord, Root: 7}),
+		"ba":         paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPBellmanFordBranchAvoiding, Root: 7}),
+		"dijkstra":   paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPDijkstra, Root: 7}),
+		"par-bb":     paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPBellmanFord, Parallel: true, Root: 7, Workers: 2}),
+		"par-ba":     paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPBellmanFordBranchAvoiding, Parallel: true, Root: 7, Workers: 2}),
+		"par-hybrid": paths(bagraph.Request{Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPHybrid, Parallel: true, Root: 7, Workers: 2}),
 	}
 	for algo, oracle := range facade {
 		code, got := post[ssspResp](t, ts.URL+"/query/sssp",

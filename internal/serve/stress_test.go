@@ -8,6 +8,7 @@ package serve
 // the property the ROADMAP's admin-reload direction leans on.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,7 +68,7 @@ func TestReplaceUnderConcurrentQueries(t *testing.T) {
 				a := algos[(q+i)%len(algos)]
 				switch a.kind {
 				case "bfs":
-					res := b.BFS(e, a.algo, root)
+					res := b.BFS(context.Background(), e, a.algo, root)
 					if res.Err != nil {
 						errc <- fmt.Errorf("querier %d: bfs %s: %w", q, a.algo, res.Err)
 						return
@@ -81,7 +82,7 @@ func TestReplaceUnderConcurrentQueries(t *testing.T) {
 						return
 					}
 				case "sssp":
-					res := b.SSSP(e, a.algo, root)
+					res := b.SSSP(context.Background(), e, a.algo, root)
 					if res.Err != nil {
 						errc <- fmt.Errorf("querier %d: sssp: %w", q, res.Err)
 						return
@@ -92,7 +93,7 @@ func TestReplaceUnderConcurrentQueries(t *testing.T) {
 						return
 					}
 				default:
-					labels, comps, _, err := b.CC(e, a.algo)
+					labels, comps, _, err := b.CC(context.Background(), e, a.algo)
 					if err != nil {
 						errc <- fmt.Errorf("querier %d: cc: %w", q, err)
 						return

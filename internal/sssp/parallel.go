@@ -46,6 +46,7 @@ package sssp
 // non-negative), so buckets are visited in nondecreasing order.
 
 import (
+	"context"
 	"math/bits"
 	"time"
 
@@ -91,6 +92,11 @@ func (v Variant) String() string {
 
 // ParallelOptions configures Parallel.
 type ParallelOptions struct {
+	// Ctx, when non-nil, cancels the run cooperatively: it is observed
+	// at each scatter/merge pass barrier (workers never see it) and a
+	// cancelled run returns the tentative distances computed so far
+	// alongside the context's error.
+	Ctx context.Context
 	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
 	Workers int
 	// Variant selects the relaxation inner loop (default BranchBased).
@@ -159,13 +165,19 @@ func deltaShift(delta uint64, g *graph.Weighted) uint {
 
 // Parallel computes shortest-path distances from src with the
 // delta-stepping engine kernel; the result is element-for-element
-// identical to Dijkstra's for every variant.
-func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Stats) {
+// identical to Dijkstra's for every variant. A cancelled
+// ParallelOptions.Ctx is observed at the next pass barrier and
+// returned as the error.
+func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Stats, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
 	dist := initDist(opt.Dist, n, src)
 	var st Stats
 	if n == 0 || int(src) >= n {
-		return dist, st
+		return dist, st, ctx.Err()
 	}
 	pool := opt.Pool
 	if pool == nil {
@@ -238,6 +250,9 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 
 			// Scatter: degree-balanced frontier ranges, candidates into
 			// private buffers. dist is read-only until the barrier.
+			if err := ctx.Err(); err != nil {
+				return dist, st, err
+			}
 			start := time.Now()
 			ranges := par.Partition(fronOffs, nw, 1)
 			pool.Run(len(ranges), func(t int) {
@@ -338,7 +353,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 			}
 		}
 	}
-	return dist, st
+	return dist, st, nil
 }
 
 // bucketHeap is a binary min-heap of bucket ids. It is lazy: an id is

@@ -24,7 +24,7 @@ func TestParallelMatchesDijkstra(t *testing.T) {
 		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
 			for _, workers := range testutil.WorkerCounts {
 				name := fmt.Sprintf("%s/w%d", variant, workers)
-				dist, st := Parallel(g, 0, ParallelOptions{Workers: workers, Variant: variant})
+				dist, st, _ := Parallel(g, 0, ParallelOptions{Workers: workers, Variant: variant})
 				testutil.MustEqualDists(t, name, dist, want)
 				if g.NumVertices() > 0 {
 					if err := Verify(g, 0, dist); err != nil {
@@ -47,7 +47,7 @@ func TestParallelDeltaSweep(t *testing.T) {
 	want := Dijkstra(g, 3)
 	for _, delta := range []uint64{1, 2, 16, 1 << 20} {
 		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
-			dist, _ := Parallel(g, 3, ParallelOptions{Workers: 4, Variant: variant, Delta: delta})
+			dist, _, _ := Parallel(g, 3, ParallelOptions{Workers: 4, Variant: variant, Delta: delta})
 			testutil.MustEqualDists(t, fmt.Sprintf("delta=%d/%s", delta, variant), dist, want)
 		}
 	}
@@ -62,14 +62,14 @@ func TestParallelNonZeroSourceAndBuffer(t *testing.T) {
 	buf := make([]uint64, n)
 	for _, src := range []uint32{1, 17, uint32(n - 1)} {
 		want := Dijkstra(g, src)
-		dist, _ := Parallel(g, src, ParallelOptions{Workers: 3, Dist: buf})
+		dist, _, _ := Parallel(g, src, ParallelOptions{Workers: 3, Dist: buf})
 		if &dist[0] != &buf[0] {
 			t.Fatal("result does not alias the caller buffer")
 		}
 		testutil.MustEqualDists(t, fmt.Sprintf("src=%d", src), dist, want)
 	}
 	small := make([]uint64, 3)
-	dist, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Dist: small})
+	dist, _, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Dist: small})
 	if len(dist) != n {
 		t.Fatalf("wrong-size buffer: len=%d, want %d", len(dist), n)
 	}
@@ -83,7 +83,7 @@ func TestParallelSharedPool(t *testing.T) {
 	g := testutil.RandomWeighted(150, 500, 20, 11)
 	want := Dijkstra(g, 0)
 	for run := 0; run < 3; run++ {
-		dist, _ := Parallel(g, 0, ParallelOptions{Pool: pool, Variant: Hybrid})
+		dist, _, _ := Parallel(g, 0, ParallelOptions{Pool: pool, Variant: Hybrid})
 		testutil.MustEqualDists(t, fmt.Sprintf("run%d", run), dist, want)
 	}
 }
@@ -93,8 +93,8 @@ func TestParallelSharedPool(t *testing.T) {
 // arc, the branch-based loop only per improvement.
 func TestParallelStoreAsymmetry(t *testing.T) {
 	g := testutil.RandomWeighted(400, 1600, 9, 13)
-	_, bb := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchBased})
-	_, ba := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchAvoiding})
+	_, bb, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchBased})
+	_, ba, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Variant: BranchAvoiding})
 	if ba.CandStores <= bb.CandStores {
 		t.Fatalf("BA cand stores = %d, not above BB's %d", ba.CandStores, bb.CandStores)
 	}
@@ -110,7 +110,7 @@ func TestParallelStoreAsymmetry(t *testing.T) {
 // out-of-range source yields an all-Inf labeling rather than a panic.
 func TestParallelOutOfRangeSource(t *testing.T) {
 	g := graph.MustBuildWeighted(3, []graph.WeightedEdge{{U: 0, V: 1, W: 2}}, false, "tiny")
-	dist, st := Parallel(g, 9, ParallelOptions{Workers: 2})
+	dist, st, _ := Parallel(g, 9, ParallelOptions{Workers: 2})
 	for v, d := range dist {
 		if d != Inf {
 			t.Fatalf("dist[%d] = %d, want Inf", v, d)

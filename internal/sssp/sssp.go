@@ -16,6 +16,7 @@
 package sssp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,6 +89,16 @@ func BellmanFordBranchBased(g *graph.Weighted, src uint32) ([]uint64, Stats) {
 // when it has length |V| (the returned slice aliases it); any other
 // length allocates.
 func BellmanFordBranchBasedInto(g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats) {
+	out, st, _ := BellmanFordBranchBasedCtx(context.Background(), g, src, dist)
+	return out, st
+}
+
+// BellmanFordBranchBasedCtx is BellmanFordBranchBasedInto with
+// cooperative cancellation: the context is observed between sweeps
+// (never in the relaxation loop, which stays exactly the paper's
+// operation mix), and a cancelled run returns the tentative distances
+// computed so far alongside ctx's error.
+func BellmanFordBranchBasedCtx(ctx context.Context, g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats, error) {
 	n := g.NumVertices()
 	dist = initDist(dist, n, src)
 	var st Stats
@@ -96,6 +107,9 @@ func BellmanFordBranchBasedInto(g *graph.Weighted, src uint32, dist []uint64) ([
 	offs := g.Offsets()
 
 	for change := true; change; {
+		if err := ctx.Err(); err != nil {
+			return dist, st, err
+		}
 		change = false
 		changed := 0
 		start := time.Now()
@@ -120,7 +134,7 @@ func BellmanFordBranchBasedInto(g *graph.Weighted, src uint32, dist []uint64) ([
 		st.PassChanges = append(st.PassChanges, changed)
 		st.Passes++
 	}
-	return dist, st
+	return dist, st, nil
 }
 
 // BellmanFordBranchAvoiding is the conditional-move formulation: the
@@ -136,6 +150,14 @@ func BellmanFordBranchAvoiding(g *graph.Weighted, src uint32) ([]uint64, Stats) 
 // dist when it has length |V| (the returned slice aliases it); any other
 // length allocates.
 func BellmanFordBranchAvoidingInto(g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats) {
+	out, st, _ := BellmanFordBranchAvoidingCtx(context.Background(), g, src, dist)
+	return out, st
+}
+
+// BellmanFordBranchAvoidingCtx is BellmanFordBranchAvoidingInto with
+// cooperative cancellation at sweep boundaries (see
+// BellmanFordBranchBasedCtx).
+func BellmanFordBranchAvoidingCtx(ctx context.Context, g *graph.Weighted, src uint32, dist []uint64) ([]uint64, Stats, error) {
 	n := g.NumVertices()
 	dist = initDist(dist, n, src)
 	var st Stats
@@ -144,6 +166,9 @@ func BellmanFordBranchAvoidingInto(g *graph.Weighted, src uint32, dist []uint64)
 	offs := g.Offsets()
 
 	for change := uint64(1); change != 0; {
+		if err := ctx.Err(); err != nil {
+			return dist, st, err
+		}
 		change = 0
 		changed := 0
 		start := time.Now()
@@ -166,7 +191,7 @@ func BellmanFordBranchAvoidingInto(g *graph.Weighted, src uint32, dist []uint64)
 		st.PassChanges = append(st.PassChanges, changed)
 		st.Passes++
 	}
-	return dist, st
+	return dist, st, nil
 }
 
 // Dijkstra computes shortest-path distances with a binary-heap priority
@@ -178,15 +203,35 @@ func Dijkstra(g *graph.Weighted, src uint32) []uint64 {
 // DijkstraInto is Dijkstra writing into dist when it has length |V| (the
 // returned slice aliases it); any other length allocates.
 func DijkstraInto(g *graph.Weighted, src uint32, dist []uint64) []uint64 {
+	out, _ := DijkstraCtx(context.Background(), g, src, dist)
+	return out
+}
+
+// dijkstraCancelStride is how many settled vertices pass between
+// context checks in DijkstraCtx. Dijkstra has no pass structure to
+// hang a barrier on, so the check runs on a vertex-count stride —
+// rare enough to stay invisible in the settle loop's profile.
+const dijkstraCancelStride = 4096
+
+// DijkstraCtx is DijkstraInto with cooperative cancellation, observed
+// every dijkstraCancelStride settled vertices.
+func DijkstraCtx(ctx context.Context, g *graph.Weighted, src uint32, dist []uint64) ([]uint64, error) {
 	n := g.NumVertices()
 	dist = initDist(dist, n, src)
 	if n == 0 {
-		return dist
+		return dist, ctx.Err()
 	}
 	h := heap.NewMin(n)
 	h.Push(src, 0)
 	settled := make([]bool, n)
+	settles := 0
 	for h.Len() > 0 {
+		if settles%dijkstraCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return dist, err
+			}
+		}
+		settles++
 		v, dv := h.Pop()
 		if settled[v] {
 			continue
@@ -204,7 +249,7 @@ func DijkstraInto(g *graph.Weighted, src uint32, dist []uint64) []uint64 {
 			}
 		}
 	}
-	return dist
+	return dist, nil
 }
 
 // Verify checks that dist is the shortest-path distance labeling from

@@ -37,7 +37,7 @@ func TestAgreementProperty(t *testing.T) {
 		want := Dijkstra(g, src)
 		bb, _ := BellmanFordBranchBased(g, src)
 		ba, _ := BellmanFordBranchAvoiding(g, src)
-		par, _ := Parallel(g, src, ParallelOptions{Workers: 2, Variant: Hybrid})
+		par, _, _ := Parallel(g, src, ParallelOptions{Workers: 2, Variant: Hybrid})
 		for v := range want {
 			if bb[v] != want[v] || ba[v] != want[v] || par[v] != want[v] {
 				return false
@@ -143,7 +143,7 @@ func TestMaxWeightNoOverflow(t *testing.T) {
 	}
 	bb, _ := BellmanFordBranchBased(g, 0)
 	ba, _ := BellmanFordBranchAvoiding(g, 0)
-	par, _ := Parallel(g, 0, ParallelOptions{Workers: 3})
+	par, _, _ := Parallel(g, 0, ParallelOptions{Workers: 3})
 	testutil.MustEqualDists(t, "branch-based", bb, want)
 	testutil.MustEqualDists(t, "branch-avoiding", ba, want)
 	testutil.MustEqualDists(t, "parallel", par, want)

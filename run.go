@@ -1,0 +1,526 @@
+package bagraph
+
+// The unified request/response kernel API. Every kernel family the
+// facade exposes — connected components, BFS, weighted SSSP, and the
+// batch-aware multi-source BFS — is served by one entry point:
+//
+//	res, err := bagraph.Run(ctx, g, bagraph.Request{...})
+//
+// or, for query-serving workloads holding a resident pool,
+//
+//	res, err := pool.Run(ctx, g, bagraph.Request{...})
+//
+// Run is what the older per-kernel free functions (ConnectedComponents,
+// ShortestHops, ShortestPaths, ...) now wrap: they remain as deprecated
+// shims, but only Run exposes the three things the serving layer needs
+// and the old surface dropped:
+//
+//   - cooperative cancellation: ctx is observed at kernel pass/level
+//     barriers (workers never see it, staying atomic-free), so an
+//     abandoned query stops burning the machine at the next barrier;
+//   - the kernel's Stats: passes, per-pass changes, store counts,
+//     candidate stores, bucket activations, top-down/bottom-up level
+//     split — the branch-behaviour counters that are the point of the
+//     paper, previously discarded by every free function;
+//   - reusable Workspaces: one struct holding every result/scratch
+//     buffer a request kind needs, re-primed across calls, replacing
+//     the positional nil-able buffer arguments of the WorkerPool
+//     methods.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bagraph/internal/bfs"
+	"bagraph/internal/cc"
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+	"bagraph/internal/sssp"
+)
+
+// Kind selects the kernel family a Request runs.
+type Kind int
+
+// Request kinds.
+const (
+	// KindCC labels connected components (Request.CC selects the
+	// algorithm).
+	KindCC Kind = iota
+	// KindBFS computes hop distances from Request.Root (Request.BFS
+	// selects the variant; with Parallel set the engine's
+	// direction-optimizing kernel runs and the variant is ignored).
+	KindBFS
+	// KindSSSP computes weighted shortest-path distances from
+	// Request.Root (Request.SSSP selects the algorithm). The graph must
+	// be a *WeightedGraph.
+	KindSSSP
+	// KindBFSBatch runs every Request.Roots member through shared
+	// multi-source mask sweeps — one graph pass per level advances up
+	// to 64 searches. Always an engine kernel; Parallel is implied.
+	KindBFSBatch
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCC:
+		return "cc"
+	case KindBFS:
+		return "bfs"
+	case KindSSSP:
+		return "sssp"
+	case KindBFSBatch:
+		return "bfs-batch"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Target is the graph argument of Run: a *Graph, or a *WeightedGraph
+// for the weighted kernels (a *WeightedGraph satisfies every kind; the
+// unweighted kinds run on its structure and ignore the weights).
+type Target interface {
+	NumVertices() int
+}
+
+// Request describes one kernel execution. The zero value runs the
+// sequential branch-based connected-components kernel; set Kind, the
+// matching algorithm field, and the source vertices as needed.
+type Request struct {
+	// Kind selects the kernel family.
+	Kind Kind
+	// CC selects the connected-components algorithm (KindCC).
+	CC CCAlgorithm
+	// BFS selects the BFS variant (KindBFS, sequential only: the
+	// parallel BFS kernel is direction-optimizing by construction).
+	BFS BFSVariant
+	// SSSP selects the shortest-paths algorithm (KindSSSP).
+	SSSP SSSPAlgorithm
+	// Parallel runs the data-parallel engine kernel of the family
+	// instead of the sequential one. Baselines without a parallel form
+	// (CCUnionFind, SSSPDijkstra) are rejected; SSSPHybrid exists only
+	// with Parallel set.
+	Parallel bool
+	// Root is the source vertex for KindBFS and KindSSSP.
+	Root uint32
+	// Roots are the source vertices for KindBFSBatch; duplicates are
+	// allowed and produce identical arrays.
+	Roots []uint32
+	// Workers sizes the transient pool of a parallel bagraph.Run; < 1
+	// means GOMAXPROCS. Ignored by WorkerPool.Run (the resident pool's
+	// size wins) and by sequential kernels.
+	Workers int
+	// Delta overrides the delta-stepping bucket width of the parallel
+	// SSSP kernel; 0 picks the kernel default. Long-lived callers cache
+	// it per graph to skip the per-query weight sweep.
+	Delta uint64
+	// Workspace, when non-nil, supplies (and collects) the reusable
+	// buffers of the request kind. Results alias workspace buffers, so
+	// a later Run with the same workspace overwrites them; a workspace
+	// must not be shared by concurrent Runs.
+	Workspace *Workspace
+}
+
+// Workspace holds the reusable buffers of Run requests. The zero value
+// is ready to use: buffers are allocated on first use and re-primed
+// after each Run, so a long-lived caller pays the allocations once.
+// Results returned by Run alias these buffers. The engine kernels
+// (Parallel requests, KindBFSBatch, and all SSSP forms) reuse a preset
+// buffer's memory; the remaining sequential kernels allocate
+// internally and the workspace captures their result instead — either
+// way, after a Run the matching field holds that run's output,
+// partial if the run was cancelled mid-kernel.
+type Workspace struct {
+	// Labels and Scratch are the parallel CC kernel's label
+	// double-buffer (each |V| when preset; Result.Labels aliases one).
+	Labels, Scratch []uint32
+	// Hops receives KindBFS distances (|V| when preset).
+	Hops []uint32
+	// HopsBatch receives KindBFSBatch per-root distances (len(Roots)
+	// slices of |V| when preset).
+	HopsBatch [][]uint32
+	// Dists receives KindSSSP distances (|V| when preset).
+	Dists []uint64
+}
+
+// Stats is the kernel-side observability record of one Run: the
+// branch-behaviour counters the paper measures, normalized across the
+// kernel families. Fields not meaningful for a family stay zero.
+type Stats struct {
+	// Passes counts outer iterations: SV passes, BFS levels (shared
+	// sweeps for KindBFSBatch), SSSP relaxation passes.
+	Passes int
+	// PassDurations holds per-pass wall-clock times.
+	PassDurations []time.Duration
+	// PassChanges holds per-pass changed-vertex counts (CC and SSSP).
+	PassChanges []int
+	// LevelSizes holds per-level frontier sizes (KindBFS).
+	LevelSizes []int
+	// TopDownLevels and BottomUpLevels split BFS levels by traversal
+	// direction (the direction-optimizing kernels' heuristic record).
+	TopDownLevels, BottomUpLevels int
+	// Waves counts 64-source sweeps (KindBFSBatch).
+	Waves int
+	// Reached counts discovered vertices (BFS; source-vertex pairs for
+	// KindBFSBatch).
+	Reached int
+	// LabelStores counts label-array writes (CC).
+	LabelStores uint64
+	// DistStores counts distance-array writes (BFS and SSSP).
+	DistStores uint64
+	// QueueStores counts frontier-queue writes (BFS); the
+	// branch-avoiding store blow-up of the paper's §5.2 shows up here.
+	QueueStores uint64
+	// CandStores counts candidate-buffer writes in the parallel SSSP
+	// scatter (the §5.2 blow-up with the candidate buffer in the
+	// queue's role).
+	CandStores uint64
+	// Buckets counts delta-stepping bucket activations (parallel SSSP).
+	Buckets int
+}
+
+// Total returns the summed wall-clock time of all passes.
+func (s Stats) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.PassDurations {
+		t += d
+	}
+	return t
+}
+
+// Result is the outcome of one Run. Exactly the field matching the
+// request kind is set, plus Stats.
+type Result struct {
+	// Labels is the canonical min-id component labeling (KindCC).
+	Labels []uint32
+	// Hops are hop distances, Unreached for other components (KindBFS).
+	Hops []uint32
+	// HopsBatch holds one hop-distance array per request root, in
+	// order (KindBFSBatch).
+	HopsBatch [][]uint32
+	// Dists are weighted distances, InfDistance for unreachable
+	// vertices (KindSSSP).
+	Dists []uint64
+	// Stats describes the kernel execution.
+	Stats Stats
+}
+
+// Run executes one kernel request against g — a *Graph, or a
+// *WeightedGraph for KindSSSP — and returns its result together with
+// the kernel's statistics.
+//
+// ctx cancels the run cooperatively: a context cancelled before the
+// call returns ctx.Err() without running; one cancelled mid-kernel is
+// observed at the next pass/level barrier (workers never observe the
+// context, so the inner loops keep the paper's exact operation mix).
+// A nil ctx means context.Background(). On mid-kernel cancellation the
+// error is ctx's, and the Result — when non-nil — carries the partial
+// output of the passes that completed (labels so far, distances with
+// deeper vertices still unreached) plus their Stats; callers that
+// cannot use partial progress just check the error first.
+//
+// Parallel requests start and stop a transient worker pool sized by
+// Request.Workers; query-serving workloads keep a WorkerPool resident
+// and call its Run method instead.
+func Run(ctx context.Context, g Target, req Request) (*Result, error) {
+	return runRequest(ctx, g, req, nil)
+}
+
+// Run executes one kernel request on the resident pool (see the
+// package-level Run). Request.Workers is ignored: the pool's size wins.
+func (p *WorkerPool) Run(ctx context.Context, g Target, req Request) (*Result, error) {
+	return runRequest(ctx, g, req, p.pool)
+}
+
+// Each runs fn(0), ..., fn(n-1) across the pool's workers and returns
+// when all calls have completed. It is the raw fan-out primitive
+// beneath Run; the serving layer uses it to spread the independent
+// sequential kernels of one batch across the pool. fn must not call
+// back into the pool (a nested submit would wait on workers busy
+// running it).
+func (p *WorkerPool) Each(n int, fn func(i int)) { p.pool.Run(n, fn) }
+
+// runRequest validates and dispatches one request. pool, when non-nil,
+// is a resident pool owned by the caller; parallel kernels otherwise
+// start a transient one.
+func runRequest(ctx context.Context, g Target, req Request, pool *par.Pool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		// Pre-cancelled: nothing runs, not even validation.
+		return nil, err
+	}
+	var base *Graph
+	var weighted *WeightedGraph
+	switch t := g.(type) {
+	case *WeightedGraph:
+		if t == nil {
+			return nil, fmt.Errorf("bagraph: Run on a nil graph")
+		}
+		weighted = t
+		base = t.Graph
+	case *Graph:
+		if t == nil {
+			return nil, fmt.Errorf("bagraph: Run on a nil graph")
+		}
+		base = t
+	case nil:
+		return nil, fmt.Errorf("bagraph: Run on a nil graph")
+	default:
+		return nil, fmt.Errorf("bagraph: unsupported graph type %T (want *Graph or *WeightedGraph)", g)
+	}
+	switch req.Kind {
+	case KindCC:
+		return runCCRequest(ctx, base, req, pool)
+	case KindBFS:
+		return runBFSRequest(ctx, base, req, pool)
+	case KindBFSBatch:
+		return runBFSBatchRequest(ctx, base, req, pool)
+	case KindSSSP:
+		if weighted == nil {
+			return nil, fmt.Errorf("bagraph: %v needs a *WeightedGraph (AttachWeights derives one)", req.Kind)
+		}
+		return runSSSPRequest(ctx, weighted, req, pool)
+	default:
+		return nil, fmt.Errorf("bagraph: unknown request kind %v", req.Kind)
+	}
+}
+
+// runCCRequest dispatches KindCC.
+func runCCRequest(ctx context.Context, g *Graph, req Request, pool *par.Pool) (*Result, error) {
+	if req.Parallel {
+		variant, err := ccVariant(req.CC)
+		if err != nil {
+			return nil, err
+		}
+		ws := req.Workspace
+		var labelsBuf, scratchBuf []uint32
+		if ws != nil {
+			// Prime the double-buffer so both arrays persist in the
+			// workspace across calls.
+			n := g.NumVertices()
+			if n > 0 {
+				if len(ws.Labels) != n {
+					ws.Labels = make([]uint32, n)
+				}
+				if len(ws.Scratch) != n || &ws.Scratch[0] == &ws.Labels[0] {
+					ws.Scratch = make([]uint32, n)
+				}
+			}
+			labelsBuf, scratchBuf = ws.Labels, ws.Scratch
+		}
+		labels, st, err := cc.SVParallel(g, cc.ParallelOptions{
+			Ctx:     ctx,
+			Workers: req.Workers,
+			Pool:    pool,
+			Variant: variant,
+			Labels:  labelsBuf,
+			Scratch: scratchBuf,
+		})
+		return &Result{Labels: labels, Stats: statsFromCC(st)}, err
+	}
+	var (
+		labels []uint32
+		st     cc.Stats
+		err    error
+	)
+	switch req.CC {
+	case CCBranchBased:
+		labels, st, err = cc.SVBranchBasedCtx(ctx, g)
+	case CCBranchAvoiding:
+		labels, st, err = cc.SVBranchAvoidingCtx(ctx, g)
+	case CCHybrid:
+		labels, st, err = cc.SVHybridCtx(ctx, g, cc.HybridOptions{SwitchIteration: -1})
+	case CCUnionFind:
+		// The union-find baseline has no pass structure to cancel at;
+		// the pre-call context check above is its only gate.
+		labels = cc.UnionFind(g)
+	default:
+		return nil, fmt.Errorf("bagraph: unknown CC algorithm %v", req.CC)
+	}
+	if req.Workspace != nil && labels != nil {
+		// The sequential kernels allocate internally; capture the result
+		// so the workspace's Labels always hold the latest CC labeling —
+		// partial on cancellation, like the kinds that write the
+		// workspace buffers in place — and seed a later parallel run's
+		// double-buffer.
+		req.Workspace.Labels = labels
+	}
+	return &Result{Labels: labels, Stats: statsFromCC(st)}, err
+}
+
+// runBFSRequest dispatches KindBFS.
+func runBFSRequest(ctx context.Context, g *Graph, req Request, pool *par.Pool) (*Result, error) {
+	if err := checkRoot(g, req.Root); err != nil {
+		return nil, err
+	}
+	if req.Parallel {
+		ws := req.Workspace
+		var distBuf []uint32
+		if ws != nil {
+			if n := g.NumVertices(); len(ws.Hops) != n {
+				ws.Hops = make([]uint32, n)
+			}
+			distBuf = ws.Hops
+		}
+		dist, st, err := bfs.ParallelDO(g, req.Root, bfs.ParallelOptions{
+			Ctx:     ctx,
+			Workers: req.Workers,
+			Pool:    pool,
+			Dist:    distBuf,
+		})
+		return &Result{Hops: dist, Stats: statsFromBFS(st)}, err
+	}
+	var (
+		dist []uint32
+		st   bfs.Stats
+		err  error
+	)
+	switch req.BFS {
+	case BFSBranchBased:
+		dist, st, err = bfs.TopDownBranchBasedCtx(ctx, g, req.Root)
+	case BFSBranchAvoiding:
+		dist, st, err = bfs.TopDownBranchAvoidingCtx(ctx, g, req.Root)
+	case BFSDirectionOptimizing:
+		dist, st, err = bfs.DirectionOptimizingCtx(ctx, g, req.Root, 0, 0)
+	default:
+		return nil, fmt.Errorf("bagraph: unknown BFS variant %v", req.BFS)
+	}
+	if req.Workspace != nil && dist != nil {
+		// The sequential kernels allocate internally; capture the result
+		// so the workspace's Hops always hold the latest BFS distances
+		// (partial on cancellation, like the in-place kinds).
+		req.Workspace.Hops = dist
+	}
+	return &Result{Hops: dist, Stats: statsFromBFS(st)}, err
+}
+
+// runBFSBatchRequest dispatches KindBFSBatch.
+func runBFSBatchRequest(ctx context.Context, g *Graph, req Request, pool *par.Pool) (*Result, error) {
+	for _, r := range req.Roots {
+		if err := checkRoot(g, r); err != nil {
+			return nil, err
+		}
+	}
+	ws := req.Workspace
+	var distsBuf [][]uint32
+	if ws != nil {
+		if len(ws.HopsBatch) != len(req.Roots) {
+			ws.HopsBatch = make([][]uint32, len(req.Roots))
+		}
+		distsBuf = ws.HopsBatch
+	}
+	dists, st, err := bfs.MultiSource(g, req.Roots, bfs.MultiSourceOptions{
+		Ctx:     ctx,
+		Workers: req.Workers,
+		Pool:    pool,
+		Dists:   distsBuf,
+	})
+	if ws != nil {
+		ws.HopsBatch = dists
+	}
+	return &Result{HopsBatch: dists, Stats: statsFromMulti(st)}, err
+}
+
+// runSSSPRequest dispatches KindSSSP.
+func runSSSPRequest(ctx context.Context, g *WeightedGraph, req Request, pool *par.Pool) (*Result, error) {
+	if err := checkSource(g, req.Root); err != nil {
+		return nil, err
+	}
+	ws := req.Workspace
+	var distBuf []uint64
+	if ws != nil {
+		distBuf = ws.Dists
+	}
+	var (
+		dist []uint64
+		st   sssp.Stats
+		err  error
+	)
+	if req.Parallel {
+		variant, verr := ssspVariant(req.SSSP)
+		if verr != nil {
+			return nil, verr
+		}
+		dist, st, err = sssp.Parallel(g, req.Root, sssp.ParallelOptions{
+			Ctx:     ctx,
+			Workers: req.Workers,
+			Pool:    pool,
+			Variant: variant,
+			Delta:   req.Delta,
+			Dist:    distBuf,
+		})
+	} else {
+		switch req.SSSP {
+		case SSSPBellmanFord:
+			dist, st, err = sssp.BellmanFordBranchBasedCtx(ctx, g, req.Root, distBuf)
+		case SSSPBellmanFordBranchAvoiding:
+			dist, st, err = sssp.BellmanFordBranchAvoidingCtx(ctx, g, req.Root, distBuf)
+		case SSSPDijkstra:
+			dist, err = sssp.DijkstraCtx(ctx, g, req.Root, distBuf)
+		case SSSPHybrid:
+			return nil, fmt.Errorf("bagraph: %v exists only in the parallel kernel (set Request.Parallel)", req.SSSP)
+		default:
+			return nil, fmt.Errorf("bagraph: unknown SSSP algorithm %v", req.SSSP)
+		}
+	}
+	if ws != nil {
+		ws.Dists = dist
+	}
+	return &Result{Dists: dist, Stats: statsFromSSSP(st)}, err
+}
+
+// statsFromCC normalizes a connected-components Stats record.
+func statsFromCC(st cc.Stats) Stats {
+	return Stats{
+		Passes:        st.Iterations,
+		PassDurations: st.IterDurations,
+		PassChanges:   st.IterChanges,
+		LabelStores:   st.LabelStores,
+	}
+}
+
+// statsFromBFS normalizes a BFS Stats record.
+func statsFromBFS(st bfs.Stats) Stats {
+	return Stats{
+		Passes:         st.Levels,
+		PassDurations:  st.LevelDurations,
+		LevelSizes:     st.LevelSizes,
+		TopDownLevels:  st.TopDownLevels,
+		BottomUpLevels: st.BottomUpLevels,
+		Reached:        st.Reached,
+		DistStores:     st.DistStores,
+		QueueStores:    st.QueueStores,
+	}
+}
+
+// statsFromMulti normalizes a multi-source BFS MultiStats record.
+func statsFromMulti(st bfs.MultiStats) Stats {
+	return Stats{
+		Passes:        st.Levels,
+		PassDurations: st.LevelDurations,
+		Waves:         st.Waves,
+		Reached:       st.Reached,
+		DistStores:    st.DistStores,
+	}
+}
+
+// statsFromSSSP normalizes an SSSP Stats record.
+func statsFromSSSP(st sssp.Stats) Stats {
+	return Stats{
+		Passes:        st.Passes,
+		PassDurations: st.PassDurations,
+		PassChanges:   st.PassChanges,
+		DistStores:    st.DistStores,
+		CandStores:    st.CandStores,
+		Buckets:       st.Buckets,
+	}
+}
+
+// Interface conformance: both graph forms satisfy Target.
+var (
+	_ Target = (*graph.Graph)(nil)
+	_ Target = (*graph.Weighted)(nil)
+)

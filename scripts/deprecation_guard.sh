@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Deprecation guard: the per-kernel facade functions
+# (ConnectedComponents*, ShortestHops*, ShortestPaths*) survive only as
+# thin wrappers for external callers migrating to the unified
+# request/response API. First-party code — the CLIs, the examples, and
+# the serving layer — must go through bagraph.Run / WorkerPool.Run,
+# which carry cancellation, kernel Stats, and reusable workspaces.
+# This script fails CI when a deprecated entry point creeps back into
+# those trees. Run from the repository root.
+set -euo pipefail
+
+deprecated='ConnectedComponentsParallel|ConnectedComponents|ShortestHopsParallel|ShortestHopsMultiSource|ShortestHopsBatch|ShortestHops|ShortestPathsParallel|ShortestPathsInto|ShortestPaths'
+
+# Match method/package-qualified calls of the deprecated names (the
+# leading dot keeps kernel-package functions like cc.CountComponents
+# out of scope) across every first-party tree: the CLIs, the examples,
+# and all internal packages. The root package is excluded — it is
+# where the wrappers live.
+pattern="\.(${deprecated})\("
+
+if grep -rnE "$pattern" cmd examples internal; then
+    echo >&2
+    echo "deprecation guard: the calls above use deprecated facade wrappers;" >&2
+    echo "internal code must use bagraph.Run / WorkerPool.Run (see run.go)." >&2
+    exit 1
+fi
+echo "deprecation guard: OK"
