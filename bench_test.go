@@ -377,6 +377,137 @@ func BenchmarkParallelSSSP(b *testing.B) {
 	}
 }
 
+// --- chunk scheduling: stealing vs static on skewed frontiers -------------
+
+// stealWorkers picks the scheduler benchmarks' pool size: at least 4
+// so steals can happen even when the container exposes one CPU (pool
+// goroutines still interleave at blocking points), GOMAXPROCS when the
+// hardware offers more.
+func stealWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 4 {
+		return w
+	}
+	return 4
+}
+
+// BenchmarkStealVsStatic pairs the two chunk schedules on a skewed
+// graph: the RMAT benchmark graph overlaid with a forced hub that owns
+// the majority of all arcs (star edges to every vertex plus enough
+// kept parallel self-loops to push vertex 0 past 50% — an undirected
+// simple graph caps a vertex at exactly half, see testutil.Hub), so
+// the static split hands one worker a straggler block every pass.
+// Speedup (and the steals/op, chunks/op metrics showing the steal path
+// is actually exercised) is reported, never asserted: CI containers
+// may expose a single CPU.
+func BenchmarkStealVsStatic(b *testing.B) {
+	base := benchRMAT(b)
+	n := base.NumVertices()
+	adj := base.Adjacency()
+	offs := base.Offsets()
+	loops := int(base.NumArcs()) + 4*n // hub mass: strictly >50% of all arcs
+	edges := make([]graph.Edge, 0, int(base.NumArcs())/2+n+loops)
+	for v := 0; v < n; v++ {
+		for _, u := range adj[offs[v]:offs[v+1]] {
+			if uint32(v) < u {
+				edges = append(edges, graph.Edge{U: uint32(v), V: u})
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(i)})
+	}
+	for i := 0; i < loops; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: 0})
+	}
+	g := graph.MustBuild(n, edges, graph.Options{
+		Name: "rmat+hub", KeepSelfLoops: true, KeepParallelEdges: true,
+	})
+	if hub := g.Degree(0); int64(hub)*2 <= g.NumArcs() {
+		b.Fatalf("hub owns %d of %d arcs — not a majority", hub, g.NumArcs())
+	}
+	workers := stealWorkers()
+	for _, sched := range []par.Schedule{par.Static, par.Stealing} {
+		pool := par.NewPool(workers)
+		b.Run(fmt.Sprintf("cc/%v/workers=%d", sched, workers), func(b *testing.B) {
+			var steals, chunks uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := cc.SVParallel(g, cc.ParallelOptions{
+					Pool: pool, Variant: cc.Hybrid, Schedule: sched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steals += st.Steals
+				chunks += uint64(st.Chunks)
+			}
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+			b.ReportMetric(float64(chunks)/float64(b.N), "chunks/op")
+			reportEdges(b, g.NumArcs())
+		})
+		b.Run(fmt.Sprintf("bfs/%v/workers=%d", sched, workers), func(b *testing.B) {
+			var steals, chunks uint64
+			for i := 0; i < b.N; i++ {
+				_, st, err := bfs.ParallelDO(g, 0, bfs.ParallelOptions{
+					Pool: pool, Schedule: sched,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steals += st.Steals
+				chunks += uint64(st.Chunks)
+			}
+			b.ReportMetric(float64(steals)/float64(b.N), "steals/op")
+			b.ReportMetric(float64(chunks)/float64(b.N), "chunks/op")
+			reportEdges(b, g.NumArcs())
+		})
+		pool.Close()
+	}
+}
+
+// BenchmarkParallelSSSPLightHeavy pairs delta-stepping with and
+// without the Meyer & Sanders light/heavy split on weights that dwarf
+// the default bucket width, so heavy arcs are re-scanned by every
+// in-bucket pass unless deferred. The light/heavy relaxation metrics
+// record how much work the split reroutes; wall clock is reported, not
+// asserted.
+func BenchmarkParallelSSSPLightHeavy(b *testing.B) {
+	g := benchRMAT(b)
+	w, err := graph.AttachWeights(g, xrand.SymmetricWeights(256, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := stealWorkers()
+	// A deliberately narrow bucket makes most arcs heavy — the regime
+	// the split exists for.
+	const delta = 16
+	for _, tc := range []struct {
+		name  string
+		split bool
+	}{{"unified", false}, {"light-heavy", true}} {
+		pool := par.NewPool(workers)
+		b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+			dist := make([]uint64, g.NumVertices())
+			var light, heavy uint64
+			for i := 0; i < b.N; i++ {
+				var st sssp.Stats
+				dist, st, err = sssp.Parallel(w, 0, sssp.ParallelOptions{
+					Pool: pool, Variant: sssp.Hybrid, Delta: delta,
+					LightHeavy: tc.split, Dist: dist,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				light += st.LightRelaxed
+				heavy += st.HeavyRelaxed
+			}
+			b.ReportMetric(float64(light)/float64(b.N), "light-relax/op")
+			b.ReportMetric(float64(heavy)/float64(b.N), "heavy-relax/op")
+			reportEdges(b, g.NumArcs())
+		})
+		pool.Close()
+	}
+}
+
 // --- simulated kernels (events per run, one platform) --------------------
 
 func BenchmarkSimulatedSV(b *testing.B) {

@@ -41,7 +41,13 @@ func main() {
 	roots := flag.String("roots", "", "comma-separated source list for -variant ms (default: -root)")
 	variant := flag.String("variant", "ba", "kernel: bb | ba | dir-opt | par-do | ms")
 	workers := flag.Int("workers", 0, "workers for par-do/ms (0 = GOMAXPROCS)")
+	schedule := flag.String("schedule", "static", "chunk schedule for par-do/ms: static | steal")
 	flag.Parse()
+
+	sched, err := bagraph.ParseSchedule(*schedule)
+	if err != nil {
+		fail(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -60,7 +66,7 @@ func main() {
 		fail(err)
 	}
 	if *variant == "ms" {
-		runMultiSource(ctx, g, *roots, uint32(*root), *workers)
+		runMultiSource(ctx, g, *roots, uint32(*root), *workers, sched)
 		return
 	}
 	if *roots != "" {
@@ -71,6 +77,7 @@ func main() {
 		fail(err)
 	}
 	req.Workers = *workers
+	req.Schedule = sched
 	fmt.Printf("graph: %s, root %d\n", g, *root)
 
 	res, err := bagraph.Run(ctx, g, req)
@@ -95,6 +102,10 @@ func main() {
 	fmt.Printf("reached %d/%d vertices in %d levels (%d top-down, %d bottom-up, total %v)\n",
 		st.Reached, g.NumVertices(), st.Passes, st.TopDownLevels, st.BottomUpLevels, st.Total())
 	fmt.Printf("stores: %d distance, %d queue\n", st.DistStores, st.QueueStores)
+	if st.Chunks > 0 {
+		fmt.Printf("schedule: %d chunks, %d stolen (%d steal passes)\n",
+			st.Chunks, st.Steals, st.StealPasses)
+	}
 	for i, size := range st.LevelSizes {
 		fmt.Printf("  level %3d: %8d vertices  %10v\n", i, size, st.PassDurations[i])
 	}
@@ -104,7 +115,7 @@ func main() {
 // through the facade, verifies every member against the BFS
 // invariants, and prints the per-root reach alongside the shared-sweep
 // economics.
-func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, root uint32, workers int) {
+func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, root uint32, workers int, sched bagraph.Schedule) {
 	var srcs []uint32
 	if rootsFlag == "" {
 		srcs = []uint32{root}
@@ -120,7 +131,7 @@ func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, roo
 	fmt.Printf("graph: %s, %d sources\n", g, len(srcs))
 
 	res, err := bagraph.Run(ctx, g, bagraph.Request{
-		Kind: bagraph.KindBFSBatch, Roots: srcs, Workers: workers,
+		Kind: bagraph.KindBFSBatch, Roots: srcs, Workers: workers, Schedule: sched,
 	})
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

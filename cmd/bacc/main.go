@@ -34,7 +34,13 @@ func main() {
 		"kernel: sv-bb | sv-ba | hybrid | unionfind | par-bb | par-ba | par-hybrid")
 	top := flag.Int("top", 5, "print the N largest components")
 	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
+	schedule := flag.String("schedule", "static", "chunk schedule for par-* kernels: static | steal")
 	flag.Parse()
+
+	sched, err := bagraph.ParseSchedule(*schedule)
+	if err != nil {
+		fail(err)
+	}
 
 	// SIGINT/SIGTERM cancels the kernel at its next pass barrier.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -60,6 +66,7 @@ func main() {
 		fail(err)
 	}
 	req.Workers = *workers
+	req.Schedule = sched
 	res, err := bagraph.Run(ctx, g, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -83,6 +90,10 @@ func main() {
 	fmt.Printf("components: %d\n", len(sizes))
 	if st.Passes > 0 {
 		fmt.Printf("passes: %d, total %v, label stores %d\n", st.Passes, st.Total(), st.LabelStores)
+		if st.Chunks > 0 {
+			fmt.Printf("schedule: %d chunks, %d stolen (%d steal passes)\n",
+				st.Chunks, st.Steals, st.StealPasses)
+		}
 		for i := range st.PassDurations {
 			fmt.Printf("  pass %2d: %10v  changed %d\n", i+1, st.PassDurations[i], st.PassChanges[i])
 		}

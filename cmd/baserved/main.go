@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"bagraph"
 	"bagraph/internal/corpus"
 	"bagraph/internal/serve"
 )
@@ -72,8 +73,20 @@ func main() {
 	batchMax := flag.Int("batch-max", 32, "max traversals per dispatch")
 	batchWindow := flag.Duration("batch-window", 500*time.Microsecond,
 		"how long the first query of a batch waits for company (negative: dispatch immediately)")
+	queryTimeout := flag.Duration("query-timeout", 0,
+		"per-query deadline; kernels stop at their next pass barrier and the query answers 504 (0 = none)")
+	schedule := flag.String("schedule", "static",
+		"chunk schedule for the dispatched parallel kernels: static | steal")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown limit")
 	flag.Parse()
+
+	sched, err := bagraph.ParseSchedule(*schedule)
+	if err != nil {
+		log.Fatalf("baserved: %v", err)
+	}
+	if *queryTimeout < 0 {
+		log.Fatal("baserved: -query-timeout must be >= 0")
+	}
 
 	if len(graphs) == 0 && *corpusList == "" {
 		log.Fatal("baserved: nothing to serve; pass -graph and/or -corpus (e.g. -corpus all)")
@@ -107,9 +120,11 @@ func main() {
 		window = -1
 	}
 	core := serve.New(reg, serve.Config{
-		Workers:     *workers,
-		MaxBatch:    *batchMax,
-		BatchWindow: window,
+		Workers:      *workers,
+		MaxBatch:     *batchMax,
+		BatchWindow:  window,
+		QueryTimeout: *queryTimeout,
+		Schedule:     sched,
 	})
 	defer core.Close()
 

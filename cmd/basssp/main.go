@@ -40,7 +40,15 @@ func main() {
 		"kernel: bb | ba | dijkstra | par-bb | par-ba | par-hybrid")
 	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
 	delta := flag.Uint64("delta", 0, "bucket width for par-* kernels (0 = auto)")
+	schedule := flag.String("schedule", "static", "chunk schedule for par-* kernels: static | steal")
+	lightHeavy := flag.Bool("lightheavy", false,
+		"split relaxation by edge class: light (weight <= delta) in-bucket, heavy once at bucket close")
 	flag.Parse()
+
+	sched, err := bagraph.ParseSchedule(*schedule)
+	if err != nil {
+		fail(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -70,6 +78,8 @@ func main() {
 		fail(err)
 	}
 	req.Workers = *workers
+	req.Schedule = sched
+	req.LightHeavy = *lightHeavy
 	res, err := bagraph.Run(ctx, g.Weighted, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -109,6 +119,15 @@ func main() {
 	if st.Passes > 0 {
 		fmt.Printf("passes: %d, total %v, dist stores %d, cand stores %d, buckets %d\n",
 			st.Passes, st.Total(), st.DistStores, st.CandStores, st.Buckets)
+		if st.Chunks > 0 {
+			fmt.Printf("schedule: %d chunks, %d stolen (%d steal passes)\n",
+				st.Chunks, st.Steals, st.StealPasses)
+		}
+		// The split exists only in the parallel kernel; sequential
+		// variants ignore -lightheavy and report nothing here.
+		if st.LightRelaxed+st.HeavyRelaxed > 0 {
+			fmt.Printf("relaxations: %d light, %d heavy\n", st.LightRelaxed, st.HeavyRelaxed)
+		}
 	}
 }
 

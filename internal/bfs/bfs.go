@@ -54,6 +54,13 @@ type Stats struct {
 	// blow-up (the paper's §5.2/§6.3 headline) shows up here.
 	DistStores  uint64
 	QueueStores uint64
+	// Chunks, Steals and StealPasses describe the parallel kernel's
+	// chunk scheduling across all levels (see par.ChunkStats). Chunks
+	// is zero only for the sequential kernels; Steals and StealPasses
+	// are also zero under par.Static.
+	Chunks      int
+	Steals      uint64
+	StealPasses uint64
 }
 
 // Total returns the summed wall-clock time of all levels.

@@ -48,6 +48,15 @@ type MultiSourceOptions struct {
 	Ctx context.Context
 	// Workers is the number of concurrent workers; < 1 means GOMAXPROCS.
 	Workers int
+	// Schedule selects how each sweep's chunks reach the workers:
+	// par.Static (the default) fixes one block per worker; par.Stealing
+	// over-decomposes the sweep and lets idle workers steal whole
+	// chunks from stragglers. Both schedules produce byte-identical
+	// distances.
+	Schedule par.Schedule
+	// ChunkFactor scales the Stealing schedule's chunks per worker;
+	// 0 means par.DefaultChunkFactor. Ignored under par.Static.
+	ChunkFactor int
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; MultiSource will not close
 	// it.
@@ -75,6 +84,12 @@ type MultiStats struct {
 	Reached int
 	// DistStores counts writes into the distance arrays.
 	DistStores uint64
+	// Chunks, Steals and StealPasses describe chunk scheduling across
+	// all shared sweeps (see par.ChunkStats); Steals and StealPasses
+	// are zero under par.Static, Chunks counts under both schedules.
+	Chunks      int
+	Steals      uint64
+	StealPasses uint64
 }
 
 // Total returns the summed wall-clock time of all level sweeps.
@@ -130,7 +145,8 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 	}
 	adj := g.Adjacency()
 	offs := g.Offsets()
-	vranges := par.Partition(offs, pool.Workers(), 1)
+	// Mask arrays are word-per-vertex, so chunks need no 64-alignment.
+	vchunks := par.Partition(offs, par.ChunkCount(pool.Workers(), opt.Schedule, opt.ChunkFactor), 1)
 	acc := make([]msWorker, pool.Workers())
 
 	seen := make([]uint64, n)
@@ -164,9 +180,8 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 				return dists, st, err
 			}
 			start := time.Now()
-			pool.Run(len(vranges), func(t int) {
-				a := msWorker{}
-				r := vranges[t]
+			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
+				a := &acc[t]
 				for v := r.Lo; v < r.Hi; v++ {
 					sv := seen[v]
 					acquired := uint64(0)
@@ -187,8 +202,10 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 						}
 					}
 				}
-				acc[t] = a
 			})
+			st.Chunks += cst.Chunks
+			st.Steals += cst.Steals
+			st.StealPasses += cst.StealPasses
 			advanced := uint64(0)
 			for t := range acc {
 				advanced |= acc[t].advanced

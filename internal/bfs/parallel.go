@@ -50,6 +50,15 @@ type ParallelOptions struct {
 	// Alpha and Beta are the direction-switch thresholds; <= 0 means the
 	// sequential kernel's defaults (15 and 18).
 	Alpha, Beta int
+	// Schedule selects how each level's chunks reach the workers:
+	// par.Static (the default) fixes one block per worker; par.Stealing
+	// over-decomposes the sweep and lets idle workers steal whole
+	// chunks from stragglers. Both schedules produce byte-identical
+	// distances.
+	Schedule par.Schedule
+	// ChunkFactor scales the Stealing schedule's chunks per worker;
+	// 0 means par.DefaultChunkFactor. Ignored under par.Static.
+	ChunkFactor int
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; ParallelDO will not close it.
 	Pool *par.Pool
@@ -107,9 +116,11 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 	adj := g.Adjacency()
 	offs := g.Offsets()
 	arcs := g.NumArcs()
-	// Vertex ranges for bottom-up sweeps: degree-balanced, 64-aligned so
-	// every worker owns whole bitset words.
-	vranges := par.Partition(offs, pool.Workers(), 64)
+	// Vertex chunks for bottom-up sweeps: degree-balanced, 64-aligned so
+	// whichever worker runs a chunk owns whole bitset words; fixed across
+	// levels (only the executing worker varies under par.Stealing).
+	chunkTarget := par.ChunkCount(pool.Workers(), opt.Schedule, opt.ChunkFactor)
+	vchunks := par.Partition(offs, chunkTarget, 64)
 
 	frontier := []uint32{root}
 	frontierBits := bitset.New(n)
@@ -143,9 +154,8 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				}
 			}
 			nextBits.Reset()
-			pool.Run(len(vranges), func(t int) {
-				a := perWorkerLevel{}
-				r := vranges[t]
+			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
+				a := &acc[t]
 				for v := r.Lo; v < r.Hi; v++ {
 					if dist[v] != Inf {
 						continue
@@ -166,8 +176,10 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 						a.volume += int64(offs[v+1] - offs[v])
 					}
 				}
-				acc[t] = a
 			})
+			st.Chunks += cst.Chunks
+			st.Steals += cst.Steals
+			st.StealPasses += cst.StealPasses
 			nextLen := 0
 			volume = 0
 			for t := range acc {
@@ -188,11 +200,14 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 			}
 		} else {
 			st.TopDownLevels++
-			chunks := par.PartitionSlice(len(frontier), pool.Workers())
-			pool.Run(len(chunks), func(t int) {
-				a := perWorkerLevel{}
+			// Frontier chunks are equal-count, not degree-balanced: the
+			// frontier's arc volume is unknown until scanned, which is
+			// exactly the skew the Stealing schedule absorbs.
+			fchunks := par.PartitionSlice(len(frontier), chunkTarget)
+			cst := pool.RunChunks(fchunks, opt.Schedule, func(t int, c par.Range) {
+				a := &acc[t]
 				next := level + 1
-				for _, v := range frontier[chunks[t].Lo:chunks[t].Hi] {
+				for _, v := range frontier[c.Lo:c.Hi] {
 					for _, w := range adj[offs[v]:offs[v+1]] {
 						if atomic.LoadUint32(&dist[w]) != Inf {
 							continue
@@ -205,8 +220,10 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 						}
 					}
 				}
-				acc[t] = a
 			})
+			st.Chunks += cst.Chunks
+			st.Steals += cst.Steals
+			st.StealPasses += cst.StealPasses
 			frontier = frontier[:0]
 			volume = 0
 			for t := range acc {

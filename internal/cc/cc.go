@@ -41,6 +41,14 @@ type Stats struct {
 	IterChanges []int
 	// LabelStores counts writes to the label array.
 	LabelStores uint64
+	// Chunks, Steals and StealPasses describe the parallel kernel's
+	// chunk scheduling across all passes: chunks executed, chunks run
+	// by a worker that did not own them, and victim-selection scans
+	// (see par.ChunkStats). Chunks is zero only for the sequential
+	// kernels; Steals and StealPasses are also zero under par.Static.
+	Chunks      int
+	Steals      uint64
+	StealPasses uint64
 }
 
 // Total returns the summed wall-clock time of all passes.

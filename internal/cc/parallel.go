@@ -76,6 +76,15 @@ type ParallelOptions struct {
 	// ChangeFraction is the Hybrid switch threshold (see HybridOptions);
 	// zero means the default of 2%.
 	ChangeFraction float64
+	// Schedule selects how each pass's chunks reach the workers:
+	// par.Static (the default) fixes one arc-balanced block per worker
+	// at launch; par.Stealing over-decomposes the vertex set and lets
+	// idle workers steal whole chunks from stragglers. Both schedules
+	// produce byte-identical labelings.
+	Schedule par.Schedule
+	// ChunkFactor scales the Stealing schedule's chunks per worker;
+	// 0 means par.DefaultChunkFactor. Ignored under par.Static.
+	ChunkFactor int
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; SVParallel will not close it.
 	Pool *par.Pool
@@ -110,7 +119,9 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 	}
 	adj := g.Adjacency()
 	offs := g.Offsets()
-	ranges := par.Partition(offs, pool.Workers(), 1)
+	// The chunk list is fixed across passes (the graph does not change);
+	// what varies under par.Stealing is which worker runs each chunk.
+	chunks := par.Partition(offs, par.ChunkCount(pool.Workers(), opt.Schedule, opt.ChunkFactor), 1)
 
 	prev := opt.Labels
 	if len(prev) != n {
@@ -123,7 +134,9 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 	if len(cur) != n || &cur[0] == &prev[0] {
 		cur = make([]uint32, n)
 	}
-	perWorker := make([]int, len(ranges)) // change counts, merged at the barrier
+	// Change counts, accumulated across a worker's chunks and merged at
+	// the barrier. A worker runs its chunks serially, so no atomics.
+	perWorker := make([]int, pool.Workers())
 
 	threshold := opt.ChangeFraction
 	if threshold == 0 {
@@ -133,11 +146,14 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 
 	for {
 		start := time.Now()
+		for t := range perWorker {
+			perWorker[t] = 0
+		}
+		var cst par.ChunkStats
 		var err error
 		if avoiding {
-			err = pool.RunCtx(ctx, len(ranges), func(t int) {
+			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {
 				changed := 0
-				r := ranges[t]
 				for v := r.Lo; v < r.Hi; v++ {
 					cv := prev[v]
 					for _, u := range adj[offs[v]:offs[v+1]] {
@@ -148,12 +164,11 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 					cur[v] = cv
 					changed += core.Bit(^core.MaskEqual32(cv^prev[v], 0))
 				}
-				perWorker[t] = changed
+				perWorker[t] += changed
 			})
 		} else {
-			err = pool.RunCtx(ctx, len(ranges), func(t int) {
+			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {
 				changed := 0
-				r := ranges[t]
 				for v := r.Lo; v < r.Hi; v++ {
 					cv := prev[v]
 					for _, u := range adj[offs[v]:offs[v+1]] {
@@ -167,7 +182,7 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 						changed++
 					}
 				}
-				perWorker[t] = changed
+				perWorker[t] += changed
 			})
 		}
 		if err != nil {
@@ -175,6 +190,9 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 			// the last completed pass.
 			return prev, st, err
 		}
+		st.Chunks += cst.Chunks
+		st.Steals += cst.Steals
+		st.StealPasses += cst.StealPasses
 		changed := 0
 		for _, c := range perWorker {
 			changed += c

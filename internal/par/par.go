@@ -1,6 +1,7 @@
 // Package par provides the data-parallel execution engine shared by the
-// parallel kernel variants: a small persistent worker pool and a
-// degree-balanced CSR vertex-range partitioner.
+// parallel kernel variants: a small persistent worker pool, a
+// degree-balanced CSR vertex-range partitioner, and a chunked
+// work-stealing scheduler for skewed passes.
 //
 // The branch-avoiding kernels win exactly when per-element work is tiny
 // (a load, a compare, a conditional move), which is also the regime where
@@ -12,6 +13,15 @@
 // write only to state owned by their range and merge per-worker
 // accumulators (change counts, frontier queues) at a barrier, so kernels
 // built on the engine are free of data races without per-element atomics.
+//
+// A static launch-time split pays nothing during the pass but stalls
+// the barrier on a straggler when the work is skewed (an RMAT hub in
+// one range, a sparse late-level frontier). RunChunks therefore
+// over-decomposes a pass into arc-balanced chunks and, under the
+// Stealing schedule, lets idle workers take whole chunks from the
+// most-loaded victim through a single atomic cursor fetch — control
+// flow is bought once per chunk, and the per-element inner loops the
+// paper transforms stay branch-free and atomic-free.
 package par
 
 import (
@@ -19,6 +29,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Range is a half-open vertex interval [Lo, Hi).
@@ -188,4 +199,158 @@ func (p *Pool) RunCtx(ctx context.Context, n int, fn func(i int)) error {
 // Close; Close is idempotent.
 func (p *Pool) Close() {
 	p.closed.Do(func() { close(p.tasks) })
+}
+
+// Schedule selects how a pass's chunks are assigned to workers.
+type Schedule int
+
+const (
+	// Static gives each worker one contiguous block of the chunk list,
+	// fixed for the whole pass — the launch-time partitioning the
+	// original engine used, with zero scheduling traffic. A straggler
+	// block stalls the pass barrier.
+	Static Schedule = iota
+	// Stealing also blocks the chunk list contiguously, but workers
+	// drain their block through an atomic cursor and, when empty, steal
+	// whole chunks from the most-loaded victim's cursor. Control-flow
+	// cost is paid once per chunk, never per element: the chunk bodies
+	// the kernels run stay atomic-free.
+	Stealing
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Stealing:
+		return "stealing"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultChunkFactor is the chunks-per-worker over-decomposition the
+// Stealing schedule uses when the caller does not pick one. More chunks
+// mean finer rebalancing but more cursor traffic; 8 keeps the per-chunk
+// amortization deep while letting a straggler shed 7/8 of its backlog.
+const DefaultChunkFactor = 8
+
+// ChunkCount returns the chunk-list length a pass should partition
+// into: one chunk per worker under Static (the original launch-time
+// split), factor chunks per worker under Stealing (factor < 1 means
+// DefaultChunkFactor).
+func ChunkCount(workers int, sched Schedule, factor int) int {
+	if sched == Static {
+		return workers
+	}
+	if factor < 1 {
+		factor = DefaultChunkFactor
+	}
+	return workers * factor
+}
+
+// ChunkStats describes the scheduling work of one RunChunks pass.
+type ChunkStats struct {
+	// Chunks is the length of the chunk list.
+	Chunks int
+	// Steals counts chunks executed by a worker that did not own them.
+	Steals uint64
+	// StealPasses counts victim-selection scans (each picks the
+	// most-loaded victim and takes one chunk from its cursor).
+	StealPasses uint64
+}
+
+// chunkCursor is one worker's next-chunk index, padded to a cache line
+// so cursor traffic from thieves does not false-share with neighbors.
+type chunkCursor struct {
+	next int64
+	_    [7]int64
+}
+
+// RunChunks executes fn once per chunk across the pool and returns at
+// the pass barrier. fn receives the executing worker's index (dense in
+// [0, Workers())) and the chunk; all fn calls for one worker index run
+// serially on one goroutine, so per-worker accumulators indexed by it
+// need no atomics — the only atomics are the chunk cursors inside the
+// scheduler itself, one fetch per chunk handoff.
+//
+// Under Static every worker runs exactly its contiguous block of the
+// chunk list. Under Stealing a worker that drains its block scans for
+// the victim with the most chunks left and takes one chunk per scan
+// until every cursor is exhausted; a pass with no idle workers degrades
+// to Static plus one atomic per chunk.
+func (p *Pool) RunChunks(chunks []Range, sched Schedule, fn func(worker int, c Range)) ChunkStats {
+	st := ChunkStats{Chunks: len(chunks)}
+	if len(chunks) == 0 {
+		return st
+	}
+	blocks := PartitionSlice(len(chunks), p.workers)
+	if sched == Static || len(blocks) == 1 {
+		p.Run(len(blocks), func(w int) {
+			for i := blocks[w].Lo; i < blocks[w].Hi; i++ {
+				fn(w, chunks[i])
+			}
+		})
+		return st
+	}
+	cursors := make([]chunkCursor, len(blocks))
+	for w := range blocks {
+		cursors[w].next = int64(blocks[w].Lo)
+	}
+	// Per-worker steal counters, padded like the cursors; folded into
+	// st after the barrier (the barrier is the happens-before edge).
+	counts := make([]chunkCursor, 2*len(blocks))
+	p.Run(len(blocks), func(w int) {
+		// Drain the worker's own block. The owner pops through the same
+		// cursor thieves steal from, so a chunk runs exactly once.
+		for {
+			i := atomic.AddInt64(&cursors[w].next, 1) - 1
+			if i >= int64(blocks[w].Hi) {
+				break
+			}
+			fn(w, chunks[i])
+		}
+		// Steal: one scan picks the most-loaded victim, one atomic
+		// fetch takes a chunk. Rescanning per chunk keeps the
+		// most-loaded choice honest as backlogs drain.
+		for {
+			victim, best := -1, int64(0)
+			for v := range blocks {
+				if v == w {
+					continue
+				}
+				if rem := int64(blocks[v].Hi) - atomic.LoadInt64(&cursors[v].next); rem > best {
+					best, victim = rem, v
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			counts[2*w+1].next++ // steal pass
+			i := atomic.AddInt64(&cursors[victim].next, 1) - 1
+			if i >= int64(blocks[victim].Hi) {
+				continue // another thief won the last chunk; rescan
+			}
+			fn(w, chunks[i])
+			counts[2*w].next++ // steal
+		}
+	})
+	for w := range blocks {
+		st.Steals += uint64(counts[2*w].next)
+		st.StealPasses += uint64(counts[2*w+1].next)
+	}
+	return st
+}
+
+// RunChunksCtx is RunChunks with cooperative cancellation at the pass
+// barrier, mirroring RunCtx: a context already cancelled skips the pass
+// entirely, and otherwise ctx.Err() is reported after the barrier.
+// Workers never observe ctx — once dispatched, a pass runs every chunk.
+func (p *Pool) RunChunksCtx(ctx context.Context, chunks []Range, sched Schedule, fn func(worker int, c Range)) (ChunkStats, error) {
+	if err := ctx.Err(); err != nil {
+		return ChunkStats{}, err
+	}
+	st := p.RunChunks(chunks, sched, fn)
+	return st, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -146,6 +147,137 @@ func TestPoolBarrier(t *testing.T) {
 				t.Fatalf("pass %d: sums[%d] = %d", pass, i, s)
 			}
 		}
+	}
+}
+
+func TestRunChunksCoversEveryChunkOnce(t *testing.T) {
+	// Every chunk must execute exactly once under both schedules, for
+	// worker counts below, at, and above the chunk count.
+	chunks := PartitionSlice(1000, 37)
+	for _, sched := range []Schedule{Static, Stealing} {
+		for _, workers := range []int{1, 2, 4, 8, 64} {
+			p := NewPool(workers)
+			hits := make([]int32, 1000)
+			st := p.RunChunks(chunks, sched, func(w int, c Range) {
+				if w < 0 || w >= p.Workers() {
+					t.Errorf("worker id %d out of range", w)
+				}
+				for i := c.Lo; i < c.Hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			p.Close()
+			if st.Chunks != len(chunks) {
+				t.Errorf("%v/workers=%d: Chunks = %d, want %d", sched, workers, st.Chunks, len(chunks))
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("%v/workers=%d: index %d ran %d times", sched, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunChunksWorkerSerial(t *testing.T) {
+	// All fn calls for one worker index run serially: per-worker
+	// accumulators written without atomics must survive -race.
+	p := NewPool(4)
+	defer p.Close()
+	chunks := PartitionSlice(4096, 64)
+	acc := make([]int64, p.Workers()*8) // padded slots, one per worker
+	for pass := 0; pass < 20; pass++ {
+		st := p.RunChunks(chunks, Stealing, func(w int, c Range) {
+			acc[w*8] += int64(c.Len())
+		})
+		total := int64(0)
+		for w := 0; w < p.Workers(); w++ {
+			total += acc[w*8]
+		}
+		if total != int64(4096*(pass+1)) {
+			t.Fatalf("pass %d: accumulated %d vertices, want %d", pass, total, 4096*(pass+1))
+		}
+		if st.Steals > 0 && st.StealPasses == 0 {
+			t.Fatal("steals recorded without steal passes")
+		}
+	}
+}
+
+func TestRunChunksStealsFromBlockedOwner(t *testing.T) {
+	// Deterministic steal: worker 0's first chunk blocks until every
+	// other chunk has run. Those chunks sit behind worker 0's cursor,
+	// so they can only complete if another worker steals them —
+	// scheduler-timing independent, works even on one CPU because the
+	// gate is a goroutine blocking point.
+	p := NewPool(2)
+	defer p.Close()
+	// 8 chunks; blocks are [0,4) and [4,8). Chunk 0 gates on the other 7.
+	chunks := PartitionSlice(8, 8)
+	gate := make(chan struct{})
+	var rest int32
+	st := p.RunChunks(chunks, Stealing, func(w int, c Range) {
+		if c.Lo == 0 {
+			<-gate
+			return
+		}
+		if atomic.AddInt32(&rest, 1) == 7 {
+			close(gate)
+		}
+	})
+	if st.Steals == 0 {
+		t.Fatal("no chunks were stolen from the blocked owner")
+	}
+	if st.StealPasses < st.Steals {
+		t.Fatalf("StealPasses = %d < Steals = %d", st.StealPasses, st.Steals)
+	}
+}
+
+func TestRunChunksEmpty(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, sched := range []Schedule{Static, Stealing} {
+		st := p.RunChunks(nil, sched, func(int, Range) { t.Fatal("ran a chunk of nothing") })
+		if st != (ChunkStats{}) {
+			t.Errorf("%v: stats %+v for the empty chunk list", sched, st)
+		}
+	}
+}
+
+func TestRunChunksCtx(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	chunks := PartitionSlice(16, 8)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunChunksCtx(cancelled, chunks, Stealing, func(int, Range) {
+		t.Fatal("pre-cancelled pass dispatched a chunk")
+	}); err == nil {
+		t.Fatal("pre-cancelled RunChunksCtx reported no error")
+	}
+	ran := int32(0)
+	st, err := p.RunChunksCtx(context.Background(), chunks, Static, func(_ int, c Range) {
+		atomic.AddInt32(&ran, 1)
+	})
+	if err != nil || int(ran) != st.Chunks {
+		t.Fatalf("ran %d chunks of %d, err %v", ran, st.Chunks, err)
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	if got := ChunkCount(4, Static, 16); got != 4 {
+		t.Errorf("Static: %d chunks, want workers", got)
+	}
+	if got := ChunkCount(4, Stealing, 0); got != 4*DefaultChunkFactor {
+		t.Errorf("Stealing default: %d", got)
+	}
+	if got := ChunkCount(4, Stealing, 3); got != 12 {
+		t.Errorf("Stealing factor 3: %d", got)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Stealing.String() != "stealing" {
+		t.Errorf("Schedule strings: %v %v", Static, Stealing)
 	}
 }
 

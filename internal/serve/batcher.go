@@ -24,6 +24,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,10 @@ type Result struct {
 	Hops []uint32
 	// Dists are weighted SSSP distances (sssp.Inf sentinel).
 	Dists []uint64
+	// Stats are the kernel counters of the run that served this
+	// request. For a multi-source batch they describe the one shared
+	// run every batched query rode.
+	Stats bagraph.Stats
 	// Batch is the number of requests dispatched together, the
 	// coalescing observability hook the tests and clients read.
 	Batch int
@@ -91,6 +96,13 @@ type Batcher struct {
 	wp       *bagraph.WorkerPool
 	maxBatch int
 	window   time.Duration
+	// schedule is the chunk schedule every dispatched parallel kernel
+	// runs under, fixed at construction.
+	schedule bagraph.Schedule
+	// fills tracks detached CC cache-fill goroutines: a fill outlives
+	// any handler whose deadline fired mid-kernel, so Close must wait
+	// for it before releasing the pool it is running on.
+	fills sync.WaitGroup
 
 	mu      sync.Mutex
 	pending map[batchKey]*pendingBatch
@@ -100,8 +112,10 @@ type Batcher struct {
 // (workers < 1 means GOMAXPROCS). maxBatch < 1 defaults to 32. A
 // positive window holds the first request of a batch that long for
 // company before dispatching; window <= 0 dispatches every request
-// immediately on its own (no coalescing).
-func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
+// immediately on its own (no coalescing). Every dispatched parallel
+// kernel runs under sched (bagraph.ScheduleStatic or
+// bagraph.ScheduleStealing).
+func NewBatcher(workers, maxBatch int, window time.Duration, sched bagraph.Schedule) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 32
 	}
@@ -109,6 +123,7 @@ func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
 		wp:       bagraph.NewWorkerPool(workers),
 		maxBatch: maxBatch,
 		window:   window,
+		schedule: sched,
 		pending:  make(map[batchKey]*pendingBatch),
 	}
 }
@@ -117,8 +132,14 @@ func NewBatcher(workers, maxBatch int, window time.Duration) *Batcher {
 func (b *Batcher) Workers() int { return b.wp.Workers() }
 
 // Close releases the worker pool. In-flight dispatches must have
-// drained; the HTTP server's shutdown guarantees that.
-func (b *Batcher) Close() { b.wp.Close() }
+// drained (the HTTP server's shutdown guarantees that); detached CC
+// cache fills may still be running — their cohorts' handlers are gone,
+// so they stop at their next pass barrier — and Close waits for them
+// before releasing the pool they run on.
+func (b *Batcher) Close() {
+	b.fills.Wait()
+	b.wp.Close()
+}
 
 // BFS enqueues a BFS query and blocks until its batch is dispatched or
 // ctx dies. algo must be canonical (see bfsAliases) and root in range.
@@ -134,50 +155,156 @@ func (b *Batcher) SSSP(ctx context.Context, e *Entry, algo string, root uint32) 
 	return b.Submit(ctx, e, KindSSSP, algo, root)
 }
 
-// CC returns the component labeling and count for (e, algo), computing
-// it at most once per graph epoch: concurrent identical queries block
-// on the same sync.Once and share the result, later ones are served
-// from the entry's cache. shared reports whether this call reused a
-// computation started by another request (or an earlier one). The
-// returned labels are shared and must not be mutated.
-//
-// ctx gates entry (a dead context returns its error without touching
-// the cache) but does not cancel the fill itself: the labeling is a
-// per-epoch shared artifact every later query reuses, so one abandoned
-// client must not poison the cache with a context error.
-func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint32, components int, shared bool, err error) {
-	if err := ctx.Err(); err != nil {
-		return nil, 0, false, err
-	}
-	e.ccMu.Lock()
-	res, ok := e.ccCache[algo]
-	if !ok {
-		res = &ccResult{}
-		e.ccCache[algo] = res
-	}
-	e.ccMu.Unlock()
-	first := false
-	res.once.Do(func() {
-		first = true
-		res.labels, res.err = b.runCC(algo, e)
-		if res.err == nil {
-			res.components = cc.CountComponents(res.labels)
-		}
-	})
-	return res.labels, res.components, !first, res.err
+// fillContext is the context a CC cache fill runs under: alive while
+// any query interested in the fill is alive. The kernels observe
+// cancellation through Err alone at their pass barriers (never Done),
+// so Err polls the interested contexts — nil while any is live, the
+// filler's error once all are gone. One abandoned client therefore
+// cannot kill a fill other clients are waiting on (a per-query
+// deadline shorter than the kernel stops starving the cache as soon
+// as queries overlap), while a fill nobody is waiting for still stops
+// at its next barrier instead of burning the pool for an empty room.
+type fillContext struct {
+	context.Context // Background: no Done channel, no deadline
+	mu              sync.Mutex
+	parties         []context.Context
+	sealed          bool
 }
 
-// runCC executes one detached CC cache fill through the facade.
-func (b *Batcher) runCC(algo string, e *Entry) ([]uint32, error) {
+// newFillContext starts the interested set with the filler's context.
+func newFillContext(ctx context.Context) *fillContext {
+	return &fillContext{Context: context.Background(), parties: []context.Context{ctx}}
+}
+
+// join adds a query's context to the interested set. After seal it is
+// a no-op: cache hits against a completed fill must not accumulate
+// (and thereby retain) their request contexts for the epoch's
+// lifetime.
+func (f *fillContext) join(ctx context.Context) {
+	f.mu.Lock()
+	if !f.sealed {
+		f.parties = append(f.parties, ctx)
+	}
+	f.mu.Unlock()
+}
+
+// seal marks the fill finished and releases the interested contexts.
+func (f *fillContext) seal() {
+	f.mu.Lock()
+	f.sealed = true
+	f.parties = nil
+	f.mu.Unlock()
+}
+
+// Err reports nil while any interested context is live, and the first
+// (the filler's) error once every one of them has died.
+func (f *fillContext) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, p := range f.parties {
+		err := p.Err()
+		if err == nil {
+			return nil
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CC returns the component labeling, count and kernel stats for
+// (e, algo), computing it at most once per graph epoch: the first
+// query becomes the filler and runs the kernel under its own context,
+// concurrent identical queries wait on the same fill, and later ones
+// are served from the entry's cache. shared reports whether this call
+// reused a computation another request started (or an earlier one
+// finished). The returned labels are shared and must not be mutated.
+//
+// The fill runs under a fillContext every interested query joins: it
+// keeps going while any of them is live and stops at its next pass
+// barrier when the last one is gone. A fill that fails — every
+// interested client cancelling mid-kernel is the expected case — is
+// retired from the cache before its waiters wake, and any later query
+// retries as a fresh filler. Cancelled clients therefore cost only
+// their own queries; they neither poison the cache with their error
+// nor leave a detached kernel run burning the pool for nobody.
+func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint32, components int, stats bagraph.Stats, shared bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, bagraph.Stats{}, false, err
+		}
+		e.ccMu.Lock()
+		res, ok := e.ccCache[algo]
+		if !ok {
+			res = &ccResult{ready: make(chan struct{}), fill: newFillContext(ctx)}
+			e.ccCache[algo] = res
+			e.ccMu.Unlock()
+			// The fill runs in its own goroutine so the filler's
+			// handler waits below like every other interested query:
+			// its own deadline or disconnect still bounds ITS response
+			// while the fill lives on for whoever else joined.
+			b.fills.Add(1)
+			go b.fillCC(res, algo, e)
+		} else {
+			e.ccMu.Unlock()
+			// Joining keeps the in-flight fill alive for as long as
+			// this query is; against a completed fill it is a no-op.
+			res.fill.join(ctx)
+		}
+		select {
+		case <-res.ready:
+			if res.err != nil && (errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded)) {
+				// The fill's whole cohort died and its entry is
+				// retired; retry under our own (still live) context.
+				// Non-context errors are the query's real answer.
+				continue
+			}
+			// shared = ok: true exactly when this call joined a fill
+			// (or cache) someone else installed.
+			return res.labels, res.components, res.stats, ok, res.err
+		case <-ctx.Done():
+			return nil, 0, bagraph.Stats{}, false, ctx.Err()
+		}
+	}
+}
+
+// fillCC runs one CC cache fill to completion: kernel, component
+// count, retire-on-failure, then wake the waiters. It owns res until
+// ready closes.
+func (b *Batcher) fillCC(res *ccResult, algo string, e *Entry) {
+	defer b.fills.Done()
+	res.labels, res.stats, res.err = b.runCC(res.fill, algo, e)
+	if res.err == nil {
+		res.components = cc.CountComponents(res.labels)
+	} else {
+		// Retire the failed fill so the next query retries; the guard
+		// keeps a concurrent successor's entry intact.
+		e.ccMu.Lock()
+		if e.ccCache[algo] == res {
+			delete(e.ccCache, algo)
+		}
+		e.ccMu.Unlock()
+	}
+	res.fill.seal()
+	close(res.ready)
+}
+
+// runCC executes one CC cache fill through the facade under the
+// cohort's fill context; a cancelled fill returns the context's error
+// and caches nothing.
+func (b *Batcher) runCC(ctx context.Context, algo string, e *Entry) ([]uint32, bagraph.Stats, error) {
 	req, err := algoreq.CC(algo)
 	if err != nil {
-		return nil, err
+		return nil, bagraph.Stats{}, err
 	}
-	res, err := b.wp.Run(context.Background(), e.Graph(), req)
+	req.Schedule = b.schedule
+	res, err := b.wp.Run(ctx, e.Graph(), req)
 	if err != nil {
-		return nil, err
+		return nil, bagraph.Stats{}, err
 	}
-	return res.Labels, nil
+	return res.Labels, res.Stats, nil
 }
 
 // Submit joins (or opens) the pending batch for the query's key and
@@ -319,14 +446,14 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 		}
 		bctx, stop := batchContext(reqs)
 		res, err := b.wp.Run(bctx, key.entry.Graph(), bagraph.Request{
-			Kind: bagraph.KindBFSBatch, Roots: roots,
+			Kind: bagraph.KindBFSBatch, Roots: roots, Schedule: b.schedule,
 		})
 		stop()
 		for i := range results {
 			if err != nil {
 				results[i] = Result{Err: err}
 			} else {
-				results[i] = Result{Hops: res.HopsBatch[i]}
+				results[i] = Result{Hops: res.HopsBatch[i], Stats: res.Stats}
 			}
 		}
 	case usesPool(key.algo):
@@ -354,20 +481,22 @@ func (b *Batcher) runOne(r *Request) Result {
 		if err != nil {
 			return Result{Err: err}
 		}
+		req.Schedule = b.schedule
 		res, err := b.wp.Run(r.ctx, w, req)
 		if err != nil {
 			return Result{Err: err}
 		}
-		return Result{Dists: res.Dists}
+		return Result{Dists: res.Dists, Stats: res.Stats}
 	default:
 		req, err := algoreq.BFS(r.algo, r.root)
 		if err != nil {
 			return Result{Err: err}
 		}
+		req.Schedule = b.schedule
 		res, err := b.wp.Run(r.ctx, r.entry.Graph(), req)
 		if err != nil {
 			return Result{Err: err}
 		}
-		return Result{Hops: res.Hops}
+		return Result{Hops: res.Hops, Stats: res.Stats}
 	}
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bagraph"
+
 	"context"
 	"sync"
 	"testing"
@@ -32,7 +34,7 @@ func newTestEntry(t testing.TB) *Entry {
 func TestBatcherCoalescesBFS(t *testing.T) {
 	e := newTestEntry(t)
 	const k = 8
-	b := NewBatcher(2, k, 5*time.Second)
+	b := NewBatcher(2, k, 5*time.Second, bagraph.ScheduleStatic)
 	defer b.Close()
 
 	results := make([]Result, k)
@@ -66,7 +68,7 @@ func TestBatcherCoalescesBFS(t *testing.T) {
 // a batch even when concurrent.
 func TestBatcherSeparatesKeys(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(2, 16, 50*time.Millisecond)
+	b := NewBatcher(2, 16, 50*time.Millisecond, bagraph.ScheduleStatic)
 	defer b.Close()
 
 	var wg sync.WaitGroup
@@ -87,7 +89,7 @@ func TestBatcherSeparatesKeys(t *testing.T) {
 // dispatch inline without waiting.
 func TestBatcherImmediateWindow(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(1, 4, -1)
+	b := NewBatcher(1, 4, -1, bagraph.ScheduleStatic)
 	defer b.Close()
 	res := b.BFS(context.Background(), e, "par-do", 3)
 	if res.Err != nil || res.Batch != 1 {
@@ -106,7 +108,7 @@ func TestBatcherImmediateWindow(t *testing.T) {
 // Dijkstra oracle on the entry's shared view.
 func TestBatcherSSSP(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(2, 4, -1)
+	b := NewBatcher(2, 4, -1, bagraph.ScheduleStatic)
 	defer b.Close()
 	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
 		res := b.SSSP(context.Background(), e, algo, 5)
@@ -139,7 +141,7 @@ func TestBatcherSSSPRealWeights(t *testing.T) {
 	if !e.HasEdgeWeights() {
 		t.Fatal("weighted entry not marked weighted")
 	}
-	b := NewBatcher(2, 4, -1)
+	b := NewBatcher(2, 4, -1, bagraph.ScheduleStatic)
 	defer b.Close()
 	want := sssp.Dijkstra(w, 2)
 	for _, algo := range []string{"bb", "ba", "dijkstra", "par-bb", "par-ba", "par-hybrid"} {
@@ -161,7 +163,7 @@ func TestBatcherSSSPRealWeights(t *testing.T) {
 func TestBatcherMultiSourceBFS(t *testing.T) {
 	e := newTestEntry(t)
 	const k = 6
-	b := NewBatcher(2, k, 5*time.Second)
+	b := NewBatcher(2, k, 5*time.Second, bagraph.ScheduleStatic)
 	defer b.Close()
 
 	results := make([]Result, k)
@@ -192,7 +194,7 @@ func TestBatcherMultiSourceBFS(t *testing.T) {
 
 	// A lone "ms" query (batch of one, immediate dispatch) also
 	// answers correctly.
-	b1 := NewBatcher(2, 4, -1)
+	b1 := NewBatcher(2, 4, -1, bagraph.ScheduleStatic)
 	defer b1.Close()
 	solo := b1.BFS(context.Background(), e, "ms", 3)
 	if solo.Err != nil {
@@ -214,17 +216,17 @@ func TestBatcherMultiSourceBFS(t *testing.T) {
 // slots per algorithm.
 func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(2, 4, -1)
+	b := NewBatcher(2, 4, -1, bagraph.ScheduleStatic)
 	defer b.Close()
 
-	labels1, comps1, shared1, err := b.CC(context.Background(), e, "par-hybrid")
+	labels1, comps1, _, shared1, err := b.CC(context.Background(), e, "par-hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if shared1 {
 		t.Fatal("first CC query reported shared")
 	}
-	labels2, comps2, shared2, err := b.CC(context.Background(), e, "par-hybrid")
+	labels2, comps2, _, shared2, err := b.CC(context.Background(), e, "par-hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 	}
 
 	// A different algorithm gets its own slot (fresh computation).
-	_, _, sharedOther, err := b.CC(context.Background(), e, "unionfind")
+	_, _, _, sharedOther, err := b.CC(context.Background(), e, "unionfind")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +265,7 @@ func TestBatcherCCCoalescesAndCaches(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, shared, err := b.CC(context.Background(), e2, "hybrid")
+			_, _, _, shared, err := b.CC(context.Background(), e2, "hybrid")
 			if err != nil {
 				t.Error(err)
 				return
@@ -289,9 +291,9 @@ func TestReplaceInvalidatesCCCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := NewBatcher(1, 4, -1)
+	b := NewBatcher(1, 4, -1, bagraph.ScheduleStatic)
 	defer b.Close()
-	if _, _, shared, err := b.CC(context.Background(), e1, "hybrid"); err != nil || shared {
+	if _, _, _, shared, err := b.CC(context.Background(), e1, "hybrid"); err != nil || shared {
 		t.Fatalf("first query: shared=%v err=%v", shared, err)
 	}
 	e2, err := r.Replace("g", gen.Star(20))
@@ -301,7 +303,7 @@ func TestReplaceInvalidatesCCCache(t *testing.T) {
 	if e2.Epoch() != e1.Epoch()+1 {
 		t.Fatalf("epoch = %d, want %d", e2.Epoch(), e1.Epoch()+1)
 	}
-	_, comps, shared, err := b.CC(context.Background(), e2, "hybrid")
+	_, comps, _, shared, err := b.CC(context.Background(), e2, "hybrid")
 	if err != nil {
 		t.Fatal(err)
 	}

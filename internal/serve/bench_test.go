@@ -52,7 +52,7 @@ func BenchmarkServeBatch(b *testing.B) {
 		// Batched BFS: one claimed batch of k sources fanned across
 		// the resident pool — the dispatcher's steady-state hot path.
 		b.Run(fmt.Sprintf("bfs/batched/k=%d", k), func(b *testing.B) {
-			bt := NewBatcher(0, k, -1)
+			bt := NewBatcher(0, k, -1, bagraph.ScheduleStatic)
 			defer bt.Close()
 			key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
 			b.ResetTimer()
@@ -99,7 +99,7 @@ func BenchmarkServeBatch(b *testing.B) {
 		// kernel run per graph epoch (a fresh epoch each iteration so
 		// every iteration pays exactly one computation).
 		b.Run(fmt.Sprintf("cc/batched/k=%d", k), func(b *testing.B) {
-			bt := NewBatcher(0, k, -1)
+			bt := NewBatcher(0, k, -1, bagraph.ScheduleStatic)
 			defer bt.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -114,7 +114,7 @@ func BenchmarkServeBatch(b *testing.B) {
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
-						if _, comps, _, err := bt.CC(context.Background(), fresh, "hybrid"); err != nil || comps == 0 {
+						if _, comps, _, _, err := bt.CC(context.Background(), fresh, "hybrid"); err != nil || comps == 0 {
 							b.Error("bad result")
 						}
 					}()
@@ -126,7 +126,7 @@ func BenchmarkServeBatch(b *testing.B) {
 
 		// Spawned CC: without coalescing every request runs the kernel.
 		b.Run(fmt.Sprintf("cc/spawned/k=%d", k), func(b *testing.B) {
-			bt := NewBatcher(0, k, -1)
+			bt := NewBatcher(0, k, -1, bagraph.ScheduleStatic)
 			defer bt.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -188,7 +188,7 @@ func BenchmarkServeMultiSourceBFS(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("multi-source/k=%d", k), func(b *testing.B) {
-			bt := NewBatcher(0, k, -1)
+			bt := NewBatcher(0, k, -1, bagraph.ScheduleStatic)
 			defer bt.Close()
 			key := batchKey{entry: e, kind: KindBFS, algo: "ms"}
 			b.ResetTimer()
@@ -200,7 +200,7 @@ func BenchmarkServeMultiSourceBFS(b *testing.B) {
 			reportQueries(b, k)
 		})
 		b.Run(fmt.Sprintf("independent/k=%d", k), func(b *testing.B) {
-			bt := NewBatcher(0, k, -1)
+			bt := NewBatcher(0, k, -1, bagraph.ScheduleStatic)
 			defer bt.Close()
 			key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
 			b.ResetTimer()
@@ -222,14 +222,14 @@ func BenchmarkServeCCCache(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bt := NewBatcher(0, 4, -1)
+	bt := NewBatcher(0, 4, -1, bagraph.ScheduleStatic)
 	defer bt.Close()
-	if _, _, _, err := bt.CC(context.Background(), e, "par-hybrid"); err != nil { // warm the cache
+	if _, _, _, _, err := bt.CC(context.Background(), e, "par-hybrid"); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, shared, err := bt.CC(context.Background(), e, "par-hybrid")
+		_, _, _, shared, err := bt.CC(context.Background(), e, "par-hybrid")
 		if err != nil || !shared {
 			b.Fatal("cache miss")
 		}

@@ -7,6 +7,8 @@ package serve
 // stress test runs the whole mix under -race.
 
 import (
+	"bagraph"
+
 	"context"
 	"errors"
 	"math/rand"
@@ -31,7 +33,7 @@ func (b *Batcher) enqueuedLen(key batchKey) int {
 // without enqueueing anything.
 func TestSubmitPreCancelled(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(2, 8, time.Hour) // window never fires in this test
+	b := NewBatcher(2, 8, time.Hour, bagraph.ScheduleStatic) // window never fires in this test
 	defer b.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -50,7 +52,7 @@ func TestSubmitPreCancelled(t *testing.T) {
 func TestAbandonedRequestDroppedFromBatch(t *testing.T) {
 	e := newTestEntry(t)
 	// maxBatch 2: the second submit triggers the flush deterministically.
-	b := NewBatcher(2, 2, time.Hour)
+	b := NewBatcher(2, 2, time.Hour, bagraph.ScheduleStatic)
 	defer b.Close()
 	key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
 
@@ -110,7 +112,7 @@ func TestBatchContextCancelsWhenAllWaitersGone(t *testing.T) {
 // cancellation paths share no mutable state with in-flight kernels.
 func TestCancellationStress(t *testing.T) {
 	e := newTestEntry(t)
-	b := NewBatcher(4, 8, 200*time.Microsecond)
+	b := NewBatcher(4, 8, 200*time.Microsecond, bagraph.ScheduleStatic)
 	defer b.Close()
 
 	algos := []struct {

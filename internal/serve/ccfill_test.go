@@ -1,0 +1,150 @@
+package serve_test
+
+// Regression suite for the cancellable CC cache fill. The old fill
+// detached from the requesting context (context.Background) so that a
+// cancelled client could not poison the per-epoch cache — at the cost
+// of a kernel run nobody was waiting for. The fill now runs under the
+// interested queries' merged fill context (it stops at a pass barrier
+// once every one of them is gone) and a failed fill is retired before
+// its waiters wake: a cancelled cohort costs only its own queries, and
+// the next query retries as a fresh filler instead of inheriting the
+// error.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"bagraph"
+	"bagraph/internal/gen"
+	"bagraph/internal/serve"
+	"bagraph/internal/testutil"
+)
+
+// budgetCtx reports Canceled after a fixed number of Err calls; the
+// kernels observe cancellation only through Err at pass barriers, so
+// the budget cancels a fill mid-kernel without timing dependence.
+type budgetCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (f *budgetCtx) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left <= 0 {
+		return context.Canceled
+	}
+	f.left--
+	return nil
+}
+
+func fillBudget(n int) *budgetCtx {
+	return &budgetCtx{Context: context.Background(), left: n}
+}
+
+// ccEntry publishes a high-diameter graph (hundreds of SV passes, so a
+// small Err budget always cancels mid-kernel) and a batcher around it.
+func ccEntry(t *testing.T) (*serve.Batcher, *serve.Entry, *bagraph.Graph) {
+	t.Helper()
+	g := gen.Path(1024)
+	reg := serve.NewRegistry()
+	e, err := reg.Add("path", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := serve.NewBatcher(2, 8, -1, bagraph.ScheduleStatic)
+	t.Cleanup(b.Close)
+	return b, e, g
+}
+
+func TestCCFillCancelledFillerRetries(t *testing.T) {
+	b, e, g := ccEntry(t)
+
+	// First filler: cancelled mid-kernel. The error must surface and
+	// must NOT be cached.
+	_, _, _, shared, err := b.CC(fillBudget(3), e, "sv-bb")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled filler: err = %v, want context.Canceled", err)
+	}
+	if shared {
+		t.Fatal("cancelled filler reported a shared result")
+	}
+
+	// Second query: a fresh fill (shared=false proves it retried
+	// instead of serving the cancelled filler's error or labels).
+	labels, comps, stats, shared, err := b.CC(context.Background(), e, "sv-bb")
+	if err != nil {
+		t.Fatalf("retry after cancelled filler: %v", err)
+	}
+	if shared {
+		t.Fatal("retry was served from a cache the cancelled filler should have retired")
+	}
+	want, werr := bagraph.Run(context.Background(), g, bagraph.Request{Kind: bagraph.KindCC})
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	testutil.MustEqualLabels(t, "retried fill", labels, want.Labels)
+	if comps != 1 {
+		t.Fatalf("path graph has %d components in the response", comps)
+	}
+	if stats.Passes == 0 {
+		t.Fatal("fill carried no kernel stats")
+	}
+
+	// Third query: now it caches.
+	_, _, stats3, shared, err := b.CC(context.Background(), e, "sv-bb")
+	if err != nil || !shared {
+		t.Fatalf("third query: shared=%v err=%v, want cached", shared, err)
+	}
+	if stats3.Passes != stats.Passes {
+		t.Fatalf("cached stats diverge from the fill's: %d vs %d passes", stats3.Passes, stats.Passes)
+	}
+}
+
+// TestCCFillConcurrentCancelledAndLive is the -race regression: a mix
+// of cancelled and live queries hammering one cold cache entry. Every
+// live query must end with the correct labeling (possibly after
+// retrying behind a cancelled filler); no query may observe another's
+// context error as its own unless its own context died.
+func TestCCFillConcurrentCancelledAndLive(t *testing.T) {
+	b, e, g := ccEntry(t)
+	want, err := bagraph.Run(context.Background(), g, bagraph.Request{Kind: bagraph.KindCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 4
+	const each = 8
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2*each)
+		labels := make([][]uint32, 2*each)
+		for i := 0; i < 2*each; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx := context.Context(context.Background())
+				if i%2 == 0 {
+					// Budgets straddle the fill length: some die before
+					// the kernel, some mid-kernel.
+					ctx = fillBudget(i / 2 * 3)
+				}
+				labels[i], _, _, _, errs[i] = b.CC(ctx, e, "sv-bb")
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < 2*each; i++ {
+			if i%2 == 1 {
+				if errs[i] != nil {
+					t.Fatalf("round %d: live query %d failed: %v", round, i, errs[i])
+				}
+				testutil.MustEqualLabels(t, "live query", labels[i], want.Labels)
+			} else if errs[i] != nil && !errors.Is(errs[i], context.Canceled) {
+				t.Fatalf("round %d: cancelled query %d: unexpected error %v", round, i, errs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFillContextMergesInterest pins the CC fill context's contract:
+// Err stays nil while any interested context is live, reports the
+// filler's error once all are gone, and carries no Done channel or
+// deadline of its own (the kernels poll Err at barriers).
+func TestFillContextMergesInterest(t *testing.T) {
+	filler, cancelFiller := context.WithCancel(context.Background())
+	f := newFillContext(filler)
+	if f.Err() != nil {
+		t.Fatal("fresh fill context reports an error")
+	}
+	if f.Done() != nil {
+		t.Fatal("fill context exposes a Done channel; kernels must see Err only")
+	}
+	if _, ok := f.Deadline(); ok {
+		t.Fatal("fill context inherited a deadline")
+	}
+
+	// A live waiter keeps the fill alive past the filler's death.
+	waiter, cancelWaiter := context.WithCancel(context.Background())
+	f.join(waiter)
+	cancelFiller()
+	if f.Err() != nil {
+		t.Fatal("fill died while a waiter was still interested")
+	}
+	cancelWaiter()
+	if !errors.Is(f.Err(), context.Canceled) {
+		t.Fatalf("all parties dead: Err = %v, want Canceled", f.Err())
+	}
+
+	// After seal, joins are no-ops and retained contexts are released:
+	// cache hits against a completed fill must not grow the set.
+	f.seal()
+	f.join(context.Background())
+	f.mu.Lock()
+	retained := len(f.parties)
+	f.mu.Unlock()
+	if retained != 0 {
+		t.Fatalf("sealed fill context retained %d contexts", retained)
+	}
+
+	// The filler's error wins the report — a timed-out filler cohort
+	// surfaces DeadlineExceeded even when later waiters were cancelled.
+	expired, cancelExpired := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancelExpired()
+	g := newFillContext(expired)
+	gone, cancelGone := context.WithCancel(context.Background())
+	g.join(gone)
+	cancelGone()
+	if !errors.Is(g.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want the filler's DeadlineExceeded", g.Err())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"bagraph"
 	"bagraph/internal/corpus"
 	"bagraph/internal/graph"
 	"bagraph/internal/metis"
@@ -33,12 +34,21 @@ type Entry struct {
 	ccCache map[string]*ccResult
 }
 
-// ccResult is one cached CC computation; the sync.Once coalesces
-// concurrent identical queries into a single kernel run.
+// ccResult is one cached CC computation. The first query to install it
+// becomes the filler and starts the kernel under a fillContext that
+// every later interested query joins: the fill keeps running while any
+// of them is still live and stops at its next pass barrier when the
+// last one goes away. ready is closed when the attempt finishes,
+// successful or not. A failed fill (every interested client gone
+// mid-kernel) is retired from the entry's cache before ready closes,
+// so waiters and later queries retry with their own context instead of
+// inheriting a dead cohort's error — the cache is never poisoned.
 type ccResult struct {
-	once       sync.Once
+	ready      chan struct{}
+	fill       *fillContext
 	labels     []uint32
 	components int
+	stats      bagraph.Stats
 	err        error
 }
 

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"time"
 
+	"bagraph"
 	"bagraph/internal/bfs"
 	"bagraph/internal/sssp"
 )
@@ -53,13 +54,24 @@ type Config struct {
 	BatchWindow time.Duration
 	// MaxBodyBytes caps query bodies; < 1 means 1 MiB.
 	MaxBodyBytes int64
+	// QueryTimeout caps each query's end-to-end time: the handlers
+	// derive a context.WithTimeout from the request's own context, the
+	// kernels observe it at their next pass barrier, and an expired
+	// deadline maps to HTTP 504. 0 means no server-imposed deadline
+	// (the client's connection is still honored).
+	QueryTimeout time.Duration
+	// Schedule is the chunk schedule the dispatched parallel kernels
+	// run under: bagraph.ScheduleStatic (default) or
+	// bagraph.ScheduleStealing for skew-heavy graphs.
+	Schedule bagraph.Schedule
 }
 
 // Server routes the HTTP API onto a Registry and a Batcher.
 type Server struct {
-	reg     *Registry
-	batcher *Batcher
-	mux     *http.ServeMux
+	reg          *Registry
+	batcher      *Batcher
+	mux          *http.ServeMux
+	queryTimeout time.Duration
 }
 
 // New builds a server core over the registry. Release with Close.
@@ -73,9 +85,10 @@ func New(reg *Registry, cfg Config) *Server {
 		maxBody = 1 << 20
 	}
 	s := &Server{
-		reg:     reg,
-		batcher: NewBatcher(cfg.Workers, cfg.MaxBatch, window),
-		mux:     http.NewServeMux(),
+		reg:          reg,
+		batcher:      NewBatcher(cfg.Workers, cfg.MaxBatch, window, cfg.Schedule),
+		mux:          http.NewServeMux(),
+		queryTimeout: cfg.QueryTimeout,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /graphs", s.handleGraphs)
@@ -113,15 +126,32 @@ type errorResponse struct {
 // and middleware — the client is no longer listening.
 const statusClientClosedRequest = 499
 
-// queryStatus maps a traversal failure to its HTTP status: context
-// errors mean the client went away (or its deadline passed) and the
-// batcher dropped or cancelled the work; anything else is a server
-// fault.
+// queryStatus maps a traversal failure to its HTTP status: a passed
+// deadline is the server-imposed query timeout firing (504, the
+// upstream-took-too-long status), a plain cancellation means the
+// client went away and the batcher dropped or cancelled the work
+// (499); anything else is a server fault.
 func queryStatus(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
+}
+
+// queryContext derives the context a query runs under: the request's
+// own (so a departed client still cancels the work) capped by the
+// configured per-query deadline. cancel must be called when the query
+// finishes. A negative timeout yields an already-expired context —
+// deterministic 504s, which the timeout tests rely on.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout != 0 {
+		return context.WithTimeout(r.Context(), s.queryTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -206,6 +236,48 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	}{infos})
 }
 
+// queryStats is the per-query kernel observability object: the pass
+// structure, store counters and scheduler behavior of the run that
+// served the query, so batching and steal behavior are visible per
+// response without a daemon-side aggregator. Fields irrelevant to the
+// kernel that ran are omitted.
+type queryStats struct {
+	Passes         int    `json:"passes"`
+	LabelStores    uint64 `json:"label_stores,omitempty"`
+	DistStores     uint64 `json:"dist_stores,omitempty"`
+	QueueStores    uint64 `json:"queue_stores,omitempty"`
+	CandStores     uint64 `json:"cand_stores,omitempty"`
+	TopDownLevels  int    `json:"top_down_levels,omitempty"`
+	BottomUpLevels int    `json:"bottom_up_levels,omitempty"`
+	Waves          int    `json:"waves,omitempty"`
+	Buckets        int    `json:"buckets,omitempty"`
+	Chunks         int    `json:"chunks,omitempty"`
+	Steals         uint64 `json:"steals,omitempty"`
+	StealPasses    uint64 `json:"steal_passes,omitempty"`
+	LightRelaxed   uint64 `json:"light_relaxed,omitempty"`
+	HeavyRelaxed   uint64 `json:"heavy_relaxed,omitempty"`
+}
+
+// statsPayload projects the facade's Stats onto the response object.
+func statsPayload(st bagraph.Stats) queryStats {
+	return queryStats{
+		Passes:         st.Passes,
+		LabelStores:    st.LabelStores,
+		DistStores:     st.DistStores,
+		QueueStores:    st.QueueStores,
+		CandStores:     st.CandStores,
+		TopDownLevels:  st.TopDownLevels,
+		BottomUpLevels: st.BottomUpLevels,
+		Waves:          st.Waves,
+		Buckets:        st.Buckets,
+		Chunks:         st.Chunks,
+		Steals:         st.Steals,
+		StealPasses:    st.StealPasses,
+		LightRelaxed:   st.LightRelaxed,
+		HeavyRelaxed:   st.HeavyRelaxed,
+	}
+}
+
 // ccQuery is the /query/cc request body.
 type ccQuery struct {
 	Graph string `json:"graph"`
@@ -215,14 +287,16 @@ type ccQuery struct {
 	Labels bool `json:"labels"`
 }
 
-// ccResponse is the /query/cc response body.
+// ccResponse is the /query/cc response body. Stats describe the run
+// that filled the cache; a cached response repeats the fill's stats.
 type ccResponse struct {
-	Graph      string   `json:"graph"`
-	Epoch      uint64   `json:"epoch"`
-	Algo       string   `json:"algo"`
-	Components int      `json:"components"`
-	Cached     bool     `json:"cached"`
-	Labels     []uint32 `json:"labels,omitempty"`
+	Graph      string     `json:"graph"`
+	Epoch      uint64     `json:"epoch"`
+	Algo       string     `json:"algo"`
+	Components int        `json:"components"`
+	Cached     bool       `json:"cached"`
+	Stats      queryStats `json:"stats"`
+	Labels     []uint32   `json:"labels,omitempty"`
 }
 
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
@@ -239,7 +313,9 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	labels, components, shared, err := s.batcher.CC(r.Context(), e, algo)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	labels, components, stats, shared, err := s.batcher.CC(ctx, e, algo)
 	if err != nil {
 		writeError(w, queryStatus(err), "%v", err)
 		return
@@ -250,6 +326,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		Algo:       algo,
 		Components: components,
 		Cached:     shared,
+		Stats:      statsPayload(stats),
 	}
 	if q.Labels {
 		resp.Labels = labels
@@ -266,13 +343,14 @@ type traversalQuery struct {
 
 // bfsResponse is the /query/bfs response body.
 type bfsResponse struct {
-	Graph   string   `json:"graph"`
-	Epoch   uint64   `json:"epoch"`
-	Algo    string   `json:"algo"`
-	Root    uint32   `json:"root"`
-	Batch   int      `json:"batch"`
-	Reached int      `json:"reached"`
-	Dist    []uint32 `json:"dist"`
+	Graph   string     `json:"graph"`
+	Epoch   uint64     `json:"epoch"`
+	Algo    string     `json:"algo"`
+	Root    uint32     `json:"root"`
+	Batch   int        `json:"batch"`
+	Reached int        `json:"reached"`
+	Stats   queryStats `json:"stats"`
+	Dist    []uint32   `json:"dist"`
 }
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
@@ -289,7 +367,9 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
-	res := s.batcher.BFS(r.Context(), e, algo, q.Root)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res := s.batcher.BFS(ctx, e, algo, q.Root)
 	if res.Err != nil {
 		writeError(w, queryStatus(res.Err), "%v", res.Err)
 		return
@@ -307,6 +387,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		Root:    q.Root,
 		Batch:   res.Batch,
 		Reached: reached,
+		Stats:   statsPayload(res.Stats),
 		Dist:    res.Hops,
 	})
 }
@@ -315,14 +396,15 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 // distances) is the order-independent digest the smoke script compares
 // against the CLI kernels without parsing the whole array.
 type ssspResponse struct {
-	Graph   string   `json:"graph"`
-	Epoch   uint64   `json:"epoch"`
-	Algo    string   `json:"algo"`
-	Root    uint32   `json:"root"`
-	Batch   int      `json:"batch"`
-	Reached int      `json:"reached"`
-	Sum     uint64   `json:"sum"`
-	Dist    []uint64 `json:"dist"`
+	Graph   string     `json:"graph"`
+	Epoch   uint64     `json:"epoch"`
+	Algo    string     `json:"algo"`
+	Root    uint32     `json:"root"`
+	Batch   int        `json:"batch"`
+	Reached int        `json:"reached"`
+	Sum     uint64     `json:"sum"`
+	Stats   queryStats `json:"stats"`
+	Dist    []uint64   `json:"dist"`
 }
 
 func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
@@ -339,7 +421,9 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
-	res := s.batcher.SSSP(r.Context(), e, algo, q.Root)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	res := s.batcher.SSSP(ctx, e, algo, q.Root)
 	if res.Err != nil {
 		writeError(w, queryStatus(res.Err), "%v", res.Err)
 		return
@@ -360,6 +444,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		Batch:   res.Batch,
 		Reached: reached,
 		Sum:     sum,
+		Stats:   statsPayload(res.Stats),
 		Dist:    res.Dists,
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"bagraph"
 	"bagraph/internal/serve"
@@ -56,29 +57,49 @@ func post[R any](t *testing.T, url string, body any) (int, R) {
 	return resp.StatusCode, r
 }
 
+// statsResp mirrors the response's per-query kernel stats object.
+type statsResp struct {
+	Passes         int    `json:"passes"`
+	LabelStores    uint64 `json:"label_stores"`
+	DistStores     uint64 `json:"dist_stores"`
+	QueueStores    uint64 `json:"queue_stores"`
+	CandStores     uint64 `json:"cand_stores"`
+	TopDownLevels  int    `json:"top_down_levels"`
+	BottomUpLevels int    `json:"bottom_up_levels"`
+	Buckets        int    `json:"buckets"`
+	Chunks         int    `json:"chunks"`
+	Steals         uint64 `json:"steals"`
+	StealPasses    uint64 `json:"steal_passes"`
+	LightRelaxed   uint64 `json:"light_relaxed"`
+	HeavyRelaxed   uint64 `json:"heavy_relaxed"`
+}
+
 type ccResp struct {
-	Graph      string   `json:"graph"`
-	Epoch      uint64   `json:"epoch"`
-	Algo       string   `json:"algo"`
-	Components int      `json:"components"`
-	Cached     bool     `json:"cached"`
-	Labels     []uint32 `json:"labels"`
+	Graph      string    `json:"graph"`
+	Epoch      uint64    `json:"epoch"`
+	Algo       string    `json:"algo"`
+	Components int       `json:"components"`
+	Cached     bool      `json:"cached"`
+	Stats      statsResp `json:"stats"`
+	Labels     []uint32  `json:"labels"`
 }
 
 type travResp struct {
-	Graph   string   `json:"graph"`
-	Algo    string   `json:"algo"`
-	Root    uint32   `json:"root"`
-	Batch   int      `json:"batch"`
-	Reached int      `json:"reached"`
-	Dist    []uint32 `json:"dist"`
+	Graph   string    `json:"graph"`
+	Algo    string    `json:"algo"`
+	Root    uint32    `json:"root"`
+	Batch   int       `json:"batch"`
+	Reached int       `json:"reached"`
+	Stats   statsResp `json:"stats"`
+	Dist    []uint32  `json:"dist"`
 }
 
 type ssspResp struct {
-	Dist    []uint64 `json:"dist"`
-	Reached int      `json:"reached"`
-	Sum     uint64   `json:"sum"`
-	Batch   int      `json:"batch"`
+	Dist    []uint64  `json:"dist"`
+	Reached int       `json:"reached"`
+	Sum     uint64    `json:"sum"`
+	Batch   int       `json:"batch"`
+	Stats   statsResp `json:"stats"`
 }
 
 type errResp struct {
@@ -138,6 +159,87 @@ func TestServerCCMatchesFacade(t *testing.T) {
 	}
 	if len(again.Labels) != 0 {
 		t.Fatal("labels sent without being requested")
+	}
+	if again.Stats.Passes == 0 || again.Stats.LabelStores == 0 {
+		t.Fatalf("cached CC response carries no fill stats: %+v", again.Stats)
+	}
+}
+
+// TestServerQueryStats: every query family surfaces the kernel's
+// counters in a "stats" object, including the scheduler's chunk/steal
+// accounting for parallel algos — per-query observability without a
+// daemon-side aggregator.
+func TestServerQueryStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	_, bfsRes := post[travResp](t, ts.URL+"/query/bfs",
+		map[string]any{"graph": "cm", "root": 0, "algo": "dir-opt"})
+	if bfsRes.Stats.Passes == 0 || bfsRes.Stats.DistStores == 0 {
+		t.Fatalf("BFS stats empty: %+v", bfsRes.Stats)
+	}
+	if bfsRes.Stats.TopDownLevels+bfsRes.Stats.BottomUpLevels != bfsRes.Stats.Passes {
+		t.Fatalf("BFS level split inconsistent: %+v", bfsRes.Stats)
+	}
+	_, parRes := post[travResp](t, ts.URL+"/query/bfs",
+		map[string]any{"graph": "cm", "root": 0, "algo": "par-do"})
+	if parRes.Stats.Chunks == 0 {
+		t.Fatalf("parallel BFS reported no scheduler chunks: %+v", parRes.Stats)
+	}
+	_, ssspRes := post[ssspResp](t, ts.URL+"/query/sssp",
+		map[string]any{"graph": "cm", "root": 0, "algo": "par-hybrid"})
+	if ssspRes.Stats.Passes == 0 || ssspRes.Stats.Buckets == 0 {
+		t.Fatalf("SSSP stats empty: %+v", ssspRes.Stats)
+	}
+	if ssspRes.Stats.LightRelaxed == 0 {
+		t.Fatalf("SSSP reported no relaxations: %+v", ssspRes.Stats)
+	}
+}
+
+// TestServerQueryTimeout: an expired per-query deadline maps to 504 on
+// every query endpoint (the negative timeout expires the context
+// before the kernel starts, making the status deterministic), and a
+// generous deadline changes nothing.
+func TestServerQueryTimeout(t *testing.T) {
+	g, err := bagraph.CorpusGraph("cond-mat-2005", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("cm", g); err != nil {
+		t.Fatal(err)
+	}
+	expired := serve.New(reg, serve.Config{Workers: 2, BatchWindow: -1, QueryTimeout: -time.Nanosecond})
+	tsExpired := httptest.NewServer(expired.Handler())
+	defer func() {
+		tsExpired.Close()
+		expired.Close()
+	}()
+	for _, q := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/query/cc", map[string]any{"graph": "cm", "algo": "hybrid"}},
+		{"/query/bfs", map[string]any{"graph": "cm", "root": 0, "algo": "dir-opt"}},
+		{"/query/sssp", map[string]any{"graph": "cm", "root": 0, "algo": "par-hybrid"}},
+	} {
+		code, e := post[errResp](t, tsExpired.URL+q.path, q.body)
+		if code != http.StatusGatewayTimeout {
+			t.Fatalf("%s: status %d (%s), want 504", q.path, code, e.Error)
+		}
+		if e.Error == "" {
+			t.Fatalf("%s: no error body on timeout", q.path)
+		}
+	}
+
+	roomy := serve.New(reg, serve.Config{Workers: 2, BatchWindow: -1, QueryTimeout: time.Minute})
+	tsRoomy := httptest.NewServer(roomy.Handler())
+	defer func() {
+		tsRoomy.Close()
+		roomy.Close()
+	}()
+	code, res := post[travResp](t, tsRoomy.URL+"/query/bfs",
+		map[string]any{"graph": "cm", "root": 0, "algo": "dir-opt"})
+	if code != http.StatusOK || res.Reached == 0 {
+		t.Fatalf("roomy deadline: status %d reached %d", code, res.Reached)
 	}
 }
 

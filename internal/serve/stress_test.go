@@ -8,6 +8,8 @@ package serve
 // the property the ROADMAP's admin-reload direction leans on.
 
 import (
+	"bagraph"
+
 	"context"
 	"fmt"
 	"sync"
@@ -22,7 +24,7 @@ import (
 
 func TestReplaceUnderConcurrentQueries(t *testing.T) {
 	r := NewRegistry()
-	b := NewBatcher(2, 8, 100*time.Microsecond)
+	b := NewBatcher(2, 8, 100*time.Microsecond, bagraph.ScheduleStatic)
 	defer b.Close()
 
 	// Alternating replacement targets with different vertex counts, so
@@ -93,7 +95,7 @@ func TestReplaceUnderConcurrentQueries(t *testing.T) {
 						return
 					}
 				default:
-					labels, comps, _, err := b.CC(context.Background(), e, a.algo)
+					labels, comps, _, _, err := b.CC(context.Background(), e, a.algo)
 					if err != nil {
 						errc <- fmt.Errorf("querier %d: cc: %w", q, err)
 						return

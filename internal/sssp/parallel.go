@@ -8,10 +8,14 @@ package sssp
 // every pass. The parallel kernel instead keeps the classic
 // delta-stepping shape: tentative distances bucket vertices by
 // dist/delta, buckets are processed in nondecreasing order, and each
-// relaxation pass pushes only the current bucket's frontier. (The
-// light/heavy edge split of Meyer & Sanders is deliberately omitted —
-// re-relaxations within a bucket are handled by re-activation, which
-// keeps the inner loop identical to the paper's transformation target.)
+// relaxation pass pushes only the current bucket's frontier. The
+// light/heavy edge split of Meyer & Sanders is available behind
+// ParallelOptions.LightHeavy: in-bucket passes then relax only light
+// arcs (weight <= delta, the only ones that can re-fill the current
+// bucket) and each settled vertex's heavy arcs relax exactly once at
+// bucket close, instead of being re-scanned by every in-bucket pass.
+// The weight-class test folds into the relaxation mask, so the
+// branch-avoiding inner loop stays branch-free either way.
 //
 // Each pass is a scatter + merge, mirroring how the other engine
 // kernels stay race-free without per-element atomics:
@@ -112,6 +116,24 @@ type ParallelOptions struct {
 	// scanned, the relaxation branch has become predictable and later
 	// passes run branch-based. 0 means the default of 2%.
 	ChangeFraction float64
+	// LightHeavy enables the Meyer & Sanders light/heavy edge split:
+	// in-bucket passes relax only light arcs (weight <= delta, the only
+	// ones that can re-fill the current bucket), and each vertex's
+	// heavy arcs are relaxed exactly once when its bucket closes —
+	// instead of every inner pass re-scanning them. The distances are
+	// byte-identical either way; what changes is the wasted
+	// re-relaxation volume, visible in Stats.HeavyRelaxed vs the
+	// repeated scans it replaces.
+	LightHeavy bool
+	// Schedule selects how each scatter pass's frontier chunks reach
+	// the workers: par.Static (the default) fixes one degree-balanced
+	// block per worker; par.Stealing over-decomposes the frontier and
+	// lets idle workers steal whole chunks from stragglers. Both
+	// schedules produce byte-identical distances.
+	Schedule par.Schedule
+	// ChunkFactor scales the Stealing schedule's chunks per worker;
+	// 0 means par.DefaultChunkFactor. Ignored under par.Static.
+	ChunkFactor int
 	// Pool, when non-nil, supplies the worker pool (its size overrides
 	// Workers). The caller keeps ownership; Parallel will not close it.
 	Pool *par.Pool
@@ -195,6 +217,20 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 	}
 	avoiding := opt.Variant == BranchAvoiding || opt.Variant == Hybrid
 
+	// The light/heavy split: arcs with weight < lightCut relax in the
+	// in-bucket passes, the rest wait for the one heavy pass at bucket
+	// close. Without the split every arc is "light". The cut stays in
+	// MaskLess64's domain (operands <= 2^62) and above any uint32
+	// weight when the split is off or delta already exceeds all
+	// weights — 2^33 does both.
+	const allLight = uint64(1) << 33
+	delta := uint64(1) << shift
+	split := opt.LightHeavy
+	lightCut := allLight
+	if split && delta < allLight-1 {
+		lightCut = delta + 1
+	}
+
 	// buckets[b] holds vertices pending relaxation whose distance fell
 	// into [b<<shift, (b+1)<<shift) when they improved. Entries go
 	// stale when a vertex improves again; staleness is filtered at pop
@@ -206,16 +242,194 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 	order := bucketHeap{0}
 
 	nw := pool.Workers()
+	chunkTarget := par.ChunkCount(nw, opt.Schedule, opt.ChunkFactor)
 	cands := make([][]candidate, nw)
 	candStores := make([]uint64, nw) // per-worker, merged at the barrier
 	frontier := make([]uint32, 0, 64)
 	// fronOffs is the frontier's private arc-count prefix array; feeding
-	// it to par.Partition degree-balances the scatter ranges exactly as
+	// it to par.Partition degree-balances the scatter chunks exactly as
 	// the whole-graph kernels balance vertex ranges.
 	fronOffs := make([]int64, 1, 65)
 	inFrontier := bitset.New(n)
 	changed := make([]uint32, 0, 64) // vertices improved this pass
 	changedBits := bitset.New(n)
+
+	// settled collects the current bucket's processed vertices for the
+	// heavy close pass; settledBits dedupes re-activations within the
+	// bucket (a vertex's heavy arcs relax once, at its final in-bucket
+	// distance).
+	var settled []uint32
+	var setOffs []int64
+	var settledBits *bitset.Set
+	if split {
+		settled = make([]uint32, 0, 64)
+		setOffs = make([]int64, 1, 65)
+		settledBits = bitset.New(n)
+	}
+
+	// relaxPass is one scatter + merge over verts (with its arc-count
+	// prefix vOffs): scatter the wanted weight class of every vert's
+	// arcs against the immutable distance array into per-worker
+	// candidate buffers, fold them in at the barrier, and re-bucket the
+	// improved set. Chunks are degree-balanced; under par.Stealing idle
+	// workers take whole chunks from stragglers (an RMAT hub's chunk
+	// can no longer stall the pass barrier behind it).
+	relaxPass := func(verts []uint32, vOffs []int64, heavy bool) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		scanned := vOffs[len(vOffs)-1]
+		chunks := par.Partition(vOffs, chunkTarget, 1)
+		cst := pool.RunChunks(chunks, opt.Schedule, func(t int, r par.Range) {
+			buf := cands[t]
+			stores := candStores[t]
+			if avoiding {
+				for _, v := range verts[r.Lo:r.Hi] {
+					dv := dist[v]
+					lo, hi := offs[v], offs[v+1]
+					// Room for the unconditional tail stores: every
+					// edge writes a slot, the mask decides whether
+					// the tail keeps it.
+					need := len(buf) + int(hi-lo)
+					if cap(buf) < need {
+						nb := make([]candidate, len(buf), need+need/2)
+						copy(nb, buf)
+						buf = nb
+					}
+					buf = buf[:need]
+					tail := need - int(hi-lo)
+					// The weight-class selection is per vertex and
+					// loop-invariant: without the split the inner loop
+					// is exactly the paper's op mix, with it the class
+					// test folds into the relaxation mask.
+					switch {
+					case !split:
+						for j := lo; j < hi; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u])
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+					case heavy:
+						for j := lo; j < hi; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u]) &^ core.MaskLess64(uint64(ws[j]), lightCut)
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+					default:
+						for j := lo; j < hi; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u]) & core.MaskLess64(uint64(ws[j]), lightCut)
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+					}
+					stores += uint64(hi - lo)
+					buf = buf[:tail]
+				}
+			} else {
+				for _, v := range verts[r.Lo:r.Hi] {
+					dv := dist[v]
+					switch {
+					case !split:
+						for j := offs[v]; j < offs[v+1]; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							if c < dist[u] {
+								buf = append(buf, candidate{u, c})
+								stores++
+							}
+						}
+					case heavy:
+						for j := offs[v]; j < offs[v+1]; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							if uint64(ws[j]) >= lightCut && c < dist[u] {
+								buf = append(buf, candidate{u, c})
+								stores++
+							}
+						}
+					default:
+						for j := offs[v]; j < offs[v+1]; j++ {
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							if uint64(ws[j]) < lightCut && c < dist[u] {
+								buf = append(buf, candidate{u, c})
+								stores++
+							}
+						}
+					}
+				}
+			}
+			cands[t] = buf
+			candStores[t] = stores
+		})
+		st.Chunks += cst.Chunks
+		st.Steals += cst.Steals
+		st.StealPasses += cst.StealPasses
+
+		// Merge at the barrier: fold candidates into the distance
+		// array (min), collect the improved set, re-bucket it by
+		// its final post-pass distances.
+		relaxed := uint64(0)
+		changed = changed[:0]
+		for t := range cands {
+			st.CandStores += candStores[t]
+			candStores[t] = 0
+			if avoiding {
+				for _, c := range cands[t] {
+					dv := dist[c.v]
+					m := core.MaskLess64(c.d, dv)
+					dist[c.v] = core.Select64(m, c.d, dv)
+					st.DistStores++
+					if m != 0 {
+						relaxed++
+						if !changedBits.TestAndSet(int(c.v)) {
+							changed = append(changed, c.v)
+						}
+					}
+				}
+			} else {
+				for _, c := range cands[t] {
+					if c.d < dist[c.v] {
+						dist[c.v] = c.d
+						st.DistStores++
+						relaxed++
+						if !changedBits.TestAndSet(int(c.v)) {
+							changed = append(changed, c.v)
+						}
+					}
+				}
+			}
+			cands[t] = cands[t][:0]
+		}
+		if heavy {
+			st.HeavyRelaxed += relaxed
+		} else {
+			st.LightRelaxed += relaxed
+		}
+		for _, v := range changed {
+			changedBits.Clear(int(v))
+			b := dist[v] >> shift
+			if _, live := buckets[b]; !live {
+				order.push(b)
+			}
+			buckets[b] = append(buckets[b], v)
+		}
+		st.PassDurations = append(st.PassDurations, time.Since(start))
+		st.PassChanges = append(st.PassChanges, len(changed))
+		st.Passes++
+		if opt.Variant == Hybrid && avoiding && scanned > 0 &&
+			float64(len(changed)) < threshold*float64(scanned) {
+			avoiding = false
+		}
+		return len(changed), nil
+	}
 
 	for len(buckets) > 0 {
 		// The lowest pending bucket; candidate distances never fall
@@ -246,111 +460,41 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 			for _, v := range frontier {
 				inFrontier.Clear(int(v))
 			}
-			scanned := fronOffs[len(fronOffs)-1]
+			if split {
+				for _, v := range frontier {
+					if !settledBits.TestAndSet(int(v)) {
+						settled = append(settled, v)
+					}
+				}
+			}
 
-			// Scatter: degree-balanced frontier ranges, candidates into
-			// private buffers. dist is read-only until the barrier.
-			if err := ctx.Err(); err != nil {
+			// In-bucket pass: light arcs only (they alone can re-fill
+			// the current bucket; without the split, all arcs).
+			if _, err := relaxPass(frontier, fronOffs, false); err != nil {
 				return dist, st, err
-			}
-			start := time.Now()
-			ranges := par.Partition(fronOffs, nw, 1)
-			pool.Run(len(ranges), func(t int) {
-				buf := cands[t][:0]
-				stores := uint64(0)
-				r := ranges[t]
-				if avoiding {
-					for _, v := range frontier[r.Lo:r.Hi] {
-						dv := dist[v]
-						lo, hi := offs[v], offs[v+1]
-						// Room for the unconditional tail stores: every
-						// edge writes a slot, the mask decides whether
-						// the tail keeps it.
-						need := len(buf) + int(hi-lo)
-						if cap(buf) < need {
-							nb := make([]candidate, len(buf), need+need/2)
-							copy(nb, buf)
-							buf = nb
-						}
-						buf = buf[:need]
-						tail := need - int(hi-lo)
-						for j := lo; j < hi; j++ {
-							u := adj[j]
-							c := dv + uint64(ws[j])
-							m := core.MaskLess64(c, dist[u])
-							buf[tail] = candidate{u, c}
-							tail += int(core.Bit64(m))
-						}
-						stores += uint64(hi - lo)
-						buf = buf[:tail]
-					}
-				} else {
-					for _, v := range frontier[r.Lo:r.Hi] {
-						dv := dist[v]
-						for j := offs[v]; j < offs[v+1]; j++ {
-							u := adj[j]
-							c := dv + uint64(ws[j])
-							if c < dist[u] {
-								buf = append(buf, candidate{u, c})
-								stores++
-							}
-						}
-					}
-				}
-				cands[t] = buf
-				candStores[t] = stores
-			})
-
-			// Merge at the barrier: fold candidates into the distance
-			// array (min), collect the improved set, re-bucket it by
-			// its final post-pass distances.
-			changed = changed[:0]
-			for t := range cands {
-				st.CandStores += candStores[t]
-				candStores[t] = 0
-				if avoiding {
-					for _, c := range cands[t] {
-						dv := dist[c.v]
-						m := core.MaskLess64(c.d, dv)
-						dist[c.v] = core.Select64(m, c.d, dv)
-						st.DistStores++
-						if m != 0 && !changedBits.TestAndSet(int(c.v)) {
-							changed = append(changed, c.v)
-						}
-					}
-				} else {
-					for _, c := range cands[t] {
-						if c.d < dist[c.v] {
-							dist[c.v] = c.d
-							st.DistStores++
-							if !changedBits.TestAndSet(int(c.v)) {
-								changed = append(changed, c.v)
-							}
-						}
-					}
-				}
-				cands[t] = cands[t][:0]
-			}
-			for _, v := range changed {
-				changedBits.Clear(int(v))
-				b := dist[v] >> shift
-				if _, live := buckets[b]; !live {
-					order.push(b)
-				}
-				buckets[b] = append(buckets[b], v)
-			}
-			st.PassDurations = append(st.PassDurations, time.Since(start))
-			st.PassChanges = append(st.PassChanges, len(changed))
-			st.Passes++
-			if opt.Variant == Hybrid && avoiding && scanned > 0 &&
-				float64(len(changed)) < threshold*float64(scanned) {
-				avoiding = false
 			}
 			// Improvements may have re-filled the current bucket
 			// (short edges); drain it before moving on.
 			if _, again := buckets[cur]; !again {
 				break
 			}
+		}
+
+		// Bucket close: the settled vertices' distances are final (heavy
+		// arcs reach strictly later buckets, later buckets never improve
+		// earlier ones), so each vertex's heavy arcs relax exactly once.
+		if split && len(settled) > 0 {
+			setOffs = setOffs[:1]
+			for _, v := range settled {
+				setOffs = append(setOffs, setOffs[len(setOffs)-1]+offs[v+1]-offs[v])
+			}
+			if _, err := relaxPass(settled, setOffs, true); err != nil {
+				return dist, st, err
+			}
+			for _, v := range settled {
+				settledBits.Clear(int(v))
+			}
+			settled = settled[:0]
 		}
 	}
 	return dist, st, nil

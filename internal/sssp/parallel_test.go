@@ -53,6 +53,59 @@ func TestParallelDeltaSweep(t *testing.T) {
 	}
 }
 
+// TestParallelLightHeavyMatchesDijkstra: the light/heavy split must
+// not change a single distance, for every variant, schedule, worker
+// count and bucket width — only the relaxation schedule moves.
+func TestParallelLightHeavyMatchesDijkstra(t *testing.T) {
+	testutil.ForEachWeighted(t, nil, func(t *testing.T, g *graph.Weighted) {
+		want := Dijkstra(g, 0)
+		for _, variant := range []Variant{BranchBased, BranchAvoiding, Hybrid} {
+			for _, sched := range []par.Schedule{par.Static, par.Stealing} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("%s/%v/w%d", variant, sched, workers)
+					dist, _, _ := Parallel(g, 0, ParallelOptions{
+						Workers: workers, Variant: variant,
+						LightHeavy: true, Schedule: sched,
+					})
+					testutil.MustEqualDists(t, name, dist, want)
+				}
+			}
+		}
+	})
+}
+
+// TestParallelLightHeavySplitsWork pins that the split actually
+// reroutes relaxations: with weights well above the bucket width, the
+// heavy pass must apply a non-trivial share of them, and the unsplit
+// run must count everything as light.
+func TestParallelLightHeavySplitsWork(t *testing.T) {
+	g := testutil.RandomWeighted(300, 1200, 100, 17)
+	want := Dijkstra(g, 0)
+	dist, split, _ := Parallel(g, 0, ParallelOptions{
+		Workers: 2, LightHeavy: true, Delta: 8,
+	})
+	testutil.MustEqualDists(t, "light-heavy delta=8", dist, want)
+	if split.HeavyRelaxed == 0 {
+		t.Fatal("no heavy relaxations despite weights far above delta")
+	}
+	if split.LightRelaxed == 0 {
+		t.Fatal("no light relaxations")
+	}
+	_, unsplit, _ := Parallel(g, 0, ParallelOptions{Workers: 2, Delta: 8})
+	if unsplit.HeavyRelaxed != 0 {
+		t.Fatalf("unsplit run counted %d heavy relaxations", unsplit.HeavyRelaxed)
+	}
+	if unsplit.LightRelaxed == 0 {
+		t.Fatal("unsplit run counted no relaxations")
+	}
+	// Deferring heavy arcs to one bucket-close pass must not do MORE
+	// relaxation work than re-scanning them every in-bucket pass.
+	if split.LightRelaxed+split.HeavyRelaxed > unsplit.LightRelaxed {
+		t.Fatalf("split applied %d+%d relaxations, unsplit %d",
+			split.LightRelaxed, split.HeavyRelaxed, unsplit.LightRelaxed)
+	}
+}
+
 // TestParallelNonZeroSourceAndBuffer covers non-zero sources and the
 // Dist reuse contract: a |V|-length buffer is aliased, anything else
 // allocates.

@@ -51,6 +51,19 @@ type Stats struct {
 	// Buckets counts delta-stepping bucket activations (zero for the
 	// sequential kernels).
 	Buckets int
+	// Chunks, Steals and StealPasses describe the parallel kernel's
+	// chunk scheduling across all passes (see par.ChunkStats). Chunks
+	// is zero only for the sequential kernels; Steals and StealPasses
+	// are also zero under par.Static.
+	Chunks      int
+	Steals      uint64
+	StealPasses uint64
+	// LightRelaxed and HeavyRelaxed count the relaxations the parallel
+	// kernel applied (distance improvements folded into the array)
+	// through light (weight <= delta) and heavy arcs. Without the
+	// light/heavy split every relaxation counts as light.
+	LightRelaxed uint64
+	HeavyRelaxed uint64
 }
 
 // Total returns the summed wall-clock time of all sweeps.

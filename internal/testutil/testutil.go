@@ -37,6 +37,28 @@ var WorkerCounts = []int{1, 2, 4, 8}
 // new axis.
 var DefaultSeeds = []uint64{1, 2}
 
+// Hub returns the forced-skew scheduling adversary: vertex 0 carries
+// its n-1 star arcs plus loops parallel self-loops, so it owns well
+// over half of all arcs (a simple undirected graph caps a vertex at
+// exactly half — the kept parallel self-loops push past it). Any
+// arc-balanced partition must hand one worker a block dominated by the
+// hub; a scheduler that cannot shed that block's remaining chunks
+// stalls every pass barrier. Self-loops are relaxation no-ops in every
+// kernel (a vertex never improves its own label, distance, or
+// frontier bit), so oracles are unaffected.
+func Hub(n, loops int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+loops)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(i)})
+	}
+	for i := 0; i < loops; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: 0})
+	}
+	return graph.MustBuild(n, edges, graph.Options{
+		Name: fmt.Sprintf("hub%d+%d", n, loops), KeepSelfLoops: true, KeepParallelEdges: true,
+	})
+}
+
 // Corpus returns the deterministic equivalence corpus for one seed.
 // The random members (RMAT, GNM, the disconnected composite) are
 // re-drawn per seed; the structural members are fixed shapes.
@@ -50,6 +72,7 @@ func Corpus(seed uint64) []*graph.Graph {
 		gen.GNM(500, 400, seed+300), // sparse: many components, BFS reaches a fragment
 		gen.Disconnected(gen.GNM(300, 900, seed+400), 4),
 		gen.Star(100),
+		Hub(192, 600), // one vertex owning >50% of arcs: the steal-schedule adversary
 		gen.Path(257),
 		graph.MustBuild(1, nil, graph.Options{Name: "single"}),
 		graph.MustBuild(0, nil, graph.Options{Name: "empty"}),
@@ -117,6 +140,7 @@ func WeightedCorpus(tb testing.TB, seed uint64) []*graph.Weighted {
 		AttachHashWeights(tb, gen.RMAT(9, 6, gen.DefaultRMAT, seed+400), 20, seed+400),
 		AttachHashWeights(tb, gen.BarabasiAlbert(150, 3, seed+500), 50, seed+500),
 		AttachHashWeights(tb, gen.Disconnected(gen.GNM(120, 300, seed+600), 3), 9, seed+600),
+		AttachHashWeights(tb, Hub(192, 600), 50, seed+700),
 		graph.MustBuildWeighted(4, []graph.WeightedEdge{
 			{U: 0, V: 1, W: 10}, {U: 0, V: 2, W: 1}, {U: 2, V: 1, W: 1},
 		}, false, "shortcut"),

@@ -84,6 +84,57 @@ type Target interface {
 	NumVertices() int
 }
 
+// Schedule selects how a parallel kernel's passes distribute work
+// across the pool.
+type Schedule int
+
+const (
+	// ScheduleStatic partitions each pass once at launch into one
+	// arc-balanced block per worker — no scheduling traffic during the
+	// pass, but a straggler block stalls the pass barrier on skewed
+	// work (an RMAT hub, a sparse late-level frontier).
+	ScheduleStatic Schedule = iota
+	// ScheduleStealing over-decomposes each pass into arc-balanced
+	// chunks (Request.ChunkFactor per worker); an idle worker steals
+	// whole chunks from the most-loaded straggler through one atomic
+	// fetch per chunk. The per-edge inner loops are untouched — results
+	// are byte-identical to ScheduleStatic.
+	ScheduleStealing
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleStealing:
+		return "steal"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// ParseSchedule resolves the schedule names the CLIs and the daemon
+// expose: "static" and "steal" (or "stealing").
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "static":
+		return ScheduleStatic, nil
+	case "steal", "stealing":
+		return ScheduleStealing, nil
+	default:
+		return ScheduleStatic, fmt.Errorf("bagraph: unknown schedule %q (want static or steal)", s)
+	}
+}
+
+// par converts to the engine's schedule enum.
+func (s Schedule) par() par.Schedule {
+	if s == ScheduleStealing {
+		return par.Stealing
+	}
+	return par.Static
+}
+
 // Request describes one kernel execution. The zero value runs the
 // sequential branch-based connected-components kernel; set Kind, the
 // matching algorithm field, and the source vertices as needed.
@@ -115,6 +166,19 @@ type Request struct {
 	// SSSP kernel; 0 picks the kernel default. Long-lived callers cache
 	// it per graph to skip the per-query weight sweep.
 	Delta uint64
+	// LightHeavy enables the Meyer & Sanders light/heavy edge split in
+	// the parallel SSSP kernel: in-bucket passes relax only light arcs
+	// (weight <= delta) and each vertex's heavy arcs relax once at
+	// bucket close. Distances are byte-identical either way; ignored by
+	// every other kind.
+	LightHeavy bool
+	// Schedule selects static or work-stealing chunk scheduling for the
+	// parallel kernels (results are byte-identical; see the Schedule
+	// constants). Ignored by sequential kernels.
+	Schedule Schedule
+	// ChunkFactor scales ScheduleStealing's chunks per worker; 0 means
+	// the engine default. Ignored under ScheduleStatic.
+	ChunkFactor int
 	// Workspace, when non-nil, supplies (and collects) the reusable
 	// buffers of the request kind. Results alias workspace buffers, so
 	// a later Run with the same workspace overwrites them; a workspace
@@ -178,6 +242,18 @@ type Stats struct {
 	CandStores uint64
 	// Buckets counts delta-stepping bucket activations (parallel SSSP).
 	Buckets int
+	// Chunks counts scheduler chunks executed across all passes of a
+	// parallel kernel, under either schedule (zero only for sequential
+	// kernels); Steals counts the chunks run by a worker that did not
+	// own them, and StealPasses the victim-selection scans behind
+	// those steals — both necessarily zero under ScheduleStatic.
+	Chunks      int
+	Steals      uint64
+	StealPasses uint64
+	// LightRelaxed and HeavyRelaxed split the parallel SSSP kernel's
+	// applied relaxations by arc class (weight <= delta vs above);
+	// without Request.LightHeavy everything counts as light.
+	LightRelaxed, HeavyRelaxed uint64
 }
 
 // Total returns the summed wall-clock time of all passes.
@@ -312,12 +388,14 @@ func runCCRequest(ctx context.Context, g *Graph, req Request, pool *par.Pool) (*
 			labelsBuf, scratchBuf = ws.Labels, ws.Scratch
 		}
 		labels, st, err := cc.SVParallel(g, cc.ParallelOptions{
-			Ctx:     ctx,
-			Workers: req.Workers,
-			Pool:    pool,
-			Variant: variant,
-			Labels:  labelsBuf,
-			Scratch: scratchBuf,
+			Ctx:         ctx,
+			Workers:     req.Workers,
+			Pool:        pool,
+			Variant:     variant,
+			Schedule:    req.Schedule.par(),
+			ChunkFactor: req.ChunkFactor,
+			Labels:      labelsBuf,
+			Scratch:     scratchBuf,
 		})
 		return &Result{Labels: labels, Stats: statsFromCC(st)}, err
 	}
@@ -366,10 +444,12 @@ func runBFSRequest(ctx context.Context, g *Graph, req Request, pool *par.Pool) (
 			distBuf = ws.Hops
 		}
 		dist, st, err := bfs.ParallelDO(g, req.Root, bfs.ParallelOptions{
-			Ctx:     ctx,
-			Workers: req.Workers,
-			Pool:    pool,
-			Dist:    distBuf,
+			Ctx:         ctx,
+			Workers:     req.Workers,
+			Pool:        pool,
+			Schedule:    req.Schedule.par(),
+			ChunkFactor: req.ChunkFactor,
+			Dist:        distBuf,
 		})
 		return &Result{Hops: dist, Stats: statsFromBFS(st)}, err
 	}
@@ -413,10 +493,12 @@ func runBFSBatchRequest(ctx context.Context, g *Graph, req Request, pool *par.Po
 		distsBuf = ws.HopsBatch
 	}
 	dists, st, err := bfs.MultiSource(g, req.Roots, bfs.MultiSourceOptions{
-		Ctx:     ctx,
-		Workers: req.Workers,
-		Pool:    pool,
-		Dists:   distsBuf,
+		Ctx:         ctx,
+		Workers:     req.Workers,
+		Pool:        pool,
+		Schedule:    req.Schedule.par(),
+		ChunkFactor: req.ChunkFactor,
+		Dists:       distsBuf,
 	})
 	if ws != nil {
 		ws.HopsBatch = dists
@@ -445,12 +527,15 @@ func runSSSPRequest(ctx context.Context, g *WeightedGraph, req Request, pool *pa
 			return nil, verr
 		}
 		dist, st, err = sssp.Parallel(g, req.Root, sssp.ParallelOptions{
-			Ctx:     ctx,
-			Workers: req.Workers,
-			Pool:    pool,
-			Variant: variant,
-			Delta:   req.Delta,
-			Dist:    distBuf,
+			Ctx:         ctx,
+			Workers:     req.Workers,
+			Pool:        pool,
+			Variant:     variant,
+			Delta:       req.Delta,
+			LightHeavy:  req.LightHeavy,
+			Schedule:    req.Schedule.par(),
+			ChunkFactor: req.ChunkFactor,
+			Dist:        distBuf,
 		})
 	} else {
 		switch req.SSSP {
@@ -479,6 +564,9 @@ func statsFromCC(st cc.Stats) Stats {
 		PassDurations: st.IterDurations,
 		PassChanges:   st.IterChanges,
 		LabelStores:   st.LabelStores,
+		Chunks:        st.Chunks,
+		Steals:        st.Steals,
+		StealPasses:   st.StealPasses,
 	}
 }
 
@@ -493,6 +581,9 @@ func statsFromBFS(st bfs.Stats) Stats {
 		Reached:        st.Reached,
 		DistStores:     st.DistStores,
 		QueueStores:    st.QueueStores,
+		Chunks:         st.Chunks,
+		Steals:         st.Steals,
+		StealPasses:    st.StealPasses,
 	}
 }
 
@@ -504,6 +595,9 @@ func statsFromMulti(st bfs.MultiStats) Stats {
 		Waves:         st.Waves,
 		Reached:       st.Reached,
 		DistStores:    st.DistStores,
+		Chunks:        st.Chunks,
+		Steals:        st.Steals,
+		StealPasses:   st.StealPasses,
 	}
 }
 
@@ -516,6 +610,11 @@ func statsFromSSSP(st sssp.Stats) Stats {
 		DistStores:    st.DistStores,
 		CandStores:    st.CandStores,
 		Buckets:       st.Buckets,
+		Chunks:        st.Chunks,
+		Steals:        st.Steals,
+		StealPasses:   st.StealPasses,
+		LightRelaxed:  st.LightRelaxed,
+		HeavyRelaxed:  st.HeavyRelaxed,
 	}
 }
 

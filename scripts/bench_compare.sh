@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# bench_compare.sh OLD.json NEW.json — diff two benchmark artifacts.
+#
+# The CI bench smoke emits its benchmarks as a test2json event stream
+# (BENCH_pr*.json). This script extracts the "Benchmark... N ns/op"
+# result lines from two such artifacts and prints a per-benchmark
+# comparison: old ns/op, new ns/op, delta.
+#
+# REPORT-ONLY by design: it always exits 0 on a successful parse and
+# never asserts that anything got faster. CI containers may expose a
+# single CPU and share hardware with other jobs, so cross-run timings
+# are a trajectory record, not a gate (see ROADMAP). A missing
+# baseline file is also fine — fresh checkouts have no prior artifact
+# — and reports the new artifact's benchmarks on their own.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+
+if [ ! -f "$new" ]; then
+    echo "bench_compare: new artifact $new not found" >&2
+    exit 2
+fi
+
+# extract FILE — print "name ns_per_op" for every benchmark result
+# carried by the stream's output events. test2json may emit the
+# benchmark name and its result numbers as separate events, so the
+# name comes from the event's Test field, not the output text.
+extract() {
+    # grep exits 1 on zero matches; an artifact with no benchmark
+    # lines must yield an empty extraction, not abort the report.
+    { grep '"Action":"output"' "$1" | grep 'ns/op' || true; } |
+        sed -n 's/.*"Test":"\(Benchmark[^"]*\)".*"Output":"\([^"]*\)".*/\1 \2/p' |
+        awk '{
+            gsub(/\\[tn]/, " ")
+            ns = ""
+            for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+            if (ns != "") print $1, ns
+        }'
+}
+
+if [ ! -f "$old" ]; then
+    echo "bench_compare: no baseline at $old — skipping comparison, listing $new only"
+    extract "$new" | awk '{printf "  %-64s %14.0f ns/op\n", $1, $2}'
+    exit 0
+fi
+
+echo "bench_compare: $old -> $new (report-only, never a gate)"
+{
+    extract "$old" | sed 's/^/old /'
+    extract "$new" | sed 's/^/new /'
+} | awk '
+    $1 == "old" { oldns[$2] = $3 }
+    $1 == "new" { newns[$2] = $3; order[n++] = $2 }
+    END {
+        printf "  %-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        for (i = 0; i < n; i++) {
+            name = order[i]
+            if (name in oldns && oldns[name] > 0) {
+                d = (newns[name] - oldns[name]) / oldns[name] * 100
+                printf "  %-64s %14.0f %14.0f %8.1f%%\n", name, oldns[name], newns[name], d
+            } else {
+                printf "  %-64s %14s %14.0f %9s\n", name, "-", newns[name], "new"
+            }
+        }
+        for (name in oldns) if (!(name in newns))
+            printf "  %-64s %14.0f %14s %9s\n", name, oldns[name], "-", "gone"
+    }'
