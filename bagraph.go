@@ -466,6 +466,9 @@ type ExperimentOptions struct {
 	Seed      uint64
 	Graphs    []string
 	Platforms []string
+	// Workers parallelizes the graph×platform sweep cells; < 1 means
+	// GOMAXPROCS. Output is identical at any width.
+	Workers int
 }
 
 // RunExperiment regenerates one named exhibit ("table1", "fig3", "all",
@@ -476,5 +479,6 @@ func RunExperiment(name string, w io.Writer, opt ExperimentOptions) error {
 		Seed:      opt.Seed,
 		Graphs:    opt.Graphs,
 		Platforms: opt.Platforms,
+		Workers:   opt.Workers,
 	})
 }

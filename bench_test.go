@@ -30,6 +30,7 @@ import (
 	"bagraph/internal/graph"
 	"bagraph/internal/par"
 	"bagraph/internal/perfsim"
+	"bagraph/internal/relabel"
 	"bagraph/internal/simkern"
 	"bagraph/internal/sssp"
 	"bagraph/internal/uarch"
@@ -399,7 +400,8 @@ func stealWorkers() int {
 // Speedup (and the steals/op, chunks/op metrics showing the steal path
 // is actually exercised) is reported, never asserted: CI containers
 // may expose a single CPU.
-func BenchmarkStealVsStatic(b *testing.B) {
+func benchHubRMAT(b *testing.B) *graph.Graph {
+	b.Helper()
 	base := benchRMAT(b)
 	n := base.NumVertices()
 	adj := base.Adjacency()
@@ -425,6 +427,11 @@ func BenchmarkStealVsStatic(b *testing.B) {
 	if hub := g.Degree(0); int64(hub)*2 <= g.NumArcs() {
 		b.Fatalf("hub owns %d of %d arcs — not a majority", hub, g.NumArcs())
 	}
+	return g
+}
+
+func BenchmarkStealVsStatic(b *testing.B) {
+	g := benchHubRMAT(b)
 	workers := stealWorkers()
 	for _, sched := range []par.Schedule{par.Static, par.Stealing} {
 		pool := par.NewPool(workers)
@@ -461,6 +468,62 @@ func BenchmarkStealVsStatic(b *testing.B) {
 			reportEdges(b, g.NumArcs())
 		})
 		pool.Close()
+	}
+}
+
+// BenchmarkRelabelSpeedup pairs each kernel on the same skewed graph in
+// two memory layouts: a shuffled layout (what bagen -shuffle writes —
+// vertex ids carry no locality) and the degree-ordered layout
+// RelabelDegree produces, which clusters the hub and its satellites into
+// the low vertex ids. The words/op metric is Stats.WordsScanned — how
+// many frontier-bitset words the succinct bottom-up and multi-source
+// sweeps actually loaded — a locality measure that stays stable when CI
+// wall clocks are noisy. Speedup is reported, never asserted.
+func BenchmarkRelabelSpeedup(b *testing.B) {
+	skew := benchHubRMAT(b)
+	shuf, err := skew.Permute(relabel.Shuffle(skew.NumVertices(), 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rl, err := RelabelDegree(shuf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := make([]uint32, 64)
+	for i := range roots {
+		roots[i] = uint32(i)
+	}
+	pool := NewWorkerPool(stealWorkers())
+	defer pool.Close()
+	layouts := []struct {
+		name string
+		tgt  Target
+	}{{"identity", shuf}, {"degree", rl}}
+	for _, kern := range []struct {
+		name string
+		req  Request
+	}{
+		{"bfs", Request{Kind: KindBFS, Parallel: true}},
+		{"msbfs", Request{Kind: KindBFSBatch, Roots: roots}},
+		{"cc", Request{Kind: KindCC, Parallel: true}},
+	} {
+		for _, l := range layouts {
+			b.Run(kern.name+"/"+l.name, func(b *testing.B) {
+				ws := &Workspace{}
+				req := kern.req
+				req.Workspace = ws
+				var words uint64
+				for i := 0; i < b.N; i++ {
+					res, err := pool.Run(context.Background(), l.tgt, req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					words += res.Stats.WordsScanned
+				}
+				b.ReportMetric(float64(words)/float64(b.N), "words/op")
+				reportEdges(b, shuf.NumArcs())
+			})
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 	variant := flag.String("variant", "ba", "kernel: bb | ba | dir-opt | par-do | ms")
 	workers := flag.Int("workers", 0, "workers for par-do/ms (0 = GOMAXPROCS)")
 	schedule := flag.String("schedule", "static", "chunk schedule for par-do/ms: static | steal")
+	relabelOn := flag.Bool("relabel", false, "run on a degree-ordered copy (results stay in original ids)")
 	flag.Parse()
 
 	sched, err := bagraph.ParseSchedule(*schedule)
@@ -65,8 +66,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var tgt bagraph.Target = g
+	if *relabelOn {
+		rl, err := bagraph.RelabelDegree(g)
+		if err != nil {
+			fail(err)
+		}
+		tgt = rl
+	}
 	if *variant == "ms" {
-		runMultiSource(ctx, g, *roots, uint32(*root), *workers, sched)
+		runMultiSource(ctx, g, tgt, *roots, uint32(*root), *workers, sched)
 		return
 	}
 	if *roots != "" {
@@ -80,7 +89,7 @@ func main() {
 	req.Schedule = sched
 	fmt.Printf("graph: %s, root %d\n", g, *root)
 
-	res, err := bagraph.Run(ctx, g, req)
+	res, err := bagraph.Run(ctx, tgt, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			if res != nil {
@@ -115,7 +124,7 @@ func main() {
 // through the facade, verifies every member against the BFS
 // invariants, and prints the per-root reach alongside the shared-sweep
 // economics.
-func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, root uint32, workers int, sched bagraph.Schedule) {
+func runMultiSource(ctx context.Context, g *bagraph.Graph, tgt bagraph.Target, rootsFlag string, root uint32, workers int, sched bagraph.Schedule) {
 	var srcs []uint32
 	if rootsFlag == "" {
 		srcs = []uint32{root}
@@ -130,7 +139,7 @@ func runMultiSource(ctx context.Context, g *bagraph.Graph, rootsFlag string, roo
 	}
 	fmt.Printf("graph: %s, %d sources\n", g, len(srcs))
 
-	res, err := bagraph.Run(ctx, g, bagraph.Request{
+	res, err := bagraph.Run(ctx, tgt, bagraph.Request{
 		Kind: bagraph.KindBFSBatch, Roots: srcs, Workers: workers, Schedule: sched,
 	})
 	if err != nil {

@@ -35,6 +35,7 @@ func main() {
 	top := flag.Int("top", 5, "print the N largest components")
 	workers := flag.Int("workers", 0, "workers for par-* kernels (0 = GOMAXPROCS)")
 	schedule := flag.String("schedule", "static", "chunk schedule for par-* kernels: static | steal")
+	relabelOn := flag.Bool("relabel", false, "run on a degree-ordered copy (results stay in original ids)")
 	flag.Parse()
 
 	sched, err := bagraph.ParseSchedule(*schedule)
@@ -60,6 +61,14 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("graph: %s\n", g)
+	var tgt bagraph.Target = g
+	if *relabelOn {
+		rl, err := bagraph.RelabelDegree(g)
+		if err != nil {
+			fail(err)
+		}
+		tgt = rl
+	}
 
 	req, err := algoreq.CC(*algo)
 	if err != nil {
@@ -67,7 +76,7 @@ func main() {
 	}
 	req.Workers = *workers
 	req.Schedule = sched
-	res, err := bagraph.Run(ctx, g, req)
+	res, err := bagraph.Run(ctx, tgt, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			if res != nil {

@@ -50,6 +50,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	graphs := flag.String("graphs", "", "comma-separated corpus subset (default: all five)")
 	platforms := flag.String("platforms", "", "comma-separated platform subset (default: all seven)")
+	workers := flag.Int("workers", 0, "parallel sweep cells (0 = GOMAXPROCS); output is identical at any width")
 	list := flag.Bool("list", false, "list experiments, graphs and platforms, then exit")
 	flag.Parse()
 
@@ -60,7 +61,7 @@ func main() {
 		return
 	}
 
-	opt := bagraph.ExperimentOptions{Scale: *scale, Seed: *seed}
+	opt := bagraph.ExperimentOptions{Scale: *scale, Seed: *seed, Workers: *workers}
 	if *graphs != "" {
 		opt.Graphs = strings.Split(*graphs, ",")
 	}

@@ -8,8 +8,12 @@
 //	bagen -kind grid3d -n 64000 -radius 1 -out mesh.graph
 //	bagen -kind corpus -name ldoor -corpusscale 0.05 -out ldoor-small.graph
 //	bagen -kind ba -n 20000 -wmax 9 -out weighted.graph
+//	bagen -kind rmat -scale 14 -shuffle -out rmat14-shuffled.graph
 //
-// Every generator is deterministic given -seed. A positive -wmax
+// Every generator is deterministic given -seed. -shuffle randomly
+// permutes the vertex ids before writing (also seed-deterministic) —
+// the adversarial no-locality layout for exercising -relabel and the
+// memory-layout benchmarks. A positive -wmax
 // attaches deterministic per-edge weights in [1, wmax] (hashed from the
 // endpoints and the seed, so symmetric and reproducible) and writes the
 // edge-weighted METIS format the weighted SSSP kernels consume.
@@ -25,6 +29,7 @@ import (
 	"bagraph/internal/gen"
 	"bagraph/internal/graph"
 	"bagraph/internal/metis"
+	"bagraph/internal/relabel"
 	"bagraph/internal/xrand"
 )
 
@@ -46,6 +51,8 @@ func main() {
 	name := flag.String("name", "cond-mat-2005", "corpus dataset name (corpus)")
 	corpusScale := flag.Float64("corpusscale", 0.01, "corpus scale in (0,1] (corpus)")
 	wmax := flag.Uint("wmax", 0, "attach per-edge weights in [1, wmax] and write weighted METIS (0 = unweighted)")
+	shuffle := flag.Bool("shuffle", false,
+		"randomly permute vertex ids before writing (deterministic from -seed); adversarial input for layout benchmarks")
 	flag.Parse()
 
 	g, err := build(*kind, params{
@@ -56,6 +63,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bagen:", err)
 		os.Exit(1)
+	}
+	if *shuffle {
+		// Shuffle before weight attachment: -wmax weights are hashed
+		// from the ids as written, so the output is fully determined by
+		// the flags either way.
+		g, err = g.Permute(relabel.Shuffle(g.NumVertices(), *seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bagen:", err)
+			os.Exit(1)
+		}
 	}
 
 	w := os.Stdout

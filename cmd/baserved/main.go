@@ -77,6 +77,8 @@ func main() {
 		"per-query deadline; kernels stop at their next pass barrier and the query answers 504 (0 = none)")
 	schedule := flag.String("schedule", "static",
 		"chunk schedule for the dispatched parallel kernels: static | steal")
+	relabelOn := flag.Bool("relabel", false,
+		"store graphs degree-ordered (hub clustering); queries and results keep original vertex ids")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown limit")
 	flag.Parse()
 
@@ -93,6 +95,7 @@ func main() {
 	}
 
 	reg := serve.NewRegistry()
+	reg.SetRelabel(*relabelOn)
 	for _, gf := range graphs {
 		e, err := reg.LoadMETISFile(gf.name, gf.path)
 		if err != nil {

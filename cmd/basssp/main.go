@@ -43,6 +43,7 @@ func main() {
 	schedule := flag.String("schedule", "static", "chunk schedule for par-* kernels: static | steal")
 	lightHeavy := flag.Bool("lightheavy", false,
 		"split relaxation by edge class: light (weight <= delta) in-bucket, heavy once at bucket close")
+	relabelOn := flag.Bool("relabel", false, "run on a degree-ordered copy (results stay in original ids)")
 	flag.Parse()
 
 	sched, err := bagraph.ParseSchedule(*schedule)
@@ -71,6 +72,14 @@ func main() {
 		kind = "explicit"
 	}
 	fmt.Printf("graph: %s (%s weights), root %d\n", g.Graph, kind, *root)
+	var tgt bagraph.Target = g.Weighted
+	if *relabelOn {
+		rl, err := bagraph.RelabelDegree(g.Weighted)
+		if err != nil {
+			fail(err)
+		}
+		tgt = rl
+	}
 
 	src := uint32(*root)
 	req, err := algoreq.SSSP(*algo, src, *delta)
@@ -80,7 +89,7 @@ func main() {
 	req.Workers = *workers
 	req.Schedule = sched
 	req.LightHeavy = *lightHeavy
-	res, err := bagraph.Run(ctx, g.Weighted, req)
+	res, err := bagraph.Run(ctx, tgt, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			switch {

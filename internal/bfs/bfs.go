@@ -61,6 +61,12 @@ type Stats struct {
 	Chunks      int
 	Steals      uint64
 	StealPasses uint64
+	// BUWordsScanned counts the 64-bit unvisited-bitset words the
+	// parallel bottom-up sweeps loaded — the frontier-locality proxy.
+	// Degree-ordered relabeling concentrates unvisited survivors into
+	// few words, so this drops when the layout helps; zero for kernels
+	// without succinct sweeps.
+	BUWordsScanned uint64
 }
 
 // Total returns the summed wall-clock time of all levels.

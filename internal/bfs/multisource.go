@@ -22,15 +22,20 @@ package bfs
 // degree-balanced vertex ranges and write only seen[v] / next[v] /
 // dist[·][v] for their own vertices, reading the previous level's
 // frontier masks immutably — no atomics, the level barrier is the only
-// synchronization. (Masks are word-per-vertex, so ranges need no
-// 64-alignment.) Batches larger than 64 sources run in ceil(k/64)
-// waves over reused mask arrays.
+// synchronization. Sweeps iterate a succinct "active" bitset (vertices
+// not yet seen by every search in the wave) through its rank directory
+// instead of visiting all |V| masks: once a vertex saturates, its bit is
+// cleared by the owning worker (ranges are 64-aligned, so clears are
+// race-free) and late levels skip whole 512-bit blocks of saturated
+// vertices. Batches larger than 64 sources run in ceil(k/64) waves over
+// reused mask arrays.
 
 import (
 	"context"
 	"math/bits"
 	"time"
 
+	"bagraph/internal/bitset"
 	"bagraph/internal/graph"
 	"bagraph/internal/par"
 )
@@ -90,6 +95,10 @@ type MultiStats struct {
 	Chunks      int
 	Steals      uint64
 	StealPasses uint64
+	// WordsScanned counts the 64-bit active-bitset words the shared
+	// sweeps loaded — the frontier-locality proxy (see
+	// Stats.BUWordsScanned).
+	WordsScanned uint64
 }
 
 // Total returns the summed wall-clock time of all level sweeps.
@@ -103,9 +112,10 @@ func (s MultiStats) Total() time.Duration {
 
 // msWorker accumulates one worker's contribution to a level sweep.
 type msWorker struct {
-	advanced   uint64 // OR of all newly-set masks: zero means the wave ended
-	reached    int
-	distStores uint64
+	advanced     uint64 // OR of all newly-set masks: zero means the wave ended
+	reached      int
+	distStores   uint64
+	wordsScanned uint64 // active-bitset words loaded
 }
 
 // MultiSource runs BFS from every root through shared bottom-up mask
@@ -145,13 +155,19 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 	}
 	adj := g.Adjacency()
 	offs := g.Offsets()
-	// Mask arrays are word-per-vertex, so chunks need no 64-alignment.
-	vchunks := par.Partition(offs, par.ChunkCount(pool.Workers(), opt.Schedule, opt.ChunkFactor), 1)
+	// 64-aligned chunks: each worker owns whole words of the active
+	// bitset, making the saturation clears below race-free.
+	vchunks := par.Partition(offs, par.ChunkCount(pool.Workers(), opt.Schedule, opt.ChunkFactor), 64)
 	acc := make([]msWorker, pool.Workers())
 
 	seen := make([]uint64, n)
 	frontier := make([]uint64, n)
 	next := make([]uint64, n)
+	// active holds the vertices some search in the wave has not yet
+	// reached (seen[v] != waveFull). It only shrinks within a wave, so a
+	// stale rank directory is safe; the directory is rebuilt at every
+	// sweep barrier and the set refilled per wave.
+	active := bitset.New(n)
 
 	for lo := 0; lo < k; lo += msWave {
 		hi := lo + msWave
@@ -159,6 +175,10 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 			hi = k
 		}
 		wave := roots[lo:hi]
+		waveFull := ^uint64(0)
+		if width := hi - lo; width < msWave {
+			waveFull = 1<<uint(width) - 1
+		}
 		st.Waves++
 		if st.Waves > 1 {
 			for i := range seen {
@@ -166,6 +186,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 				frontier[i] = 0
 			}
 		}
+		active.SetAll()
 		for i, r := range wave {
 			bit := uint64(1) << uint(i)
 			seen[r] |= bit
@@ -180,9 +201,19 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 				return dists, st, err
 			}
 			start := time.Now()
+			// Skipped (saturated) vertices no longer write next[v], so the
+			// swapped-in array must read zero for them.
+			clear(next)
+			active.BuildRank()
 			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
 				a := &acc[t]
-				for v := r.Lo; v < r.Hi; v++ {
+				// The final probe (v == -1) also loaded words before
+				// giving up; count it so the metric reflects real work.
+				for v, w := active.NextSetIn(r.Lo, r.Hi); ; v, w = active.NextSetIn(v+1, r.Hi) {
+					a.wordsScanned += uint64(w)
+					if v == -1 {
+						break
+					}
 					sv := seen[v]
 					acquired := uint64(0)
 					for _, u := range adj[offs[v]:offs[v+1]] {
@@ -190,7 +221,11 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 					}
 					fresh := acquired &^ sv
 					next[v] = fresh
-					seen[v] = sv | fresh
+					sv |= fresh
+					seen[v] = sv
+					if sv == waveFull {
+						active.Clear(v)
+					}
 					if fresh != 0 {
 						a.advanced |= fresh
 						dv := level
@@ -211,6 +246,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 				advanced |= acc[t].advanced
 				st.Reached += acc[t].reached
 				st.DistStores += acc[t].distStores
+				st.WordsScanned += acc[t].wordsScanned
 				acc[t] = msWorker{}
 			}
 			frontier, next = next, frontier

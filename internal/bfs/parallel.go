@@ -16,7 +16,12 @@ package bfs
 //   - Bottom-up levels partition the *vertex set* by degree-balanced
 //     ranges with 64-aligned boundaries, so each worker owns whole words
 //     of the next-frontier bitset and writes distances only inside its
-//     range: no atomics at all. The frontier membership probe — the
+//     range: no atomics at all. Candidate vertices come from a succinct
+//     unvisited bitset iterated through its rank directory
+//     (bitset.NextSetIn), so sweeps skip 512-bit blocks with no
+//     undiscovered vertices instead of testing dist[v] for every v —
+//     the win degree-ordered relabeling amplifies by packing survivors
+//     into few words. The frontier membership probe — the
 //     unpredictable branch the paper's §5 measures — is computed
 //     branch-avoidingly by accumulating raw frontier bits (bitset.Bit)
 //     into a found mask. The scan exits once found is set: that exit
@@ -72,11 +77,12 @@ type ParallelOptions struct {
 // perWorkerLevel accumulates one worker's contribution to a level,
 // merged at the level barrier.
 type perWorkerLevel struct {
-	next        []uint32 // next-frontier queue (top-down)
-	count       int      // next-frontier size (bottom-up)
-	volume      int64    // arc volume of the produced frontier
-	distStores  uint64
-	queueStores uint64
+	next         []uint32 // next-frontier queue (top-down)
+	count        int      // next-frontier size (bottom-up)
+	volume       int64    // arc volume of the produced frontier
+	distStores   uint64
+	queueStores  uint64
+	wordsScanned uint64 // unvisited-bitset words loaded (bottom-up)
 }
 
 // ParallelDO runs direction-optimizing BFS from root across workers and
@@ -126,6 +132,16 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 	frontierBits := bitset.New(n)
 	nextBits := bitset.New(n)
 	bitsValid := false // whether frontierBits mirrors frontier
+	// unvisited tracks dist[v] == Inf for the bottom-up sweeps, which
+	// iterate it via the rank directory instead of scanning every vertex.
+	// Workers own whole words (64-aligned chunks) and Clear their own
+	// discoveries, so across consecutive bottom-up levels the set only
+	// shrinks — exactly the staleness the directory contract permits; the
+	// directory itself is refreshed at each level barrier. Top-down levels
+	// discover via CAS outside any ownership discipline, so the set goes
+	// stale and is rebuilt from dist on the next bottom-up entry.
+	unvisited := bitset.New(n)
+	unvisitedValid := false
 	volume := int64(offs[root+1] - offs[root])
 	dist[root] = 0
 	st.DistStores++
@@ -154,15 +170,27 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				}
 			}
 			nextBits.Reset()
+			if !unvisitedValid {
+				unvisited.Reset()
+				for v := 0; v < n; v++ {
+					if dist[v] == Inf {
+						unvisited.Set(v)
+					}
+				}
+			}
+			unvisited.BuildRank()
 			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
 				a := &acc[t]
-				for v := r.Lo; v < r.Hi; v++ {
-					if dist[v] != Inf {
-						continue
+				// The final probe (v == -1) also loaded words before
+				// giving up; count it so the metric reflects real work.
+				for v, w := unvisited.NextSetIn(r.Lo, r.Hi); ; v, w = unvisited.NextSetIn(v+1, r.Hi) {
+					a.wordsScanned += uint64(w)
+					if v == -1 {
+						break
 					}
 					found := uint32(0)
-					for _, w := range adj[offs[v]:offs[v+1]] {
-						found |= frontierBits.Bit(int(w))
+					for _, u := range adj[offs[v]:offs[v+1]] {
+						found |= frontierBits.Bit(int(u))
 						if found != 0 {
 							break
 						}
@@ -172,11 +200,13 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 						a.distStores++
 						nextBits.Set(v)
 						a.queueStores++
+						unvisited.Clear(v)
 						a.count++
 						a.volume += int64(offs[v+1] - offs[v])
 					}
 				}
 			})
+			unvisitedValid = true
 			st.Chunks += cst.Chunks
 			st.Steals += cst.Steals
 			st.StealPasses += cst.StealPasses
@@ -187,6 +217,7 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				volume += acc[t].volume
 				st.DistStores += acc[t].distStores
 				st.QueueStores += acc[t].queueStores
+				st.BUWordsScanned += acc[t].wordsScanned
 				acc[t] = perWorkerLevel{}
 			}
 			frontierBits, nextBits = nextBits, frontierBits
@@ -234,6 +265,7 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				acc[t] = perWorkerLevel{}
 			}
 			bitsValid = false
+			unvisitedValid = false
 		}
 		level++
 		st.Levels++

@@ -137,6 +137,10 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 	// Change counts, accumulated across a worker's chunks and merged at
 	// the barrier. A worker runs its chunks serially, so no atomics.
 	perWorker := make([]int, pool.Workers())
+	// sink publishes each worker's lookahead accumulator (see the
+	// prefetch comment below) so the early loads stay live; written once
+	// per chunk, never read.
+	sink := make([]uint32, pool.Workers())
 
 	threshold := opt.ChangeFraction
 	if threshold == 0 {
@@ -154,10 +158,25 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 		if avoiding {
 			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {
 				changed := 0
+				pf := uint32(0)
 				for v := r.Lo; v < r.Hi; v++ {
 					cv := prev[v]
-					for _, u := range adj[offs[v]:offs[v+1]] {
-						cu := prev[u]
+					row := adj[offs[v]:offs[v+1]]
+					// Software-prefetch shape: the gather's misses are the
+					// dependent prev[row[i]] loads, so issue the load for
+					// the edge Lookahead slots ahead before consuming edge
+					// i. The accumulator keeps the early load live; both
+					// loops stay branch-free (the split bounds replace any
+					// data-dependent test).
+					i := 0
+					for ; i+core.Lookahead < len(row); i++ {
+						pf ^= prev[row[i+core.Lookahead]]
+						cu := prev[row[i]]
+						m := core.MaskLess32(cu, cv)
+						cv = core.Select32(m, cu, cv)
+					}
+					for ; i < len(row); i++ {
+						cu := prev[row[i]]
 						m := core.MaskLess32(cu, cv)
 						cv = core.Select32(m, cu, cv)
 					}
@@ -165,6 +184,7 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 					changed += core.Bit(^core.MaskEqual32(cv^prev[v], 0))
 				}
 				perWorker[t] += changed
+				sink[t] ^= pf
 			})
 		} else {
 			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {

@@ -74,3 +74,13 @@ func CondAssignLess32(dst *uint32, val uint32) {
 func Bit(mask uint32) int {
 	return int(mask & 1)
 }
+
+// Lookahead is the fixed index distance the software-prefetch-shaped
+// relaxation loops run ahead of the consuming iteration: before
+// processing edge i of a row, the loop issues the (otherwise dependent)
+// indirect load for edge i+Lookahead so the out-of-order engine can
+// overlap its cache miss with useful work. Go has no prefetch intrinsic,
+// so the early load is a real load accumulated into a per-worker sink.
+// Eight 4-byte slots is two miss latencies of typical relaxation work
+// ahead while staying well inside one adjacency cache line pair.
+const Lookahead = 8

@@ -16,6 +16,7 @@ import (
 
 	"bagraph/internal/corpus"
 	"bagraph/internal/graph"
+	"bagraph/internal/par"
 	"bagraph/internal/perfcount"
 	"bagraph/internal/perfsim"
 	"bagraph/internal/simkern"
@@ -35,6 +36,10 @@ type Options struct {
 	Platforms []string
 	// Root is the BFS source vertex.
 	Root uint32
+	// Workers sizes the pool the graph×platform sweep cells run on;
+	// < 1 means GOMAXPROCS. Each cell simulates on a fresh machine, so
+	// results are identical at any width.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -155,26 +160,38 @@ func ComputeSV(opt Options) ([]SVRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runs []SVRun
-	for _, g := range graphs {
-		for _, model := range models {
-			rBB := simkern.SVBranchBased(perfsim.NewDefault(model), g)
-			rBA := simkern.SVBranchAvoiding(perfsim.NewDefault(model), g)
-			if rBB.Iterations != rBA.Iterations {
-				return nil, fmt.Errorf("exp: SV variants disagree on %s/%s: %d vs %d passes",
-					model.Name, g.Name(), rBB.Iterations, rBA.Iterations)
-			}
-			runs = append(runs, SVRun{
-				Platform:   model.Name,
-				Graph:      g.Name(),
-				Vertices:   g.NumVertices(),
-				Arcs:       g.NumArcs(),
-				Iterations: rBB.Iterations,
-				BB:         rBB.PerIter,
-				BA:         rBA.PerIter,
-				BBTime:     secondsPer(model, rBB.PerIter),
-				BATime:     secondsPer(model, rBA.PerIter),
-			})
+	// The sweep cells are independent (each simulates on a fresh
+	// machine), so they fan out over a pool; runs stays in
+	// graph-major, platform-minor order because cells are addressed by
+	// index, not appended.
+	runs := make([]SVRun, len(graphs)*len(models))
+	errs := make([]error, len(runs))
+	pool := par.NewPool(opt.Workers)
+	defer pool.Close()
+	pool.Run(len(runs), func(i int) {
+		g, model := graphs[i/len(models)], models[i%len(models)]
+		rBB := simkern.SVBranchBased(perfsim.NewDefault(model), g)
+		rBA := simkern.SVBranchAvoiding(perfsim.NewDefault(model), g)
+		if rBB.Iterations != rBA.Iterations {
+			errs[i] = fmt.Errorf("exp: SV variants disagree on %s/%s: %d vs %d passes",
+				model.Name, g.Name(), rBB.Iterations, rBA.Iterations)
+			return
+		}
+		runs[i] = SVRun{
+			Platform:   model.Name,
+			Graph:      g.Name(),
+			Vertices:   g.NumVertices(),
+			Arcs:       g.NumArcs(),
+			Iterations: rBB.Iterations,
+			BB:         rBB.PerIter,
+			BA:         rBA.PerIter,
+			BBTime:     secondsPer(model, rBB.PerIter),
+			BATime:     secondsPer(model, rBA.PerIter),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return runs, nil
@@ -191,31 +208,32 @@ func ComputeBFS(opt Options) ([]BFSRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runs []BFSRun
-	for _, g := range graphs {
+	runs := make([]BFSRun, len(graphs)*len(models))
+	pool := par.NewPool(opt.Workers)
+	defer pool.Close()
+	pool.Run(len(runs), func(i int) {
+		g, model := graphs[i/len(models)], models[i%len(models)]
 		root := opt.Root
 		if int(root) >= g.NumVertices() {
 			root = 0
 		}
-		for _, model := range models {
-			rBB := simkern.BFSBranchBased(perfsim.NewDefault(model), g, root)
-			rBA := simkern.BFSBranchAvoiding(perfsim.NewDefault(model), g, root)
-			runs = append(runs, BFSRun{
-				Platform:      model.Name,
-				Graph:         g.Name(),
-				Vertices:      g.NumVertices(),
-				Arcs:          g.NumArcs(),
-				Levels:        rBB.Levels,
-				Reached:       rBB.Reached,
-				LevelSizes:    rBB.LevelSizes,
-				EdgesPerLevel: rBB.EdgesPerLevel,
-				BB:            rBB.PerLevel,
-				BA:            rBA.PerLevel,
-				BBTime:        secondsPer(model, rBB.PerLevel),
-				BATime:        secondsPer(model, rBA.PerLevel),
-			})
+		rBB := simkern.BFSBranchBased(perfsim.NewDefault(model), g, root)
+		rBA := simkern.BFSBranchAvoiding(perfsim.NewDefault(model), g, root)
+		runs[i] = BFSRun{
+			Platform:      model.Name,
+			Graph:         g.Name(),
+			Vertices:      g.NumVertices(),
+			Arcs:          g.NumArcs(),
+			Levels:        rBB.Levels,
+			Reached:       rBB.Reached,
+			LevelSizes:    rBB.LevelSizes,
+			EdgesPerLevel: rBB.EdgesPerLevel,
+			BB:            rBB.PerLevel,
+			BA:            rBA.PerLevel,
+			BBTime:        secondsPer(model, rBB.PerLevel),
+			BATime:        secondsPer(model, rBA.PerLevel),
 		}
-	}
+	})
 	return runs, nil
 }
 

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -307,5 +308,28 @@ func TestTable2ReportsAllGraphs(t *testing.T) {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("Table 2 missing %s", name)
 		}
+	}
+}
+
+// TestComputeWorkerWidthInvariant pins the parallel sweep contract:
+// every cell simulates on a fresh machine, so the result rows are
+// byte-identical at any pool width, in the same graph-major order.
+func TestComputeWorkerWidthInvariant(t *testing.T) {
+	opt := tinyOpt()
+	opt.Workers = 1
+	seq, err := Compute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	par, err := Compute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.SV, par.SV) {
+		t.Fatal("SV sweep differs across worker widths")
+	}
+	if !reflect.DeepEqual(seq.BFS, par.BFS) {
+		t.Fatal("BFS sweep differs across worker widths")
 	}
 }

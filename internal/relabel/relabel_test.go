@@ -1,0 +1,152 @@
+package relabel
+
+import (
+	"testing"
+
+	"bagraph/internal/graph"
+	"bagraph/internal/testutil"
+)
+
+// TestRoundTripIdentity checks perm ∘ inv = id (and inv ∘ perm = id) for
+// every ordering over the full corpus.
+func TestRoundTripIdentity(t *testing.T) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
+		n := g.NumVertices()
+		for name, perm := range map[string][]uint32{
+			"degree":   DegreeOrder(g),
+			"identity": Identity(n),
+			"shuffle":  Shuffle(n, 42),
+		} {
+			inv := Inverse(perm)
+			for v := 0; v < n; v++ {
+				if int(inv[perm[v]]) != v {
+					t.Fatalf("%s: inv[perm[%d]] = %d", name, v, inv[perm[v]])
+				}
+				if int(perm[inv[v]]) != v {
+					t.Fatalf("%s: perm[inv[%d]] = %d", name, v, perm[inv[v]])
+				}
+			}
+		}
+	})
+}
+
+func TestDegreeOrderSortsDescending(t *testing.T) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
+		perm := DegreeOrder(g)
+		inv := Inverse(perm)
+		for nid := 1; nid < len(inv); nid++ {
+			dPrev, dCur := g.Degree(inv[nid-1]), g.Degree(inv[nid])
+			if dPrev < dCur {
+				t.Fatalf("new id %d has degree %d > predecessor's %d", nid, dCur, dPrev)
+			}
+			if dPrev == dCur && inv[nid-1] > inv[nid] {
+				t.Fatalf("tie at degree %d broken unstably: old ids %d before %d",
+					dCur, inv[nid-1], inv[nid])
+			}
+		}
+	})
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	a, b := Shuffle(1000, 7), Shuffle(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	c := Shuffle(1000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+// TestApplyPreservesMultiplicity checks the permuted graph has exactly
+// the original arc multiset (under relabeled ids), including self-loops
+// and parallel arcs, for every corpus graph — the property graph.Relabel
+// does NOT have.
+func TestApplyPreservesMultiplicity(t *testing.T) {
+	testutil.ForEachGraph(t, nil, func(t *testing.T, g *graph.Graph) {
+		perm := DegreeOrder(g)
+		pg, err := Apply(g, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.NumVertices() != g.NumVertices() || pg.NumArcs() != g.NumArcs() {
+			t.Fatalf("size changed: %v vs %v", pg, g)
+		}
+		n := g.NumVertices()
+		for u := 0; u < n; u++ {
+			want := map[uint32]int{}
+			for _, v := range g.Neighbors(uint32(u)) {
+				want[perm[v]]++
+			}
+			got := map[uint32]int{}
+			for _, v := range pg.Neighbors(perm[u]) {
+				got[v]++
+			}
+			if len(got) != len(want) {
+				t.Fatalf("vertex %d: neighbor multiset size %d, want %d", u, len(got), len(want))
+			}
+			for v, c := range want {
+				if got[v] != c {
+					t.Fatalf("vertex %d: neighbor %d multiplicity %d, want %d", u, v, got[v], c)
+				}
+			}
+		}
+		if err := pg.Validate(); err != nil {
+			t.Fatalf("permuted graph invalid: %v", err)
+		}
+	})
+}
+
+func TestApplyWeightedCarriesWeights(t *testing.T) {
+	for _, seed := range testutil.DefaultSeeds {
+		for _, w := range testutil.WeightedCorpus(t, seed) {
+			perm := DegreeOrder(w.Graph)
+			pw, err := ApplyWeighted(w, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := w.NumVertices()
+			for u := 0; u < n; u++ {
+				adj, ws := w.NeighborWeights(uint32(u))
+				for i, v := range adj {
+					// Weighted graphs have unique (u,v) arcs, so the
+					// permuted arc's weight is directly addressable.
+					padj, pws := pw.NeighborWeights(perm[u])
+					found := false
+					for j, pv := range padj {
+						if pv == perm[v] && pws[j] == ws[i] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%s: arc (%d,%d) w=%d missing after permute", w, u, v, ws[i])
+					}
+				}
+			}
+			if pw.NumArcs() != w.NumArcs() {
+				t.Fatalf("%s: arc count changed", w)
+			}
+		}
+	}
+}
+
+func TestApplyRejectsBadPerm(t *testing.T) {
+	g := testutil.Hub(16, 4)
+	if _, err := Apply(g, make([]uint32, 3)); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	bad := Identity(16)
+	bad[0] = 1 // duplicate
+	if _, err := Apply(g, bad); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+}

@@ -300,7 +300,7 @@ func (b *Batcher) runCC(ctx context.Context, algo string, e *Entry) ([]uint32, b
 		return nil, bagraph.Stats{}, err
 	}
 	req.Schedule = b.schedule
-	res, err := b.wp.Run(ctx, e.Graph(), req)
+	res, err := b.wp.Run(ctx, e.target(), req)
 	if err != nil {
 		return nil, bagraph.Stats{}, err
 	}
@@ -445,7 +445,7 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 			roots[i] = r.root
 		}
 		bctx, stop := batchContext(reqs)
-		res, err := b.wp.Run(bctx, key.entry.Graph(), bagraph.Request{
+		res, err := b.wp.Run(bctx, key.entry.target(), bagraph.Request{
 			Kind: bagraph.KindBFSBatch, Roots: roots, Schedule: b.schedule,
 		})
 		stop()
@@ -473,7 +473,7 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 func (b *Batcher) runOne(r *Request) Result {
 	switch r.kind {
 	case KindSSSP:
-		w, err := r.entry.Weighted()
+		w, err := r.entry.weightedTarget()
 		if err != nil {
 			return Result{Err: err}
 		}
@@ -493,7 +493,7 @@ func (b *Batcher) runOne(r *Request) Result {
 			return Result{Err: err}
 		}
 		req.Schedule = b.schedule
-		res, err := b.wp.Run(r.ctx, r.entry.Graph(), req)
+		res, err := b.wp.Run(r.ctx, r.entry.target(), req)
 		if err != nil {
 			return Result{Err: err}
 		}

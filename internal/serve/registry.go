@@ -23,6 +23,12 @@ type Entry struct {
 	name  string
 	epoch uint64
 	g     *graph.Graph
+	// rel is the degree-ordered view the kernels run against when the
+	// registry was configured with SetRelabel; nil otherwise. Queries
+	// and results stay in original vertex ids either way (the facade
+	// un-permutes), so relabeling is invisible to clients except in the
+	// latency and the locality stats.
+	rel *bagraph.Relabeled
 
 	wOnce          sync.Once
 	weighted       *graph.Weighted // preset for weighted loads, else lazily unit
@@ -62,23 +68,65 @@ func (e *Entry) Graph() *graph.Graph { return e.g }
 // the name is replaced, and retires cached results from prior epochs.
 func (e *Entry) Epoch() uint64 { return e.epoch }
 
+// ensureWeighted derives the entry's weighted views on first use: the
+// plain view, and — for relabeled entries published unweighted — the
+// permuted unit-weight view (entries published weighted carried their
+// weights through the permute at publish time).
+func (e *Entry) ensureWeighted() error {
+	e.wOnce.Do(func() {
+		unit := func(u, v uint32) uint32 { return 1 }
+		if e.weighted == nil {
+			e.weighted, e.wErr = graph.AttachWeights(e.g, unit)
+		}
+		if e.wErr == nil && e.rel != nil && e.rel.Weighted() == nil {
+			_, e.wErr = e.rel.AttachWeights(unit)
+		}
+		if e.wErr == nil {
+			// The delta-stepping default bucket width costs a pass over
+			// the weight array; the view is immutable, so pay it once
+			// per entry rather than per query. (The mean arc weight is
+			// permutation-invariant, so one delta serves both views.)
+			e.ssspDelta = sssp.DefaultDelta(e.weighted)
+		}
+	})
+	return e.wErr
+}
+
 // Weighted returns the view the SSSP kernels run on: the graph's real
 // per-edge weights when it was published weighted, otherwise a
 // unit-weight view derived on first use. Either way the view is shared
 // by all subsequent queries against this entry.
 func (e *Entry) Weighted() (*graph.Weighted, error) {
-	e.wOnce.Do(func() {
-		if e.weighted == nil {
-			e.weighted, e.wErr = graph.AttachWeights(e.g, func(u, v uint32) uint32 { return 1 })
-		}
-		if e.wErr == nil {
-			// The delta-stepping default bucket width costs a pass over
-			// the weight array; the view is immutable, so pay it once
-			// per entry rather than per query.
-			e.ssspDelta = sssp.DefaultDelta(e.weighted)
-		}
-	})
-	return e.weighted, e.wErr
+	if err := e.ensureWeighted(); err != nil {
+		return nil, err
+	}
+	return e.weighted, nil
+}
+
+// Relabeled reports whether the entry serves queries through a
+// degree-ordered layout.
+func (e *Entry) Relabeled() bool { return e.rel != nil }
+
+// target returns what the batcher hands bagraph.Run for the unweighted
+// kinds: the degree-ordered view when the entry is relabeled, the raw
+// graph otherwise.
+func (e *Entry) target() bagraph.Target {
+	if e.rel != nil {
+		return e.rel
+	}
+	return e.g
+}
+
+// weightedTarget is target for KindSSSP; it forces the weighted view
+// into existence first.
+func (e *Entry) weightedTarget() (bagraph.Target, error) {
+	if err := e.ensureWeighted(); err != nil {
+		return nil, err
+	}
+	if e.rel != nil {
+		return e.rel, nil
+	}
+	return e.weighted, nil
 }
 
 // SSSPDelta returns the cached delta-stepping bucket width for the
@@ -97,6 +145,16 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	order   []string
+	relabel bool
+}
+
+// SetRelabel controls whether graphs published from now on are stored
+// degree-ordered (see bagraph.RelabelDegree). Flip it before loading;
+// already published entries keep the layout they were built with.
+func (r *Registry) SetRelabel(on bool) {
+	r.mu.Lock()
+	r.relabel = on
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty registry.
@@ -132,6 +190,17 @@ func (r *Registry) publish(name string, g *graph.Graph, w *graph.Weighted, repla
 		r.order = append(r.order, name)
 	}
 	e := newEntry(name, epoch, g, w)
+	if r.relabel {
+		var tgt bagraph.Target = g
+		if w != nil {
+			tgt = w
+		}
+		rel, err := bagraph.RelabelDegree(tgt)
+		if err != nil {
+			return nil, fmt.Errorf("serve: relabel %q: %w", name, err)
+		}
+		e.rel = rel
+	}
 	r.entries[name] = e
 	return e, nil
 }

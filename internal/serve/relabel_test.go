@@ -1,0 +1,133 @@
+package serve_test
+
+// Relabeled registry equivalence: with SetRelabel the daemon stores
+// graphs degree-ordered, but every query must answer exactly what the
+// plain registry answers — vertex ids in queries and responses are
+// always original ids.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bagraph"
+	"bagraph/internal/serve"
+)
+
+// newRelabeledServer is newTestServer with degree-ordered storage.
+func newRelabeledServer(t *testing.T) (*httptest.Server, *bagraph.Graph) {
+	t.Helper()
+	g, err := bagraph.CorpusGraph("cond-mat-2005", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	reg.SetRelabel(true)
+	e, err := reg.Add("cm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Relabeled() {
+		t.Fatal("SetRelabel(true) entry is not relabeled")
+	}
+	core := serve.New(reg, serve.Config{Workers: 2, BatchWindow: -1})
+	ts := httptest.NewServer(core.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		core.Close()
+	})
+	return ts, g
+}
+
+func TestRelabeledServerMatchesFacade(t *testing.T) {
+	ts, g := newRelabeledServer(t)
+	ctx := context.Background()
+
+	// /graphs advertises the layout.
+	resp, err := http.Get(ts.URL + "/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Graphs []struct {
+			Name      string `json:"name"`
+			Relabeled bool   `json:"relabeled"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Graphs) != 1 || !listing.Graphs[0].Relabeled {
+		t.Fatalf("/graphs = %+v, want one relabeled entry", listing.Graphs)
+	}
+
+	// CC: labels in original ids.
+	ccWant, err := bagraph.Run(ctx, g, bagraph.Request{
+		Kind: bagraph.KindCC, CC: bagraph.CCBranchAvoiding, Parallel: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, cc := post[ccResp](t, ts.URL+"/query/cc",
+		map[string]any{"graph": "cm", "algo": "par-ba", "labels": true})
+	if code != http.StatusOK {
+		t.Fatalf("cc status %d", code)
+	}
+	if !equalU32(cc.Labels, ccWant.Labels) {
+		t.Fatal("relabeled CC labels differ from facade on the raw graph")
+	}
+
+	// BFS (per-root and shared multi-source): hops in original ids.
+	for _, algo := range []string{"par-do", "ms"} {
+		code, bfsGot := post[travResp](t, ts.URL+"/query/bfs",
+			map[string]any{"graph": "cm", "root": 3, "algo": algo})
+		if code != http.StatusOK {
+			t.Fatalf("bfs %s status %d", algo, code)
+		}
+		bfsWant, err := bagraph.Run(ctx, g, bagraph.Request{
+			Kind: bagraph.KindBFS, Parallel: true, Root: 3, Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalU32(bfsGot.Dist, bfsWant.Hops) {
+			t.Fatalf("bfs %s: relabeled hops differ from facade", algo)
+		}
+	}
+
+	// SSSP: the relabeled unit-weight view must price arcs like the
+	// plain one.
+	w, err := bagraph.AttachWeights(g, func(u, v uint32) uint32 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssspWant, err := bagraph.Run(ctx, w, bagraph.Request{
+		Kind: bagraph.KindSSSP, SSSP: bagraph.SSSPHybrid, Parallel: true, Root: 7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, sp := post[ssspResp](t, ts.URL+"/query/sssp",
+		map[string]any{"graph": "cm", "root": 7, "algo": "par-hybrid"})
+	if code != http.StatusOK {
+		t.Fatalf("sssp status %d", code)
+	}
+	if len(sp.Dist) != len(ssspWant.Dists) {
+		t.Fatalf("sssp length %d, want %d", len(sp.Dist), len(ssspWant.Dists))
+	}
+	for v := range sp.Dist {
+		if sp.Dist[v] != ssspWant.Dists[v] {
+			t.Fatalf("sssp dist[%d] = %d, want %d", v, sp.Dist[v], ssspWant.Dists[v])
+		}
+	}
+
+	// Out-of-range roots still 400 with the caller's id in the message.
+	code, bad := post[errResp](t, ts.URL+"/query/bfs",
+		map[string]any{"graph": "cm", "root": uint32(g.NumVertices() + 5), "algo": "par-do"})
+	if code != http.StatusBadRequest || bad.Error == "" {
+		t.Fatalf("out-of-range root: status %d, error %q", code, bad.Error)
+	}
+}

@@ -209,12 +209,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // graphInfo is one row of the /graphs listing.
 type graphInfo struct {
-	Name     string `json:"name"`
-	Vertices int    `json:"vertices"`
-	Edges    int64  `json:"edges"`
-	Directed bool   `json:"directed"`
-	Weighted bool   `json:"weighted"`
-	Epoch    uint64 `json:"epoch"`
+	Name      string `json:"name"`
+	Vertices  int    `json:"vertices"`
+	Edges     int64  `json:"edges"`
+	Directed  bool   `json:"directed"`
+	Weighted  bool   `json:"weighted"`
+	Relabeled bool   `json:"relabeled"`
+	Epoch     uint64 `json:"epoch"`
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -223,12 +224,13 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	for _, e := range entries {
 		g := e.Graph()
 		infos = append(infos, graphInfo{
-			Name:     e.Name(),
-			Vertices: g.NumVertices(),
-			Edges:    g.NumEdges(),
-			Directed: g.Directed(),
-			Weighted: e.HasEdgeWeights(),
-			Epoch:    e.Epoch(),
+			Name:      e.Name(),
+			Vertices:  g.NumVertices(),
+			Edges:     g.NumEdges(),
+			Directed:  g.Directed(),
+			Weighted:  e.HasEdgeWeights(),
+			Relabeled: e.Relabeled(),
+			Epoch:     e.Epoch(),
 		})
 	}
 	writeJSON(w, http.StatusOK, struct {

@@ -245,6 +245,10 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 	chunkTarget := par.ChunkCount(nw, opt.Schedule, opt.ChunkFactor)
 	cands := make([][]candidate, nw)
 	candStores := make([]uint64, nw) // per-worker, merged at the barrier
+	// sink publishes each worker's prefetch-lookahead accumulator (see
+	// the scatter loops) so the early loads stay live; written once per
+	// chunk, never read.
+	sink := make([]uint64, nw)
 	frontier := make([]uint32, 0, 64)
 	// fronOffs is the frontier's private arc-count prefix array; feeding
 	// it to par.Partition degree-balances the scatter chunks exactly as
@@ -285,6 +289,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 			buf := cands[t]
 			stores := candStores[t]
 			if avoiding {
+				pf := uint64(0)
 				for _, v := range verts[r.Lo:r.Hi] {
 					dv := dist[v]
 					lo, hi := offs[v], offs[v+1]
@@ -302,10 +307,26 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 					// The weight-class selection is per vertex and
 					// loop-invariant: without the split the inner loop
 					// is exactly the paper's op mix, with it the class
-					// test folds into the relaxation mask.
+					// test folds into the relaxation mask. Each case
+					// runs software-prefetch shaped: the scatter's miss
+					// is the dependent dist[adj[j]] load, so the main
+					// loop issues the load core.Lookahead arcs ahead
+					// into an accumulator before consuming arc j, with
+					// a mask-free tail loop finishing the row — no
+					// data-dependent branch appears either way.
+					la := hi - core.Lookahead
 					switch {
 					case !split:
-						for j := lo; j < hi; j++ {
+						j := lo
+						for ; j < la; j++ {
+							pf ^= dist[adj[j+core.Lookahead]]
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u])
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])
 							m := core.MaskLess64(c, dist[u])
@@ -313,7 +334,16 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 							tail += int(core.Bit64(m))
 						}
 					case heavy:
-						for j := lo; j < hi; j++ {
+						j := lo
+						for ; j < la; j++ {
+							pf ^= dist[adj[j+core.Lookahead]]
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u]) &^ core.MaskLess64(uint64(ws[j]), lightCut)
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])
 							m := core.MaskLess64(c, dist[u]) &^ core.MaskLess64(uint64(ws[j]), lightCut)
@@ -321,7 +351,16 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 							tail += int(core.Bit64(m))
 						}
 					default:
-						for j := lo; j < hi; j++ {
+						j := lo
+						for ; j < la; j++ {
+							pf ^= dist[adj[j+core.Lookahead]]
+							u := adj[j]
+							c := dv + uint64(ws[j])
+							m := core.MaskLess64(c, dist[u]) & core.MaskLess64(uint64(ws[j]), lightCut)
+							buf[tail] = candidate{u, c}
+							tail += int(core.Bit64(m))
+						}
+						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])
 							m := core.MaskLess64(c, dist[u]) & core.MaskLess64(uint64(ws[j]), lightCut)
@@ -332,6 +371,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 					stores += uint64(hi - lo)
 					buf = buf[:tail]
 				}
+				sink[t] ^= pf
 			} else {
 				for _, v := range verts[r.Lo:r.Hi] {
 					dv := dist[v]

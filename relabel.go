@@ -1,0 +1,314 @@
+package bagraph
+
+// Degree-ordered relabeling: the memory-layout optimization layer. A
+// Relabeled wraps a graph whose vertices have been renumbered by
+// descending degree (hub clustering, internal/relabel.DegreeOrder) and
+// presents it to Run as an ordinary Target: requests are translated into
+// the permuted id space on the way in and every result — labels, hops,
+// batch hops, weighted distances — is translated back on the way out,
+// byte-identical to what the same request produces on the unrelabeled
+// graph. No kernel knows the layer exists; what changes is purely where
+// vertices live in memory, which concentrates frontier bits into the low
+// words of the kernels' succinct bitsets and clusters the hottest CSR
+// rows onto shared cache lines.
+
+import (
+	"context"
+	"fmt"
+
+	"bagraph/internal/graph"
+	"bagraph/internal/par"
+	"bagraph/internal/relabel"
+)
+
+// Relabeled is a degree-ordered view of a graph. Build one with
+// RelabelDegree and pass it to Run / WorkerPool.Run wherever a *Graph or
+// *WeightedGraph is accepted; results come back in the ORIGINAL vertex
+// ids. The wrapper is immutable and safe for concurrent Runs (each run
+// carries its own workspace).
+type Relabeled struct {
+	g    *Graph         // permuted structure
+	w    *WeightedGraph // permuted weighted form; nil when built from a *Graph
+	perm []uint32       // perm[old] = new
+	inv  []uint32       // inv[new] = old
+}
+
+// RelabelDegree builds the degree-ordered view of g, which must be a
+// *Graph or a *WeightedGraph. The permutation sorts vertices by
+// descending degree with ties broken by ascending original id, so the
+// layout is deterministic for a given graph.
+func RelabelDegree(g Target) (*Relabeled, error) {
+	switch t := g.(type) {
+	case *WeightedGraph:
+		if t == nil {
+			return nil, fmt.Errorf("bagraph: RelabelDegree on a nil graph")
+		}
+		perm := relabel.DegreeOrder(t.Graph)
+		pw, err := t.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+		return &Relabeled{g: pw.Graph, w: pw, perm: perm, inv: relabel.Inverse(perm)}, nil
+	case *Graph:
+		if t == nil {
+			return nil, fmt.Errorf("bagraph: RelabelDegree on a nil graph")
+		}
+		perm := relabel.DegreeOrder(t)
+		pg, err := t.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+		return &Relabeled{g: pg, perm: perm, inv: relabel.Inverse(perm)}, nil
+	case *Relabeled:
+		return t, nil
+	case nil:
+		return nil, fmt.Errorf("bagraph: RelabelDegree on a nil graph")
+	default:
+		return nil, fmt.Errorf("bagraph: unsupported graph type %T (want *Graph or *WeightedGraph)", g)
+	}
+}
+
+// NumVertices returns |V|; Relabeled satisfies Target.
+func (r *Relabeled) NumVertices() int { return r.g.NumVertices() }
+
+// Graph returns the permuted structure. Vertex ids in it are PERMUTED
+// ids; use Perm/Inv to translate.
+func (r *Relabeled) Graph() *Graph { return r.g }
+
+// Weighted returns the permuted weighted form, or nil when the wrapper
+// was built from an unweighted *Graph (see AttachWeights).
+func (r *Relabeled) Weighted() *WeightedGraph { return r.w }
+
+// Perm returns the forward permutation: Perm()[old] = new. Shared
+// storage; do not modify.
+func (r *Relabeled) Perm() []uint32 { return r.perm }
+
+// Inv returns the inverse permutation: Inv()[new] = old. Shared storage;
+// do not modify.
+func (r *Relabeled) Inv() []uint32 { return r.inv }
+
+// AttachWeights derives the weighted form of an unweighted Relabeled,
+// assigning each arc the weight fn(u, v) *in original vertex ids* — the
+// same arcs get the same weights as bagraph.AttachWeights on the
+// unrelabeled graph, so SSSP results stay byte-identical. fn must be
+// symmetric for undirected graphs. Returns the wrapper itself, now
+// answering weighted requests; calling it on an already weighted wrapper
+// is an error (the weights are part of the permuted CSR and cannot be
+// swapped in place).
+func (r *Relabeled) AttachWeights(fn func(u, v uint32) uint32) (*Relabeled, error) {
+	if r.w != nil {
+		return nil, fmt.Errorf("bagraph: Relabeled already weighted")
+	}
+	inv := r.inv
+	w, err := graph.AttachWeights(r.g, func(pu, pv uint32) uint32 {
+		return fn(inv[pu], inv[pv])
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.w = w
+	return r, nil
+}
+
+// String implements fmt.Stringer.
+func (r *Relabeled) String() string {
+	return fmt.Sprintf("relabeled{%s}", r.g)
+}
+
+// relabelScratch holds the permuted-space buffers a relabeled Run needs:
+// an inner Workspace the kernels write into, the mapped root list, and
+// the CC canonicalization table. It lives inside the caller's Workspace
+// so repeated relabeled Runs reuse all of it.
+type relabelScratch struct {
+	inner Workspace
+	roots []uint32
+	canon []uint32
+	// rel caches the wrapper Request.Relabel built, keyed by the target
+	// it was built from.
+	rel    *Relabeled
+	relFor Target
+}
+
+// relabeledFor returns the Relabeled view of g for a Request.Relabel
+// run, reusing the one cached in ws (if ws is non-nil and was last used
+// with the same target). Without a workspace every call pays the full
+// permute — documented on Request.Relabel.
+func relabeledFor(g Target, ws *Workspace) (*Relabeled, error) {
+	if ws != nil {
+		if ws.rl != nil && ws.rl.relFor == g && ws.rl.rel != nil {
+			return ws.rl.rel, nil
+		}
+		rl, err := RelabelDegree(g)
+		if err != nil {
+			return nil, err
+		}
+		if ws.rl == nil {
+			ws.rl = &relabelScratch{}
+		}
+		ws.rl.rel, ws.rl.relFor = rl, g
+		return rl, nil
+	}
+	return RelabelDegree(g)
+}
+
+// unpermute32 writes src (indexed by permuted id) into dst (indexed by
+// original id): dst[old] = src[perm[old]]. dst is reallocated when it
+// does not fit.
+func unpermute32(dst, src, perm []uint32) []uint32 {
+	if src == nil {
+		return nil
+	}
+	if len(dst) != len(src) {
+		dst = make([]uint32, len(src))
+	}
+	for v := range dst {
+		dst[v] = src[perm[v]]
+	}
+	return dst
+}
+
+// unpermute64 is unpermute32 for the weighted distances.
+func unpermute64(dst []uint64, src []uint64, perm []uint32) []uint64 {
+	if src == nil {
+		return nil
+	}
+	if len(dst) != len(src) {
+		dst = make([]uint64, len(src))
+	}
+	for v := range dst {
+		dst[v] = src[perm[v]]
+	}
+	return dst
+}
+
+// unpermuteLabels maps a permuted-space component labeling back to the
+// exact labeling the unrelabeled kernels produce: component label = the
+// minimum ORIGINAL id in the component. The permuted kernel's labels are
+// component minima of PERMUTED ids, whose preimage inv[label] is merely
+// some member of the component — so each component is re-canonicalized
+// to the first original id encountered in an ascending scan, which is
+// its minimum. canon is scratch of length |V|.
+func unpermuteLabels(dst, src, perm, inv, canon []uint32) []uint32 {
+	if src == nil {
+		return nil
+	}
+	n := len(src)
+	if len(dst) != n {
+		dst = make([]uint32, n)
+	}
+	const unset = ^uint32(0)
+	for i := range canon {
+		canon[i] = unset
+	}
+	for v := 0; v < n; v++ {
+		rep := inv[src[perm[v]]]
+		if canon[rep] == unset {
+			canon[rep] = uint32(v)
+		}
+		dst[v] = canon[rep]
+	}
+	return dst
+}
+
+// runRelabeled executes req against a Relabeled target: the request is
+// translated into the permuted id space, dispatched like any other run
+// (the kernels see only the permuted graph), and the results translated
+// back. On mid-kernel cancellation the partial permuted results are
+// translated too, so the contract of Run's partial-output clause holds
+// unchanged.
+func runRelabeled(ctx context.Context, r *Relabeled, req Request, pool *par.Pool) (*Result, error) {
+	outWS := req.Workspace
+	var scratch *relabelScratch
+	if outWS != nil {
+		if outWS.rl == nil {
+			outWS.rl = &relabelScratch{}
+		}
+		scratch = outWS.rl
+	} else {
+		scratch = &relabelScratch{}
+	}
+
+	inner := req
+	inner.Relabel = false // the target is already permuted
+	inner.Workspace = &scratch.inner
+	n := len(r.perm)
+	switch req.Kind {
+	case KindBFS, KindSSSP:
+		// Map in-range roots; out-of-range ones pass through unmapped so
+		// the inner validation reports the id the caller supplied.
+		if int(req.Root) < n {
+			inner.Root = r.perm[req.Root]
+		}
+	case KindBFSBatch:
+		scratch.roots = scratch.roots[:0]
+		for _, rt := range req.Roots {
+			if int(rt) < n {
+				rt = r.perm[rt]
+			}
+			scratch.roots = append(scratch.roots, rt)
+		}
+		inner.Roots = scratch.roots
+	}
+
+	var tgt Target = r.g
+	if r.w != nil {
+		tgt = r.w
+	}
+	res, err := runRequest(ctx, tgt, inner, pool)
+	if res == nil {
+		return nil, err
+	}
+
+	out := &Result{Stats: res.Stats}
+	switch req.Kind {
+	case KindCC:
+		if len(scratch.canon) != n {
+			scratch.canon = make([]uint32, n)
+		}
+		var dst []uint32
+		if outWS != nil {
+			dst = outWS.Labels
+		}
+		out.Labels = unpermuteLabels(dst, res.Labels, r.perm, r.inv, scratch.canon)
+		if outWS != nil && out.Labels != nil {
+			outWS.Labels = out.Labels
+		}
+	case KindBFS:
+		var dst []uint32
+		if outWS != nil {
+			dst = outWS.Hops
+		}
+		out.Hops = unpermute32(dst, res.Hops, r.perm)
+		if outWS != nil && out.Hops != nil {
+			outWS.Hops = out.Hops
+		}
+	case KindBFSBatch:
+		var dsts [][]uint32
+		if outWS != nil {
+			dsts = outWS.HopsBatch
+		}
+		if len(dsts) != len(res.HopsBatch) {
+			dsts = make([][]uint32, len(res.HopsBatch))
+		}
+		for i, src := range res.HopsBatch {
+			dsts[i] = unpermute32(dsts[i], src, r.perm)
+		}
+		out.HopsBatch = dsts
+		if outWS != nil {
+			outWS.HopsBatch = dsts
+		}
+	case KindSSSP:
+		var dst []uint64
+		if outWS != nil {
+			dst = outWS.Dists
+		}
+		out.Dists = unpermute64(dst, res.Dists, r.perm)
+		if outWS != nil && out.Dists != nil {
+			outWS.Dists = out.Dists
+		}
+	}
+	return out, err
+}
+
+// Interface conformance: a Relabeled is a Target.
+var _ Target = (*Relabeled)(nil)

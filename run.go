@@ -172,6 +172,14 @@ type Request struct {
 	// bucket close. Distances are byte-identical either way; ignored by
 	// every other kind.
 	LightHeavy bool
+	// Relabel runs the request against a degree-ordered view of the
+	// graph (see RelabelDegree): the kernels see the hub-clustered
+	// layout, the results come back in the original vertex ids,
+	// byte-identical to an unrelabeled run. The permuted view is cached
+	// in the Workspace, so long-lived callers pay the permute once per
+	// graph; without a workspace every call rebuilds it. Ignored when
+	// the target is already a *Relabeled.
+	Relabel bool
 	// Schedule selects static or work-stealing chunk scheduling for the
 	// parallel kernels (results are byte-identical; see the Schedule
 	// constants). Ignored by sequential kernels.
@@ -206,6 +214,10 @@ type Workspace struct {
 	HopsBatch [][]uint32
 	// Dists receives KindSSSP distances (|V| when preset).
 	Dists []uint64
+	// rl holds the relabeling layer's private state: the cached
+	// degree-ordered view (Request.Relabel), the permuted-space inner
+	// workspace, and the un-permute scratch.
+	rl *relabelScratch
 }
 
 // Stats is the kernel-side observability record of one Run: the
@@ -254,6 +266,12 @@ type Stats struct {
 	// applied relaxations by arc class (weight <= delta vs above);
 	// without Request.LightHeavy everything counts as light.
 	LightRelaxed, HeavyRelaxed uint64
+	// WordsScanned counts the succinct-bitset words the parallel BFS
+	// kernels loaded while sweeping for candidates (bottom-up levels of
+	// KindBFS, shared sweeps of KindBFSBatch) — the frontier-locality
+	// proxy that drops under Request.Relabel's hub-clustered layout.
+	// Zero for CC, SSSP, and the sequential kernels.
+	WordsScanned uint64
 }
 
 // Total returns the summed wall-clock time of all passes.
@@ -327,6 +345,19 @@ func runRequest(ctx context.Context, g Target, req Request, pool *par.Pool) (*Re
 	if err := ctx.Err(); err != nil {
 		// Pre-cancelled: nothing runs, not even validation.
 		return nil, err
+	}
+	if rl, ok := g.(*Relabeled); ok {
+		if rl == nil {
+			return nil, fmt.Errorf("bagraph: Run on a nil graph")
+		}
+		return runRelabeled(ctx, rl, req, pool)
+	}
+	if req.Relabel {
+		rl, err := relabeledFor(g, req.Workspace)
+		if err != nil {
+			return nil, err
+		}
+		return runRelabeled(ctx, rl, req, pool)
 	}
 	var base *Graph
 	var weighted *WeightedGraph
@@ -584,6 +615,7 @@ func statsFromBFS(st bfs.Stats) Stats {
 		Chunks:         st.Chunks,
 		Steals:         st.Steals,
 		StealPasses:    st.StealPasses,
+		WordsScanned:   st.BUWordsScanned,
 	}
 }
 
@@ -598,6 +630,7 @@ func statsFromMulti(st bfs.MultiStats) Stats {
 		Chunks:        st.Chunks,
 		Steals:        st.Steals,
 		StealPasses:   st.StealPasses,
+		WordsScanned:  st.WordsScanned,
 	}
 }
 
