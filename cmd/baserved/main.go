@@ -26,6 +26,16 @@
 // traversal. SSSP algos par-bb / par-ba / par-hybrid (the default) run
 // the delta-stepping kernel on the resident pool.
 //
+// GET /metrics exposes the daemon's aggregation plane in the
+// Prometheus text format: query counts and latency by kind, batch
+// sizes, multi-source wave occupancy, CC cache hit/miss/retry counts,
+// per-kind kernel counters (passes, steals, words scanned, light/heavy
+// relaxations) and — with -autotune — the controller's knob picks.
+// -autotune turns on the adaptive controller: schedule, delta-stepping
+// width and the bb/ba/hybrid cutover are chosen per (graph, kernel)
+// from live counters (algo "auto", the default when the flag is set);
+// results stay byte-identical to the static flags.
+//
 // The daemon drains in-flight requests and exits cleanly on SIGINT or
 // SIGTERM.
 package main
@@ -77,6 +87,8 @@ func main() {
 		"per-query deadline; kernels stop at their next pass barrier and the query answers 504 (0 = none)")
 	schedule := flag.String("schedule", "static",
 		"chunk schedule for the dispatched parallel kernels: static | steal")
+	autotune := flag.Bool("autotune", false,
+		"pick schedule, delta and the bb/ba/hybrid cutover per (graph, kernel) from live counters")
 	relabelOn := flag.Bool("relabel", false,
 		"store graphs degree-ordered (hub clustering); queries and results keep original vertex ids")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown limit")
@@ -128,6 +140,7 @@ func main() {
 		BatchWindow:  window,
 		QueryTimeout: *queryTimeout,
 		Schedule:     sched,
+		Autotune:     *autotune,
 	})
 	defer core.Close()
 

@@ -1,0 +1,362 @@
+// Package metrics is the daemon's aggregation plane: lock-cheap
+// counters and fixed-bucket histograms collected into a registry that
+// renders the Prometheus text exposition format (version 0.0.4).
+//
+// The serving layer's hot paths run many short kernel dispatches per
+// second, so every instrument is a plain atomic: a Counter is one
+// atomic add, a Histogram Observe is two atomic adds plus a CAS-loop
+// float accumulate over a handful of fixed buckets chosen at
+// registration. There is no sampling, no time windows, and no
+// dependency — scrape-side tooling (Prometheus, curl | grep) does the
+// rate math, which is exactly the division of labor the exposition
+// format is designed for.
+//
+// Families are registered once at startup (Registry methods panic on
+// duplicate or malformed names — misregistration is a programming
+// error, not a runtime condition) and labeled children are created on
+// first use and cached, so steady-state observation never allocates.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value: one atomic word.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// atomicFloat accumulates a float64 with compare-and-swap on its bit
+// pattern — the histogram sum must be a float in the exposition format,
+// and a mutex per Observe would be the only alternative.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulative `le` semantics at exposition time: a value lands in the
+// first bucket whose bound is >= the value, and every wider bucket's
+// exposed count includes it).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// ExponentialBuckets returns n bounds start, start*factor, ... —
+// the standard shape for latency histograms. start must be positive
+// and factor > 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: invalid exponential bucket spec")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("metrics: invalid linear bucket spec")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// family is one registered metric name: its metadata plus the labeled
+// children that carry the values. An unlabeled metric is a family with
+// exactly one child under the empty label key.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "histogram"
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]*child
+	order    []string
+}
+
+type child struct {
+	rendered string // `{k="v",...}` or ""
+	counter  *Counter
+	hist     *Histogram
+}
+
+// get returns (creating on first use) the child for the label values.
+func (f *family) get(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	c := f.children[key]
+	f.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c = f.children[key]; c != nil {
+		return c
+	}
+	c = &child{rendered: renderLabels(f.labels, values)}
+	if f.typ == "histogram" {
+		c.hist = &Histogram{bounds: f.bounds, buckets: make([]atomic.Uint64, len(f.bounds)+1)}
+	} else {
+		c.counter = &Counter{}
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// renderLabels formats a label set for exposition, escaping the label
+// values per the format spec (backslash, quote, newline).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Callers on hot paths should cache the returned *Counter.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct {
+	f *family
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// Registry is an ordered collection of metric families with a text
+// exposition writer. The zero value is not usable; construct with
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register installs a family; the name must be new and well-formed.
+func (r *Registry) register(f *family) *family {
+	if !validName(f.name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, f.name))
+		}
+	}
+	if f.typ == "histogram" {
+		if len(f.bounds) == 0 {
+			panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket bound", f.name))
+		}
+		if !sort.Float64sAreSorted(f.bounds) {
+			panic(fmt.Sprintf("metrics: histogram %s bounds must be sorted", f.name))
+		}
+	}
+	f.children = make(map[string]*child)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// validName checks the exposition format's metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	return f.get(nil).counter
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: CounterVec %s needs labels (use Counter)", name))
+	}
+	return &CounterVec{r.register(&family{name: name, help: help, typ: "counter", labels: labels})}
+}
+
+// Histogram registers and returns an unlabeled histogram with the
+// given upper-bound buckets (a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: "histogram", bounds: bounds})
+	return f.get(nil).hist
+}
+
+// HistogramVec registers a histogram family with the given buckets and
+// label names.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: HistogramVec %s needs labels (use Histogram)", name))
+	}
+	return &HistogramVec{r.register(&family{name: name, help: help, typ: "histogram", bounds: bounds, labels: labels})}
+}
+
+// WritePrometheus renders every family in registration order in the
+// text exposition format. Values are read with atomic loads but not
+// snapshotted as a set: a scrape racing live traffic can see bucket
+// counts mid-update relative to each other, which Prometheus's
+// ingestion model tolerates (counters only move forward).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.RLock()
+		for _, key := range f.order {
+			c := f.children[key]
+			if f.typ == "histogram" {
+				writeHistogram(&b, f.name, c)
+			} else {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.rendered, c.counter.Value())
+			}
+		}
+		f.mu.RUnlock()
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram child: cumulative le buckets,
+// then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, c *child) {
+	h := c.hist
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(c.rendered, "le", formatFloat(bound)), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(c.rendered, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, c.rendered, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, c.rendered, h.Count())
+}
+
+// mergeLabel appends one label pair to an already-rendered label set.
+func mergeLabel(rendered, name, value string) string {
+	pair := name + `="` + value + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, integral values without a
+// trailing ".0".
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "plain hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	v := r.CounterVec("queries_total", "queries by kind", "kind", "status")
+	v.With("bfs", "ok").Add(3)
+	v.With("bfs", "ok").Inc()
+	v.With("cc", "error").Inc()
+	if got := v.With("bfs", "ok").Value(); got != 4 {
+		t.Fatalf("vec child = %d, want 4", got)
+	}
+	if got := v.With("cc", "error").Value(); got != 1 {
+		t.Fatalf("vec child = %d, want 1", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sizes", "batch sizes", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+4+100 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// A value exactly on a bound belongs to that bound's bucket
+	// (le is <=): buckets are {<=1: 2, <=2: 4, <=4: 5, +Inf: 6}
+	// cumulatively.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sizes_bucket{le="1"} 2`,
+		`sizes_bucket{le="2"} 4`,
+		`sizes_bucket{le="4"} 5`,
+		`sizes_bucket{le="+Inf"} 6`,
+		`sizes_count 6`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "first")
+	v := r.CounterVec("b_total", "second", "kind")
+	v.With("x").Inc()
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "kind")
+	hv.With("y").Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP a_total first\n# TYPE a_total counter\na_total 0\n",
+		"# TYPE b_total counter\n" + `b_total{kind="x"} 1`,
+		`lat_seconds_bucket{kind="y",le="0.1"} 1`,
+		`lat_seconds_sum{kind="y"} 0.05`,
+		`lat_seconds_count{kind="y"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatalf("families out of registration order:\n%s", out)
+	}
+	// Every non-comment line must parse as `name{labels} value`.
+	line := regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*(\{[^{}]*\})? [0-9eE+.induIfna-]+$`)
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Fatalf("unparseable exposition line %q", l)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "", "name")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{name="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	mustPanic("duplicate name", func() { r.Counter("dup_total", "") })
+	mustPanic("bad name", func() { r.Counter("0bad", "") })
+	mustPanic("bad label", func() { r.CounterVec("ok_total", "", "bad-label") })
+	mustPanic("unsorted bounds", func() { r.Histogram("h", "", []float64{2, 1}) })
+	mustPanic("empty bounds", func() { r.Histogram("h2", "", nil) })
+	mustPanic("label arity", func() {
+		v := r.CounterVec("arity_total", "", "a", "b")
+		v.With("only-one")
+	})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("exponential = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 0.5, 3)
+	wantLin := []float64{0, 0.5, 1}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("linear = %v", lin)
+		}
+	}
+}
+
+// TestConcurrentObserve hammers one counter and one histogram from
+// many goroutines; exact totals prove no update is lost and -race
+// proves the paths are clean.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("conc_total", "", "kind")
+	h := r.Histogram("conc_sizes", "", []float64{4, 16, 64})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.With("k").Inc()
+				h.Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.With("k").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	var sum float64
+	for i := 0; i < per; i++ {
+		sum += float64(i % 100)
+	}
+	if h.Sum() != sum*workers {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), sum*workers)
+	}
+}

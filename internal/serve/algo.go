@@ -20,6 +20,7 @@ import (
 // the paper's §6.2 recommendation on a warm pool.
 var ccAliases = map[string]string{
 	"":           "par-hybrid",
+	"auto":       "auto",
 	"bb":         "sv-bb",
 	"sv-bb":      "sv-bb",
 	"ba":         "sv-ba",
@@ -38,6 +39,7 @@ var ccAliases = map[string]string{
 // mask sweep per level instead of k independent traversals.
 var bfsAliases = map[string]string{
 	"":             "par-do",
+	"auto":         "auto",
 	"bb":           "bb",
 	"ba":           "ba",
 	"dir-opt":      "dir-opt",
@@ -51,6 +53,7 @@ var bfsAliases = map[string]string{
 // delta-stepping hybrid on the warm pool, mirroring the CC default.
 var ssspAliases = map[string]string{
 	"":             "par-hybrid",
+	"auto":         "auto",
 	"bb":           "bb",
 	"bellman-ford": "bb",
 	"ba":           "ba",

@@ -32,6 +32,7 @@ import (
 	"bagraph"
 	"bagraph/internal/algoreq"
 	"bagraph/internal/cc"
+	"bagraph/internal/tune"
 )
 
 // Kind separates the two traversal families a batch can hold.
@@ -104,6 +105,15 @@ type Batcher struct {
 	// for it before releasing the pool it is running on.
 	fills sync.WaitGroup
 
+	// metrics, when set, receives batch sizes, cache events and kernel
+	// counters; nil disables the plane (every observe is a nil no-op).
+	metrics *Metrics
+	// tuner, when set, overrides the static schedule/delta/light-heavy
+	// knobs per dispatch and is fed each run's counters back. Both are
+	// fixed before traffic (Server.New wires them); dispatches read
+	// them without locks.
+	tuner *tune.Controller
+
 	mu      sync.Mutex
 	pending map[batchKey]*pendingBatch
 }
@@ -128,8 +138,50 @@ func NewBatcher(workers, maxBatch int, window time.Duration, sched bagraph.Sched
 	}
 }
 
+// SetMetrics attaches the aggregation plane. Call before serving
+// traffic; dispatches read the field unsynchronized.
+func (b *Batcher) SetMetrics(m *Metrics) { b.metrics = m }
+
+// SetTuner attaches the adaptive controller. Call before serving
+// traffic; dispatches read the field unsynchronized.
+func (b *Batcher) SetTuner(t *tune.Controller) { b.tuner = t }
+
 // Workers returns the resident pool size.
 func (b *Batcher) Workers() int { return b.wp.Workers() }
+
+// workload describes one dispatch to the tuner: the cell identity plus
+// the static shape facts a first decision needs.
+func (b *Batcher) workload(e *Entry, kind string, delta uint64) tune.Workload {
+	g := e.Graph()
+	return tune.Workload{
+		Graph: e.Name(), Epoch: e.Epoch(), Kind: kind,
+		Vertices: g.NumVertices(), Arcs: g.NumArcs(),
+		MaxDegree: e.MaxDegree(), Workers: b.wp.Workers(),
+		DefaultDelta: delta,
+	}
+}
+
+// scheduleName renders a schedule for the autotune decisions metric.
+func scheduleName(s bagraph.Schedule) string {
+	if s == bagraph.ScheduleStealing {
+		return "stealing"
+	}
+	return "static"
+}
+
+// kindLabel is the metric label for a batch key: the query family,
+// except the multi-source BFS kernel which gets its own series (its
+// batch and wave shapes are a different population).
+func kindLabel(key batchKey) string {
+	switch {
+	case key.kind == KindSSSP:
+		return tune.KindSSSP
+	case key.algo == "ms":
+		return tune.KindMS
+	default:
+		return tune.KindBFS
+	}
+}
 
 // Close releases the worker pool. In-flight dispatches must have
 // drained (the HTTP server's shutdown guarantees that); detached CC
@@ -241,6 +293,7 @@ func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint3
 			res = &ccResult{ready: make(chan struct{}), fill: newFillContext(ctx)}
 			e.ccCache[algo] = res
 			e.ccMu.Unlock()
+			b.metrics.ObserveCC("miss")
 			// The fill runs in its own goroutine so the filler's
 			// handler waits below like every other interested query:
 			// its own deadline or disconnect still bounds ITS response
@@ -249,6 +302,7 @@ func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint3
 			go b.fillCC(res, algo, e)
 		} else {
 			e.ccMu.Unlock()
+			b.metrics.ObserveCC("hit")
 			// Joining keeps the in-flight fill alive for as long as
 			// this query is; against a completed fill it is a no-op.
 			res.fill.join(ctx)
@@ -259,6 +313,7 @@ func (b *Batcher) CC(ctx context.Context, e *Entry, algo string) (labels []uint3
 				// The fill's whole cohort died and its entry is
 				// retired; retry under our own (still live) context.
 				// Non-context errors are the query's real answer.
+				b.metrics.ObserveCC("retry")
 				continue
 			}
 			// shared = ok: true exactly when this call joined a fill
@@ -300,10 +355,21 @@ func (b *Batcher) runCC(ctx context.Context, algo string, e *Entry) ([]uint32, b
 		return nil, bagraph.Stats{}, err
 	}
 	req.Schedule = b.schedule
+	var w tune.Workload
+	if b.tuner != nil {
+		w = b.workload(e, tune.KindCC, 0)
+		d := b.tuner.Decide(w)
+		req.Schedule = d.Schedule
+		b.metrics.ObserveAutotune(tune.KindCC, "schedule", scheduleName(d.Schedule))
+	}
 	res, err := b.wp.Run(ctx, e.target(), req)
 	if err != nil {
 		return nil, bagraph.Stats{}, err
 	}
+	if b.tuner != nil {
+		b.tuner.Observe(w, res.Stats)
+	}
+	b.metrics.ObserveRun(tune.KindCC, res.Stats)
 	return res.Labels, res.Stats, nil
 }
 
@@ -438,17 +504,33 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 		return
 	}
 	results := make([]Result, n)
+	b.metrics.ObserveBatch(kindLabel(key), n)
 	switch {
 	case key.kind == KindBFS && key.algo == "ms":
 		roots := make([]uint32, n)
 		for i, r := range reqs {
 			roots[i] = r.root
 		}
+		sched := b.schedule
+		var w tune.Workload
+		if b.tuner != nil {
+			w = b.workload(key.entry, tune.KindMS, 0)
+			d := b.tuner.Decide(w)
+			sched = d.Schedule
+			b.metrics.ObserveAutotune(tune.KindMS, "schedule", scheduleName(sched))
+		}
 		bctx, stop := batchContext(reqs)
 		res, err := b.wp.Run(bctx, key.entry.target(), bagraph.Request{
-			Kind: bagraph.KindBFSBatch, Roots: roots, Schedule: b.schedule,
+			Kind: bagraph.KindBFSBatch, Roots: roots, Schedule: sched,
 		})
 		stop()
+		if err == nil {
+			if b.tuner != nil {
+				b.tuner.Observe(w, res.Stats)
+			}
+			b.metrics.ObserveRun(tune.KindMS, res.Stats)
+			b.metrics.ObserveWaveOccupancy(n, res.Stats.Waves)
+		}
 		for i := range results {
 			if err != nil {
 				results[i] = Result{Err: err}
@@ -469,11 +551,15 @@ func (b *Batcher) dispatch(key batchKey, reqs []*Request) {
 	}
 }
 
-// runOne executes a single traversal under its request's context.
+// runOne executes a single traversal under its request's context. With
+// a tuner attached, the dispatch's result-invariant knobs (schedule,
+// delta, light/heavy) come from the cell's current decision and the
+// run's counters are fed back; the algorithm itself is part of the
+// batch key and never changes here.
 func (b *Batcher) runOne(r *Request) Result {
 	switch r.kind {
 	case KindSSSP:
-		w, err := r.entry.weightedTarget()
+		tgt, err := r.entry.weightedTarget()
 		if err != nil {
 			return Result{Err: err}
 		}
@@ -482,10 +568,26 @@ func (b *Batcher) runOne(r *Request) Result {
 			return Result{Err: err}
 		}
 		req.Schedule = b.schedule
-		res, err := b.wp.Run(r.ctx, w, req)
+		var w tune.Workload
+		if b.tuner != nil {
+			w = b.workload(r.entry, tune.KindSSSP, r.entry.SSSPDelta())
+			d := b.tuner.Decide(w)
+			req.Schedule = d.Schedule
+			req.LightHeavy = d.LightHeavy
+			if d.Delta != 0 {
+				req.Delta = d.Delta
+			}
+			b.metrics.ObserveAutotune(tune.KindSSSP, "schedule", scheduleName(d.Schedule))
+			b.metrics.ObserveAutotune(tune.KindSSSP, "delta", formatDelta(req.Delta))
+		}
+		res, err := b.wp.Run(r.ctx, tgt, req)
 		if err != nil {
 			return Result{Err: err}
 		}
+		if b.tuner != nil {
+			b.tuner.Observe(w, res.Stats)
+		}
+		b.metrics.ObserveRun(tune.KindSSSP, res.Stats)
 		return Result{Dists: res.Dists, Stats: res.Stats}
 	default:
 		req, err := algoreq.BFS(r.algo, r.root)
@@ -493,10 +595,21 @@ func (b *Batcher) runOne(r *Request) Result {
 			return Result{Err: err}
 		}
 		req.Schedule = b.schedule
+		var w tune.Workload
+		if b.tuner != nil {
+			w = b.workload(r.entry, tune.KindBFS, 0)
+			d := b.tuner.Decide(w)
+			req.Schedule = d.Schedule
+			b.metrics.ObserveAutotune(tune.KindBFS, "schedule", scheduleName(d.Schedule))
+		}
 		res, err := b.wp.Run(r.ctx, r.entry.target(), req)
 		if err != nil {
 			return Result{Err: err}
 		}
+		if b.tuner != nil {
+			b.tuner.Observe(w, res.Stats)
+		}
+		b.metrics.ObserveRun(tune.KindBFS, res.Stats)
 		return Result{Hops: res.Hops, Stats: res.Stats}
 	}
 }

@@ -236,6 +236,47 @@ func BenchmarkServeCCCache(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead measures what the aggregation plane costs
+// per dispatched query: the same single-request BFS dispatch with the
+// instruments dark (bare) and lit (instrumented). Every instrument on
+// the path is an atomic add or a fixed-bucket histogram observe, so
+// the two must sit within noise of each other — the CI gate runs both
+// so a regression that makes observability expensive shows up as a
+// diverging pair, not a silent tax on every serving benchmark.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	g := benchGraph()
+	r := NewRegistry()
+	e, err := r.Add("rmat", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, bt *Batcher) {
+		key := batchKey{entry: e, kind: KindBFS, algo: "ba"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := &Request{
+				entry: e, kind: KindBFS, algo: "ba", root: uint32(i*977) % uint32(g.NumVertices()),
+				ctx: context.Background(), done: make(chan Result, 1),
+			}
+			bt.dispatch(key, []*Request{req})
+			if res := <-req.done; res.Err != nil || len(res.Hops) == 0 {
+				b.Fatal("bad result")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) {
+		bt := NewBatcher(0, 1, -1, bagraph.ScheduleStatic)
+		defer bt.Close()
+		run(b, bt)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		bt := NewBatcher(0, 1, -1, bagraph.ScheduleStatic)
+		defer bt.Close()
+		bt.SetMetrics(NewMetrics())
+		run(b, bt)
+	})
+}
+
 // reportQueries normalizes throughput to queries per second.
 func reportQueries(b *testing.B, k int) {
 	b.ReportMetric(float64(k)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")

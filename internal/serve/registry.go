@@ -35,6 +35,10 @@ type Entry struct {
 	wErr           error
 	ssspDelta      uint64 // delta-stepping bucket width, cached with the view
 	hasEdgeWeights bool
+	// maxDegree is cached at publish: with the pool size it bounds the
+	// arc skew any static chunk partition can suffer, the structural
+	// signal the autotuner's first schedule decision reads per dispatch.
+	maxDegree int
 
 	ccMu    sync.Mutex
 	ccCache map[string]*ccResult
@@ -138,6 +142,10 @@ func (e *Entry) SSSPDelta() uint64 { return e.ssspDelta }
 // at publish time and immutable afterwards.
 func (e *Entry) HasEdgeWeights() bool { return e.hasEdgeWeights }
 
+// MaxDegree returns the graph's largest vertex degree, cached at
+// publish time.
+func (e *Entry) MaxDegree() int { return e.maxDegree }
+
 // Registry is the daemon's set of named resident graphs. Lookups are
 // lock-cheap reads; loading happens at startup or through an explicit
 // replace.
@@ -168,7 +176,8 @@ func newEntry(name string, epoch uint64, g *graph.Graph, w *graph.Weighted) *Ent
 	return &Entry{
 		name: name, epoch: epoch, g: g,
 		weighted: w, hasEdgeWeights: w != nil,
-		ccCache: make(map[string]*ccResult),
+		maxDegree: g.Degrees().Max,
+		ccCache:   make(map[string]*ccResult),
 	}
 }
 

@@ -8,6 +8,10 @@
 // Endpoints:
 //
 //	GET  /healthz     — liveness: status, graph count, pool size
+//	GET  /metrics     — Prometheus text exposition of the aggregation
+//	                    plane: query counts and latency, batch sizes,
+//	                    wave occupancy, CC cache events, kernel
+//	                    counters, autotune decisions
 //	GET  /graphs      — the resident graphs with sizes, epochs, and
 //	                    whether they carry real edge weights
 //	POST /query/cc    — {"graph","algo","labels"} → component count
@@ -37,6 +41,7 @@ import (
 	"bagraph"
 	"bagraph/internal/bfs"
 	"bagraph/internal/sssp"
+	"bagraph/internal/tune"
 )
 
 // Config sizes the daemon core. The zero value serves with GOMAXPROCS
@@ -64,6 +69,15 @@ type Config struct {
 	// run under: bagraph.ScheduleStatic (default) or
 	// bagraph.ScheduleStealing for skew-heavy graphs.
 	Schedule bagraph.Schedule
+	// Autotune turns on the adaptive controller (internal/tune): the
+	// schedule, delta-stepping width and light/heavy split of each
+	// dispatch come from the per-(graph, kernel) cell's live counters
+	// instead of the static flags above, queries may name algorithm
+	// "auto" to let the cell pick the bb/ba/hybrid form, and an empty
+	// algorithm defaults to "auto" instead of the static default. Every
+	// knob the controller turns is result-invariant: responses stay
+	// byte-identical to the static configuration.
+	Autotune bool
 }
 
 // Server routes the HTTP API onto a Registry and a Batcher.
@@ -72,6 +86,8 @@ type Server struct {
 	batcher      *Batcher
 	mux          *http.ServeMux
 	queryTimeout time.Duration
+	metrics      *Metrics
+	tuner        *tune.Controller
 }
 
 // New builds a server core over the registry. Release with Close.
@@ -89,12 +105,19 @@ func New(reg *Registry, cfg Config) *Server {
 		batcher:      NewBatcher(cfg.Workers, cfg.MaxBatch, window, cfg.Schedule),
 		mux:          http.NewServeMux(),
 		queryTimeout: cfg.QueryTimeout,
+		metrics:      NewMetrics(),
+	}
+	s.batcher.SetMetrics(s.metrics)
+	if cfg.Autotune {
+		s.tuner = tune.New()
+		s.batcher.SetTuner(s.tuner)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.metrics.Handler())
 	s.mux.HandleFunc("GET /graphs", s.handleGraphs)
-	s.mux.HandleFunc("POST /query/cc", bodyLimited(maxBody, s.handleCC))
-	s.mux.HandleFunc("POST /query/bfs", bodyLimited(maxBody, s.handleBFS))
-	s.mux.HandleFunc("POST /query/sssp", bodyLimited(maxBody, s.handleSSSP))
+	s.mux.HandleFunc("POST /query/cc", s.instrument(tune.KindCC, bodyLimited(maxBody, s.handleCC)))
+	s.mux.HandleFunc("POST /query/bfs", s.instrument(tune.KindBFS, bodyLimited(maxBody, s.handleBFS)))
+	s.mux.HandleFunc("POST /query/sssp", s.instrument(tune.KindSSSP, bodyLimited(maxBody, s.handleSSSP)))
 	return s
 }
 
@@ -103,6 +126,78 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Batcher exposes the dispatcher (benchmarks drive it directly).
 func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Metrics exposes the aggregation plane (tests read it in-process).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusWriter captures the response status for the query counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// statusLabel buckets an HTTP status into the low-cardinality outcome
+// classes the queries_total counter carries.
+func statusLabel(code int) string {
+	switch {
+	case code < 300:
+		return "ok"
+	case code == statusClientClosedRequest:
+		return "canceled"
+	case code == http.StatusGatewayTimeout:
+		return "timeout"
+	case code >= 400 && code < 500:
+		return "bad_request"
+	default:
+		return "error"
+	}
+}
+
+// instrument wraps a query handler with the per-kind count and latency
+// instruments.
+func (s *Server) instrument(kind string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.ObserveQuery(kind, statusLabel(sw.code), time.Since(start).Seconds())
+	}
+}
+
+// resolveAuto maps the "auto" algorithm onto the tuner's current pick
+// for the entry's cell (the static serving default when autotuning is
+// off). Non-"auto" names pass through.
+func (s *Server) resolveAuto(e *Entry, kind, algo string) string {
+	if algo != "auto" {
+		return algo
+	}
+	if s.tuner == nil {
+		switch kind {
+		case tune.KindCC:
+			return ccAliases[""]
+		case tune.KindSSSP:
+			return ssspAliases[""]
+		default:
+			return bfsAliases[""]
+		}
+	}
+	var delta uint64
+	if kind == tune.KindSSSP {
+		// The cell is keyed by (graph, epoch, kind) alone; the delta
+		// only shapes the Delta decision, which the batcher re-derives,
+		// so the entry's cached width (0 before the weighted view
+		// exists) is fine here.
+		delta = e.SSSPDelta()
+	}
+	d := s.tuner.Decide(s.batcher.workload(e, kind, delta))
+	s.metrics.ObserveAutotune(kind, "algo", d.Algo)
+	return d.Algo
+}
 
 // Close releases the worker pool. Call after the HTTP server has
 // drained in-flight requests.
@@ -306,6 +401,9 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if !decodeQuery(w, r, &q) {
 		return
 	}
+	if q.Algo == "" && s.tuner != nil {
+		q.Algo = "auto"
+	}
 	algo, err := canon(ccAliases, q.Algo, "CC")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -315,6 +413,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	algo = s.resolveAuto(e, tune.KindCC, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	labels, components, stats, shared, err := s.batcher.CC(ctx, e, algo)
@@ -360,6 +459,9 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !decodeQuery(w, r, &q) {
 		return
 	}
+	if q.Algo == "" && s.tuner != nil {
+		q.Algo = "auto"
+	}
 	algo, err := canon(bfsAliases, q.Algo, "BFS")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -369,6 +471,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
+	algo = s.resolveAuto(e, tune.KindBFS, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	res := s.batcher.BFS(ctx, e, algo, q.Root)
@@ -414,6 +517,9 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !decodeQuery(w, r, &q) {
 		return
 	}
+	if q.Algo == "" && s.tuner != nil {
+		q.Algo = "auto"
+	}
 	algo, err := canon(ssspAliases, q.Algo, "SSSP")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -423,6 +529,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !ok || !checkRoot(w, e, q.Root) {
 		return
 	}
+	algo = s.resolveAuto(e, tune.KindSSSP, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	res := s.batcher.SSSP(ctx, e, algo, q.Root)

@@ -274,6 +274,16 @@ type Stats struct {
 	WordsScanned uint64
 }
 
+// StealsPerPass returns the average number of stolen chunks per pass —
+// the load-imbalance signal the autotuner and /metrics watch. Zero when
+// no passes ran or the schedule was static.
+func (s Stats) StealsPerPass() float64 {
+	if s.Passes == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.Passes)
+}
+
 // Total returns the summed wall-clock time of all passes.
 func (s Stats) Total() time.Duration {
 	var t time.Duration

@@ -1,21 +1,38 @@
 #!/usr/bin/env bash
-# bench_compare.sh OLD.json NEW.json — diff two benchmark artifacts.
+# bench_compare.sh [--gate PCT] OLD.json NEW.json — diff two benchmark
+# artifacts.
 #
 # The CI bench smoke emits its benchmarks as a test2json event stream
 # (BENCH_pr*.json). This script extracts the "Benchmark... N ns/op"
 # result lines from two such artifacts and prints a per-benchmark
 # comparison: old ns/op, new ns/op, delta.
 #
-# REPORT-ONLY by design: it always exits 0 on a successful parse and
-# never asserts that anything got faster. CI containers may expose a
-# single CPU and share hardware with other jobs, so cross-run timings
-# are a trajectory record, not a gate (see ROADMAP). A missing
-# baseline file is also fine — fresh checkouts have no prior artifact
-# — and reports the new artifact's benchmarks on their own.
+# REPORT-ONLY by default: it exits 0 on a successful parse and never
+# asserts that anything got faster. CI containers may expose a single
+# CPU and share hardware with other jobs, so cross-run timings are a
+# trajectory record, not a gate (see ROADMAP). A missing baseline file
+# is also fine — fresh checkouts have no prior artifact — and reports
+# the new artifact's benchmarks on their own.
+#
+# --gate PCT opts into gating: when a baseline IS supplied, any
+# benchmark whose ns/op regressed by more than PCT percent fails the
+# run (exit 1, regressed benchmarks listed). The no-baseline path
+# stays report-only even under --gate — there is nothing to regress
+# against — so the flag is safe to leave on in jobs that only
+# sometimes download a prior artifact.
 set -euo pipefail
 
+gate=""
+if [ "${1:-}" = "--gate" ]; then
+    gate=${2:?"--gate needs a percentage"}
+    case $gate in
+        ''|*[!0-9.]*) echo "bench_compare: --gate wants a number, got $gate" >&2; exit 2 ;;
+    esac
+    shift 2
+fi
+
 if [ $# -ne 2 ]; then
-    echo "usage: $0 OLD.json NEW.json" >&2
+    echo "usage: $0 [--gate PCT] OLD.json NEW.json" >&2
     exit 2
 fi
 old=$1
@@ -49,24 +66,38 @@ if [ ! -f "$old" ]; then
     exit 0
 fi
 
-echo "bench_compare: $old -> $new (report-only, never a gate)"
+mode="report-only"
+if [ -n "$gate" ]; then
+    mode="gate at +$gate%"
+fi
+echo "bench_compare: $old -> $new ($mode)"
 {
     extract "$old" | sed 's/^/old /'
     extract "$new" | sed 's/^/new /'
-} | awk '
+} | awk -v gate="$gate" '
     $1 == "old" { oldns[$2] = $3 }
     $1 == "new" { newns[$2] = $3; order[n++] = $2 }
     END {
         printf "  %-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        failed = 0
         for (i = 0; i < n; i++) {
             name = order[i]
             if (name in oldns && oldns[name] > 0) {
                 d = (newns[name] - oldns[name]) / oldns[name] * 100
                 printf "  %-64s %14.0f %14.0f %8.1f%%\n", name, oldns[name], newns[name], d
+                if (gate != "" && d > gate + 0) {
+                    regressed[failed++] = sprintf("%s +%.1f%% (%.0f -> %.0f ns/op)", \
+                        name, d, oldns[name], newns[name])
+                }
             } else {
                 printf "  %-64s %14s %14.0f %9s\n", name, "-", newns[name], "new"
             }
         }
         for (name in oldns) if (!(name in newns))
             printf "  %-64s %14.0f %14s %9s\n", name, oldns[name], "-", "gone"
+        if (failed > 0) {
+            printf "bench_compare: %d benchmark(s) regressed beyond +%s%%:\n", failed, gate > "/dev/stderr"
+            for (i = 0; i < failed; i++) print "  " regressed[i] > "/dev/stderr"
+            exit 1
+        }
     }'

@@ -1,0 +1,90 @@
+// Package scripts tests the CI helper scripts against checked-in
+// fixture streams, so their extraction and gating logic is pinned by
+// `go test ./...` instead of only surfacing inside CI jobs.
+package scripts
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runCompare executes bench_compare.sh with args and returns its exit
+// code plus combined output. Skips when bash is unavailable.
+func runCompare(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	cmd := exec.Command("bash", append([]string{"bench_compare.sh"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("run bench_compare.sh %v: %v\n%s", args, err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return code, string(out)
+}
+
+// TestBenchCompareExtraction: the report path parses the test2json
+// fixture streams — names from the Test field, ns/op from the output
+// text — and stays exit-0 however the numbers moved.
+func TestBenchCompareExtraction(t *testing.T) {
+	code, out := runCompare(t, "testdata/bench_old.json", "testdata/bench_new.json")
+	if code != 0 {
+		t.Fatalf("report-only compare exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"BenchmarkFoo", "1000", "1100", "10.0%", // +10% regression, reported not gated
+		"BenchmarkBar", "900", "-10.0%",
+		"BenchmarkNew", "new",
+		"BenchmarkGone", "gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PASS") || strings.Contains(out, "queries/s") {
+		t.Fatalf("non-ns/op output leaked into the report:\n%s", out)
+	}
+}
+
+// TestBenchCompareGate: --gate turns regressions beyond the threshold
+// into a non-zero exit that names the offender, leaves improvements
+// and sub-threshold noise alone, and stays report-only with no
+// baseline.
+func TestBenchCompareGate(t *testing.T) {
+	// Foo regressed +10%: a 5% gate trips and names it.
+	code, out := runCompare(t, "--gate", "5", "testdata/bench_old.json", "testdata/bench_new.json")
+	if code != 1 {
+		t.Fatalf("gate 5 exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "regressed beyond +5%") || !strings.Contains(out, "BenchmarkFoo +10.0%") {
+		t.Fatalf("gate failure does not name the regression:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkBar +") {
+		t.Fatalf("improved benchmark flagged as regressed:\n%s", out)
+	}
+
+	// A 200% gate tolerates the +10%.
+	if code, out := runCompare(t, "--gate", "200", "testdata/bench_old.json", "testdata/bench_new.json"); code != 0 {
+		t.Fatalf("gate 200 exited %d:\n%s", code, out)
+	}
+
+	// No baseline: report-only even under --gate.
+	code, out = runCompare(t, "--gate", "5", "testdata/no_such_baseline.json", "testdata/bench_new.json")
+	if code != 0 {
+		t.Fatalf("missing-baseline gate exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no baseline") {
+		t.Fatalf("missing-baseline path did not announce itself:\n%s", out)
+	}
+
+	// A non-numeric gate is a usage error, not a silent report.
+	if code, out := runCompare(t, "--gate", "fast", "testdata/bench_old.json", "testdata/bench_new.json"); code != 2 {
+		t.Fatalf("bad gate value exited %d, want 2:\n%s", code, out)
+	}
+}

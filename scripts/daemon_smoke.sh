@@ -2,9 +2,12 @@
 # Daemon smoke test: build the binaries, serve a small generated graph
 # (plus a weighted variant) with baserved, check that CC, BFS and
 # weighted SSSP answers over HTTP match the bacc, babfs and basssp
-# command-line kernels on the same files, and verify the daemon drains
-# cleanly on SIGTERM. Run from the repository root; CI runs it as a
-# dedicated job.
+# command-line kernels on the same files — with -autotune on, so the
+# adaptive controller's picks are exercised against the same
+# equivalence bars — scrape /metrics and fail unless the query-count,
+# CC-cache-hit and batch-size-histogram series are present and
+# non-zero, and verify the daemon drains cleanly on SIGTERM. Run from
+# the repository root; CI runs it as a dedicated job.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -24,7 +27,7 @@ echo "== generate graphs"
 echo "== start daemon"
 "$bindir/baserved" -listen "$addr" -graph "smoke=$workdir/smoke.metis" \
     -graph "wsmoke=$workdir/wsmoke.metis" \
-    -batch-window 1ms >"$workdir/baserved.log" 2>&1 &
+    -batch-window 1ms -autotune >"$workdir/baserved.log" 2>&1 &
 daemon_pid=$!
 
 for i in $(seq 1 50); do
@@ -48,6 +51,18 @@ cc_direct=$("$bindir/bacc" -in "$workdir/smoke.metis" -algo hybrid \
 echo "daemon=$cc_daemon direct=$cc_direct"
 [ -n "$cc_daemon" ] && [ "$cc_daemon" = "$cc_direct" ] \
     || { echo "CC mismatch" >&2; exit 1; }
+# Repeat the identical query: the second answer comes from the epoch
+# cache (asserted through /metrics below) and must not change.
+cc_cached=$(curl -sf -d '{"graph":"smoke","algo":"hybrid"}' "http://$addr/query/cc" \
+    | grep -o '"components":[0-9]*' | cut -d: -f2)
+[ "$cc_cached" = "$cc_direct" ] || { echo "cached CC mismatch" >&2; exit 1; }
+# The autotuner's pick ("auto", the daemon's default under -autotune)
+# must resolve to a concrete kernel with the same component count.
+cc_auto=$(curl -sf -d '{"graph":"smoke","algo":"auto"}' "http://$addr/query/cc" \
+    | grep -o '"components":[0-9]*' | cut -d: -f2)
+echo "daemon(auto)=$cc_auto"
+[ -n "$cc_auto" ] && [ "$cc_auto" = "$cc_direct" ] \
+    || { echo "autotuned CC mismatch" >&2; exit 1; }
 
 echo "== BFS equivalence (daemon vs babfs)"
 bfs_daemon=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"ba"}' "http://$addr/query/bfs" \
@@ -57,6 +72,11 @@ bfs_direct=$("$bindir/babfs" -in "$workdir/smoke.metis" -root 0 -variant ba \
 echo "daemon=$bfs_daemon direct=$bfs_direct"
 [ -n "$bfs_daemon" ] && [ "$bfs_daemon" = "$bfs_direct" ] \
     || { echo "BFS mismatch" >&2; exit 1; }
+bfs_auto=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"auto"}' "http://$addr/query/bfs" \
+    | grep -o '"reached":[0-9]*' | cut -d: -f2)
+echo "daemon(auto)=$bfs_auto"
+[ -n "$bfs_auto" ] && [ "$bfs_auto" = "$bfs_direct" ] \
+    || { echo "autotuned BFS mismatch" >&2; exit 1; }
 
 echo "== multi-source BFS equivalence (daemon ms vs babfs)"
 ms_daemon=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"ms"}' "http://$addr/query/bfs" \
@@ -85,6 +105,33 @@ sssp_unit=$(curl -sf -d '{"graph":"smoke","root":0,"algo":"par-hybrid"}' "http:/
 echo "unit-weight sum=$sssp_unit"
 [ -n "$sssp_unit" ] && [ "$sssp_unit" != "$sssp_daemon" ] \
     || { echo "weighted and unit-weight sums identical; weights ignored?" >&2; exit 1; }
+
+echo "== metrics exposition"
+metrics="$workdir/metrics.txt"
+curl -sf "http://$addr/metrics" >"$metrics"
+# Every sample line must match the exposition grammar.
+bad=$(grep -vE '^(#.*|[A-Za-z_][A-Za-z0-9_]*(\{[^{}]*\})? [0-9eE+.InNa-]+)$' "$metrics" || true)
+[ -z "$bad" ] || { echo "unparseable /metrics lines:" >&2; echo "$bad" >&2; exit 1; }
+# A named series must be present with a value > 0.
+metric_nonzero() {
+    local pattern=$1
+    local v
+    v=$(grep -E "$pattern" "$metrics" | awk '{s+=$NF} END {printf "%d", s}')
+    if [ -z "$v" ] || [ "$v" -le 0 ]; then
+        echo "metrics series $pattern missing or zero" >&2
+        grep -E "$pattern" "$metrics" >&2 || true
+        exit 1
+    fi
+    echo "  $pattern = $v"
+}
+metric_nonzero '^baserved_queries_total\{kind="cc",status="ok"\}'
+metric_nonzero '^baserved_queries_total\{kind="bfs",status="ok"\}'
+metric_nonzero '^baserved_queries_total\{kind="sssp",status="ok"\}'
+metric_nonzero '^baserved_cc_cache_events_total\{event="hit"\}'
+metric_nonzero '^baserved_cc_cache_events_total\{event="miss"\}'
+metric_nonzero '^baserved_batch_size_count'
+metric_nonzero '^baserved_kernel_passes_total'
+metric_nonzero '^baserved_autotune_decisions_total'
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$daemon_pid"
