@@ -13,6 +13,26 @@
 //	baserved -graph web=crawl.metis -graph road=weighted-roads.metis -listen :9090
 //	baserved -corpus all -workers 8 -batch-max 64 -batch-window 1ms
 //
+// Fleet mode promotes the daemon to many processes: shards are
+// ordinary daemons (usually with -admin, so graphs can be rolled out
+// in place), and a router is a stateless front that owns no graphs —
+// it places queries on shards by consistent hashing over graph names,
+// fans replicated graphs to the least-loaded live replica, health-
+// checks shards with retry/backoff, and fails over to replicas when a
+// shard dies (503 only when no live replica holds the graph):
+//
+//	baserved -graph web=crawl.metis -listen :9101 -admin   # shard 1
+//	baserved -graph web=crawl.metis -listen :9102 -admin   # shard 2
+//	baserved -router -shard 127.0.0.1:9101,127.0.0.1:9102 -listen :8080
+//
+// With -admin on the router, POST /admin/rollout
+// {"graph":"web","path":"new.metis"} replaces the graph one replica at
+// a time (Registry.Replace under each shard's epoch machinery) and
+// re-warms each shard's CC cache before the next swap — zero-downtime
+// rollout. Shard rotation reuses the SIGTERM drain path: kill a shard,
+// the router reroutes to replicas, restart it, and the router warms
+// its CC cache before returning it to traffic.
+//
 // Queries:
 //
 //	curl -s localhost:8080/graphs
@@ -30,7 +50,9 @@
 // Prometheus text format: query counts and latency by kind, batch
 // sizes, multi-source wave occupancy, CC cache hit/miss/retry counts,
 // per-kind kernel counters (passes, steals, words scanned, light/heavy
-// relaxations) and — with -autotune — the controller's knob picks.
+// relaxations) and — with -autotune — the controller's knob picks. A
+// router additionally exposes the fleet plane: per-shard request
+// counts, retries, failovers, health checks and per-shard up gauges.
 // -autotune turns on the adaptive controller: schedule, delta-stepping
 // width and the bb/ba/hybrid cutover are chosen per (graph, kernel)
 // from live counters (algo "auto", the default when the flag is set);
@@ -55,6 +77,7 @@ import (
 
 	"bagraph"
 	"bagraph/internal/corpus"
+	"bagraph/internal/fleet"
 	"bagraph/internal/serve"
 )
 
@@ -72,8 +95,23 @@ func (g *graphFlags) Set(v string) error {
 	return nil
 }
 
+// shardFlags collects -shard addresses (repeatable, comma-splittable).
+type shardFlags []string
+
+func (s *shardFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *shardFlags) Set(v string) error {
+	for _, addr := range strings.Split(v, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			*s = append(*s, addr)
+		}
+	}
+	return nil
+}
+
 func main() {
 	var graphs graphFlags
+	var shards shardFlags
 	flag.Var(&graphs, "graph", "load a METIS graph as name=path (repeatable)")
 	corpusList := flag.String("corpus", "", "comma-separated corpus graphs to load, or \"all\"")
 	scale := flag.Float64("scale", 0.01, "corpus scale in (0, 1]")
@@ -91,64 +129,100 @@ func main() {
 		"pick schedule, delta and the bb/ba/hybrid cutover per (graph, kernel) from live counters")
 	relabelOn := flag.Bool("relabel", false,
 		"store graphs degree-ordered (hub clustering); queries and results keep original vertex ids")
+	admin := flag.Bool("admin", false,
+		"mount the admin plane: /admin/replace (zero-downtime graph rollout) on a daemon/shard, /admin/rollout on a router")
+	router := flag.Bool("router", false,
+		"run as a stateless fleet router over the -shard addresses instead of serving graphs in-process")
+	flag.Var(&shards, "shard", "router mode: shard address host:port (repeatable or comma-separated)")
+	replicas := flag.Int("replicas", 2, "router mode: shards a rollout places a NEW graph on")
+	healthInterval := flag.Duration("health-interval", time.Second,
+		"router mode: live-shard probe period (dead shards back off to 8x)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown limit")
 	flag.Parse()
 
-	sched, err := bagraph.ParseSchedule(*schedule)
-	if err != nil {
-		log.Fatalf("baserved: %v", err)
-	}
 	if *queryTimeout < 0 {
 		log.Fatal("baserved: -query-timeout must be >= 0")
 	}
 
-	if len(graphs) == 0 && *corpusList == "" {
-		log.Fatal("baserved: nothing to serve; pass -graph and/or -corpus (e.g. -corpus all)")
-	}
-
-	reg := serve.NewRegistry()
-	reg.SetRelabel(*relabelOn)
-	for _, gf := range graphs {
-		e, err := reg.LoadMETISFile(gf.name, gf.path)
+	var core *serve.Server
+	if *router {
+		if len(graphs) != 0 || *corpusList != "" {
+			log.Fatal("baserved: -router owns no graphs; drop -graph/-corpus (load them on the shards)")
+		}
+		if len(shards) == 0 {
+			log.Fatal("baserved: -router needs at least one -shard address")
+		}
+		fl, err := fleet.New(fleet.Config{
+			Shards:         shards,
+			Replicas:       *replicas,
+			HealthInterval: *healthInterval,
+			Logf:           log.Printf,
+		})
 		if err != nil {
 			log.Fatalf("baserved: %v", err)
 		}
-		log.Printf("loaded %s: %v", gf.name, e.Graph())
-	}
-	if *corpusList != "" {
-		names := corpus.Names()
-		if *corpusList != "all" {
-			names = strings.Split(*corpusList, ",")
+		core = serve.NewWithBackend(fl, serve.Config{
+			QueryTimeout: *queryTimeout,
+			Admin:        *admin,
+		})
+		fl.SetMetrics(fleet.NewMetrics(core.Metrics().Registry()))
+		fl.Start()
+		log.Printf("routing over %d shards on %s: %s", len(shards), *listen, shards.String())
+	} else {
+		if len(shards) != 0 {
+			log.Fatal("baserved: -shard only applies with -router")
 		}
-		for _, name := range names {
-			e, err := reg.AddCorpus(name, *scale, *seed)
+		sched, err := bagraph.ParseSchedule(*schedule)
+		if err != nil {
+			log.Fatalf("baserved: %v", err)
+		}
+		if len(graphs) == 0 && *corpusList == "" {
+			log.Fatal("baserved: nothing to serve; pass -graph and/or -corpus (e.g. -corpus all)")
+		}
+		reg := serve.NewRegistry()
+		reg.SetRelabel(*relabelOn)
+		for _, gf := range graphs {
+			e, err := reg.LoadMETISFile(gf.name, gf.path)
 			if err != nil {
 				log.Fatalf("baserved: %v", err)
 			}
-			log.Printf("generated %s: %v", name, e.Graph())
+			log.Printf("loaded %s: %v", gf.name, e.Graph())
 		}
+		if *corpusList != "" {
+			names := corpus.Names()
+			if *corpusList != "all" {
+				names = strings.Split(*corpusList, ",")
+			}
+			for _, name := range names {
+				e, err := reg.AddCorpus(name, *scale, *seed)
+				if err != nil {
+					log.Fatalf("baserved: %v", err)
+				}
+				log.Printf("generated %s: %v", name, e.Graph())
+			}
+		}
+		window := *batchWindow
+		if window == 0 {
+			// Config treats 0 as "default"; the flag's 0 means immediate.
+			window = -1
+		}
+		core = serve.New(reg, serve.Config{
+			Workers:      *workers,
+			MaxBatch:     *batchMax,
+			BatchWindow:  window,
+			QueryTimeout: *queryTimeout,
+			Schedule:     sched,
+			Autotune:     *autotune,
+			Admin:        *admin,
+		})
+		log.Printf("serving %d graphs on %s (workers %d, batch %d/%v)",
+			len(reg.Entries()), *listen, core.Batcher().Workers(), *batchMax, window)
 	}
-
-	window := *batchWindow
-	if window == 0 {
-		// Config treats 0 as "default"; the flag's 0 means immediate.
-		window = -1
-	}
-	core := serve.New(reg, serve.Config{
-		Workers:      *workers,
-		MaxBatch:     *batchMax,
-		BatchWindow:  window,
-		QueryTimeout: *queryTimeout,
-		Schedule:     sched,
-		Autotune:     *autotune,
-	})
 	defer core.Close()
 
 	srv := &http.Server{Addr: *listen, Handler: core.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %d graphs on %s (workers %d, batch %d/%v)",
-		len(reg.Entries()), *listen, core.Batcher().Workers(), *batchMax, window)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,131 @@
+package fleet
+
+// The fleet's rollout plane. POST /admin/rollout drives a
+// zero-downtime graph replacement across the fleet: the router fans
+// the shard-side /admin/replace (Registry.Replace/ReplaceWeighted)
+// across the graph's replicas ONE SHARD AT A TIME — while one replica
+// swaps epochs the others keep answering — then re-warms each shard's
+// CC cache at the new epoch before moving on. A graph new to the fleet
+// is placed on the first Replicas live shards in ring order, which is
+// what "placing graphs by consistent hashing" means operationally:
+// the operator names the graph, the ring names the shards.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// rolloutRequest is the /admin/rollout body. Path names a METIS file
+// on the SHARDS' filesystem (fleet deployments share graph storage).
+type rolloutRequest struct {
+	Graph string `json:"graph"`
+	Path  string `json:"path"`
+}
+
+// shardRollout is one shard's outcome within a rollout.
+type shardRollout struct {
+	Shard string `json:"shard"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// rolloutResponse reports the fleet-wide outcome.
+type rolloutResponse struct {
+	Graph  string         `json:"graph"`
+	Shards []shardRollout `json:"shards"`
+}
+
+// rolloutTargets picks the shards a rollout touches: the live holders
+// in ring preference order, or — for a graph the fleet has never seen
+// — the first Replicas live shards in ring order.
+func (r *Router) rolloutTargets(graph string) []*shard {
+	var holders, fresh []*shard
+	for _, idx := range r.ring.order(graph) {
+		s := r.shards[idx]
+		if s.state.Load() != stateLive {
+			continue
+		}
+		if s.holds(graph) {
+			holders = append(holders, s)
+		} else if len(fresh) < r.cfg.Replicas {
+			fresh = append(fresh, s)
+		}
+	}
+	if len(holders) > 0 {
+		return holders
+	}
+	return fresh
+}
+
+// rollout replaces the graph on each target serially, re-warming the
+// CC cache and refreshing the holdings listing after each swap.
+func (r *Router) rollout(ctx context.Context, graph, path string) rolloutResponse {
+	resp := rolloutResponse{Graph: graph}
+	for _, s := range r.rolloutTargets(graph) {
+		out := shardRollout{Shard: s.addr}
+		rep, err := s.client.Replace(ctx, graph, path)
+		if err != nil {
+			out.Error = err.Error()
+			resp.Shards = append(resp.Shards, out)
+			continue
+		}
+		out.Epoch = rep.Epoch
+		// The new epoch starts with a cold CC cache; refill it before
+		// the next shard swaps so the fleet never serves two cold
+		// replicas at once.
+		if _, err := s.client.CC(ctx, graph, "", false); err == nil {
+			r.metrics.observeWarm(s.addr)
+		}
+		if infos, err := s.client.Graphs(ctx); err == nil {
+			s.setListing(infos, s.workerCount())
+		}
+		r.logf("fleet: rolled out %s epoch %d on %s", graph, rep.Epoch, s.addr)
+		resp.Shards = append(resp.Shards, out)
+	}
+	return resp
+}
+
+// MountAdmin registers the router's admin plane on the serving mux
+// (reached only when serve.Config.Admin is set).
+func (r *Router) MountAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("POST /admin/rollout", func(w http.ResponseWriter, req *http.Request) {
+		req.Body = http.MaxBytesReader(w, req.Body, 1<<20)
+		var q rolloutRequest
+		if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+			adminError(w, http.StatusBadRequest, "bad rollout body: %v", err)
+			return
+		}
+		if q.Graph == "" || q.Path == "" {
+			adminError(w, http.StatusBadRequest, "rollout wants graph and path")
+			return
+		}
+		resp := r.rollout(req.Context(), q.Graph, q.Path)
+		if len(resp.Shards) == 0 {
+			adminError(w, http.StatusServiceUnavailable,
+				"graph %q: no live shard to roll out to", q.Graph)
+			return
+		}
+		code := http.StatusBadGateway
+		for _, s := range resp.Shards {
+			if s.Error == "" {
+				code = http.StatusOK
+				break
+			}
+		}
+		adminJSON(w, code, resp)
+	})
+}
+
+func adminJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func adminError(w http.ResponseWriter, code int, format string, args ...any) {
+	adminJSON(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,414 @@
+// Package fleet promotes baserved from one process to a sharded,
+// replicated query fleet: a stateless Router implements the serving
+// layer's Backend interface over N shard processes (each an ordinary
+// baserved with the admin plane enabled), so the same HTTP handlers
+// that front an in-process batcher front the whole fleet.
+//
+// Placement is consistent hashing over graph names (see ring.go): a
+// graph's replica preference order is a pure function of the name and
+// the shard list, so any number of stateless routers agree without
+// coordination. A graph's candidates are the live shards that actually
+// hold it (the router learns holdings from each shard's /graphs,
+// refreshed by the health loop), tried least-loaded first. A shard
+// that fails at the transport level mid-query is marked dead on the
+// spot and the query retries on the next replica — the caller sees one
+// answer, not the failover — and 503 surfaces only when no live
+// replica holds the graph. Dead shards are probed with backoff and
+// re-join through a warming state: the router refills their CC cache
+// per held graph before they take traffic again.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bagraph/internal/serve"
+)
+
+// Shard lifecycle states.
+const (
+	stateWarming int32 = iota // known but not yet taking traffic
+	stateLive                 // healthy, in the candidate set
+	stateDead                 // failed; probed with backoff
+)
+
+// Config shapes a Router.
+type Config struct {
+	// Shards lists the shard addresses (host:port or http:// URLs).
+	Shards []string
+	// Replicas is how many shards a NEW graph is placed on when a
+	// rollout introduces it (existing graphs live wherever they are
+	// already loaded). < 1 means 2.
+	Replicas int
+	// HealthInterval is the live-shard probe period; 0 means 1s. Dead
+	// shards back off to 8x this.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe; 0 means 2s.
+	HealthTimeout time.Duration
+	// FailAfter is how many consecutive probe failures demote a live
+	// shard; < 1 means 2. (A query-path transport failure demotes
+	// immediately — a refused connection is not a flaky probe.)
+	FailAfter int
+	// WarmTimeout bounds each CC warm-up query on a joining shard; 0
+	// means 30s.
+	WarmTimeout time.Duration
+	// Client is the HTTP client the shard clients share; nil means a
+	// dedicated keep-alive client.
+	Client *http.Client
+	// Logf, when set, receives shard lifecycle events (join, death,
+	// warm-up); nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// shard is one member's live state.
+type shard struct {
+	addr     string
+	client   *serve.ShardClient
+	state    atomic.Int32
+	inflight atomic.Int64 // queries in progress, the load signal
+
+	mu      sync.RWMutex
+	graphs  map[string]serve.GraphInfo // last /graphs listing
+	workers int
+}
+
+// holds reports whether the shard's last listing carried the graph.
+func (s *shard) holds(graph string) bool {
+	s.mu.RLock()
+	_, ok := s.graphs[graph]
+	s.mu.RUnlock()
+	return ok
+}
+
+func (s *shard) setListing(infos []serve.GraphInfo, workers int) {
+	m := make(map[string]serve.GraphInfo, len(infos))
+	for _, g := range infos {
+		m[g.Name] = g
+	}
+	s.mu.Lock()
+	s.graphs = m
+	s.workers = workers
+	s.mu.Unlock()
+}
+
+// Router is the stateless query front: a serve.Backend whose dispatch
+// plane is the fleet.
+type Router struct {
+	cfg     Config
+	shards  []*shard
+	ring    ring
+	metrics *Metrics
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a router over the configured shards. Call SetMetrics (if
+// wanted) and then Start to launch the health loops; Close releases
+// them.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fleet: no shards configured")
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 2
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = 2 * time.Second
+	}
+	if cfg.FailAfter < 1 {
+		cfg.FailAfter = 2
+	}
+	if cfg.WarmTimeout <= 0 {
+		cfg.WarmTimeout = 30 * time.Second
+	}
+	r := &Router{cfg: cfg, stop: make(chan struct{})}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for _, addr := range cfg.Shards {
+		c := serve.NewShardClient(addr, cfg.Client)
+		if seen[c.Addr()] {
+			return nil, fmt.Errorf("fleet: duplicate shard %s", c.Addr())
+		}
+		seen[c.Addr()] = true
+		r.shards = append(r.shards, &shard{addr: c.Addr(), client: c})
+	}
+	ids := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		ids[i] = s.addr
+	}
+	r.ring = newRing(ids)
+	return r, nil
+}
+
+// SetMetrics attaches the router's instrument set. Call before Start.
+func (r *Router) SetMetrics(m *Metrics) { r.metrics = m }
+
+// Start launches one health loop per shard. Shards join through the
+// warming state, so the router answers 503 until the first probes
+// land.
+func (r *Router) Start() {
+	for _, s := range r.shards {
+		r.wg.Add(1)
+		go r.healthLoop(s)
+	}
+}
+
+// Close stops the health loops. In-flight queries must have drained
+// (the HTTP server's shutdown guarantees that).
+func (r *Router) Close() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// markDead demotes a shard. Its graphs re-route to their replicas on
+// the next candidate selection; the health loop keeps probing with
+// backoff and re-warms it on recovery.
+func (r *Router) markDead(s *shard, cause string) {
+	if s.state.CompareAndSwap(stateLive, stateDead) {
+		r.metrics.observeFailover(s.addr)
+		r.metrics.setUp(s.addr, false)
+		r.logf("fleet: shard %s dead (%s); rerouting its graphs to replicas", s.addr, cause)
+	}
+}
+
+// healthLoop probes one shard forever: live shards every
+// HealthInterval, dead ones with exponential backoff up to 8x. A probe
+// is a /healthz round-trip plus a /graphs refresh (holdings drive
+// placement, so they must track rollouts); FailAfter consecutive
+// failures demote a live shard, and a recovering shard is warmed
+// before it rejoins the candidate set.
+func (r *Router) healthLoop(s *shard) {
+	defer r.wg.Done()
+	failures := 0
+	delay := time.Duration(0) // probe immediately on start
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(delay):
+		}
+		if r.probe(s) {
+			failures = 0
+			delay = r.cfg.HealthInterval
+			continue
+		}
+		failures++
+		if failures >= r.cfg.FailAfter {
+			r.markDead(s, fmt.Sprintf("%d consecutive failed probes", failures))
+		}
+		if s.state.Load() == stateDead {
+			// Exponential backoff while dead, capped at 8 intervals.
+			shift := failures - r.cfg.FailAfter
+			if shift > 3 {
+				shift = 3
+			}
+			delay = r.cfg.HealthInterval << shift
+		} else {
+			delay = r.cfg.HealthInterval
+		}
+	}
+}
+
+// probe runs one health check; true means the shard answered and its
+// listing is fresh.
+func (r *Router) probe(s *shard) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+	defer cancel()
+	h, err := s.client.Healthz(ctx)
+	if err == nil {
+		var infos []serve.GraphInfo
+		infos, err = s.client.Graphs(ctx)
+		if err == nil {
+			s.setListing(infos, h.Workers)
+		}
+	}
+	r.metrics.observeHealth(s.addr, err == nil)
+	if err != nil {
+		return false
+	}
+	if s.state.Load() != stateLive {
+		r.warm(s)
+		s.state.Store(stateLive)
+		r.metrics.setUp(s.addr, true)
+		r.logf("fleet: shard %s live (%d graphs, %d workers)", s.addr, len(s.listing()), s.workerCount())
+	}
+	return true
+}
+
+// warm refills a joining shard's CC cache before it takes traffic: one
+// CC query (default algorithm, no labels) per held graph, so the first
+// real query after a join or rollout hits a warm epoch cache instead
+// of paying the fill. Best-effort — a failed warm-up only costs the
+// first client the fill it would have paid anyway.
+func (r *Router) warm(s *shard) {
+	for _, g := range s.listing() {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.WarmTimeout)
+		_, err := s.client.CC(ctx, g.Name, "", false)
+		cancel()
+		r.metrics.observeWarm(s.addr)
+		if err != nil {
+			r.logf("fleet: warm %s on %s: %v", g.Name, s.addr, err)
+			continue
+		}
+	}
+}
+
+func (s *shard) listing() []serve.GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]serve.GraphInfo, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		out = append(out, g)
+	}
+	return out
+}
+
+func (s *shard) workerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workers
+}
+
+// candidates returns the live shards holding the graph, ring
+// preference order re-sorted least-loaded first (ties keep ring
+// order), plus whether ANY shard — live or not — holds it (the
+// 404-vs-503 distinction).
+func (r *Router) candidates(graph string) (cands []*shard, known bool) {
+	for _, idx := range r.ring.order(graph) {
+		s := r.shards[idx]
+		if !s.holds(graph) {
+			continue
+		}
+		known = true
+		if s.state.Load() == stateLive {
+			cands = append(cands, s)
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		return cands[a].inflight.Load() < cands[b].inflight.Load()
+	})
+	return cands, known
+}
+
+// route runs one query against the graph's replica set: the
+// least-loaded live holder first, failing over on transport errors
+// (the failed shard is marked dead immediately) until a replica
+// answers. An application-level answer from a shard — success or a
+// typed *serve.Error — ends the loop either way; only an unreachable
+// shard triggers the next replica.
+func route[T any](r *Router, ctx context.Context, graph, kind string,
+	call func(context.Context, *serve.ShardClient) (T, error)) (T, error) {
+	var zero T
+	cands, known := r.candidates(graph)
+	if len(cands) == 0 {
+		if known {
+			return zero, serve.Errorf(http.StatusServiceUnavailable,
+				"graph %q: no live replica", graph)
+		}
+		return zero, serve.Errorf(http.StatusNotFound, "graph %q not loaded", graph)
+	}
+	var lastErr error
+	for _, s := range cands {
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		r.metrics.observeRequest(s.addr, kind)
+		s.inflight.Add(1)
+		out, err := call(ctx, s.client)
+		s.inflight.Add(-1)
+		var te *serve.TransportError
+		if errors.As(err, &te) {
+			r.markDead(s, te.Err.Error())
+			r.metrics.observeRetry(s.addr)
+			lastErr = err
+			continue
+		}
+		return out, err
+	}
+	return zero, serve.Errorf(http.StatusServiceUnavailable,
+		"graph %q: every replica failed (%v)", graph, lastErr)
+}
+
+// CC implements serve.Backend across the fleet.
+func (r *Router) CC(ctx context.Context, graph, algo string, labels bool) (*serve.CCResponse, error) {
+	return route(r, ctx, graph, "cc", func(ctx context.Context, c *serve.ShardClient) (*serve.CCResponse, error) {
+		return c.CC(ctx, graph, algo, labels)
+	})
+}
+
+// BFS implements serve.Backend across the fleet.
+func (r *Router) BFS(ctx context.Context, graph string, root uint32, algo string) (*serve.BFSResponse, error) {
+	return route(r, ctx, graph, "bfs", func(ctx context.Context, c *serve.ShardClient) (*serve.BFSResponse, error) {
+		return c.BFS(ctx, graph, root, algo)
+	})
+}
+
+// SSSP implements serve.Backend across the fleet.
+func (r *Router) SSSP(ctx context.Context, graph string, root uint32, algo string) (*serve.SSSPResponse, error) {
+	return route(r, ctx, graph, "sssp", func(ctx context.Context, c *serve.ShardClient) (*serve.SSSPResponse, error) {
+		return c.SSSP(ctx, graph, root, algo)
+	})
+}
+
+// Graphs implements serve.Backend: the union of the live shards'
+// listings, replicated graphs deduplicated (first ring holder wins),
+// sorted by name for a stable fleet-wide view.
+func (r *Router) Graphs(ctx context.Context) ([]serve.GraphInfo, error) {
+	byName := make(map[string]serve.GraphInfo)
+	for _, s := range r.shards {
+		if s.state.Load() != stateLive {
+			continue
+		}
+		for _, g := range s.listing() {
+			if _, dup := byName[g.Name]; !dup {
+				byName[g.Name] = g
+			}
+		}
+	}
+	out := make([]serve.GraphInfo, 0, len(byName))
+	for _, g := range byName {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// Healthz implements serve.Backend: distinct graphs and summed workers
+// over the live shards. Status degrades (without failing the probe)
+// when no shard is taking traffic.
+func (r *Router) Healthz(ctx context.Context) (*serve.Health, error) {
+	h := &serve.Health{Status: "ok"}
+	names := make(map[string]bool)
+	for _, s := range r.shards {
+		if s.state.Load() != stateLive {
+			continue
+		}
+		h.Shards++
+		h.Workers += s.workerCount()
+		for _, g := range s.listing() {
+			names[g.Name] = true
+		}
+	}
+	h.Graphs = len(names)
+	if h.Shards == 0 {
+		h.Status = "degraded"
+	}
+	return h, nil
+}
+
+var _ serve.Backend = (*Router)(nil)

@@ -1,0 +1,81 @@
+package fleet
+
+// The router's observability series, registered onto the serving
+// layer's metrics registry so one GET /metrics scrape covers both the
+// HTTP plane and the fleet plane. A nil *Metrics disables everything
+// (each observe is a nil-receiver no-op), mirroring serve.Metrics.
+
+import "bagraph/internal/metrics"
+
+// Metrics is the router's instrument set.
+type Metrics struct {
+	requests  *metrics.CounterVec // baserved_router_shard_requests_total{shard,kind}
+	retries   *metrics.CounterVec // baserved_router_retries_total{shard}
+	failovers *metrics.CounterVec // baserved_router_failovers_total{shard}
+	up        *metrics.GaugeVec   // baserved_router_shard_up{shard}
+	health    *metrics.CounterVec // baserved_router_health_checks_total{shard,result}
+	warms     *metrics.CounterVec // baserved_router_warm_queries_total{shard}
+}
+
+// NewMetrics registers the router series on reg (typically the serving
+// core's registry, via serve.Metrics.Registry()).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		requests: reg.CounterVec("baserved_router_shard_requests_total",
+			"Queries the router attempted against each shard, by kind.", "shard", "kind"),
+		retries: reg.CounterVec("baserved_router_retries_total",
+			"Queries retried on a replica after a shard transport failure.", "shard"),
+		failovers: reg.CounterVec("baserved_router_failovers_total",
+			"Live-to-dead shard transitions; the shard's graphs re-route to replicas.", "shard"),
+		up: reg.GaugeVec("baserved_router_shard_up",
+			"Shard health: 1 live (taking traffic), 0 warming or dead.", "shard"),
+		health: reg.CounterVec("baserved_router_health_checks_total",
+			"Health probes per shard, by result (ok | fail).", "shard", "result"),
+		warms: reg.CounterVec("baserved_router_warm_queries_total",
+			"CC cache warm-up queries issued to joining shards.", "shard"),
+	}
+}
+
+func (m *Metrics) observeRequest(shard, kind string) {
+	if m != nil {
+		m.requests.With(shard, kind).Inc()
+	}
+}
+
+func (m *Metrics) observeRetry(shard string) {
+	if m != nil {
+		m.retries.With(shard).Inc()
+	}
+}
+
+func (m *Metrics) observeFailover(shard string) {
+	if m != nil {
+		m.failovers.With(shard).Inc()
+	}
+}
+
+func (m *Metrics) setUp(shard string, up bool) {
+	if m != nil {
+		v := 0.0
+		if up {
+			v = 1
+		}
+		m.up.With(shard).Set(v)
+	}
+}
+
+func (m *Metrics) observeHealth(shard string, ok bool) {
+	if m != nil {
+		result := "fail"
+		if ok {
+			result = "ok"
+		}
+		m.health.With(shard, result).Inc()
+	}
+}
+
+func (m *Metrics) observeWarm(shard string) {
+	if m != nil {
+		m.warms.With(shard).Inc()
+	}
+}

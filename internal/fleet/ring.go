@@ -1,0 +1,95 @@
+package fleet
+
+// Consistent hashing over graph names. Each shard owns a set of
+// virtual points on a uint64 circle; a graph hashes to a point and its
+// replica preference order is the distinct shards met walking
+// clockwise from there. The properties the router leans on: placement
+// is a pure function of (graph name, shard set) — every stateless
+// router instance computes the same order with no coordination — and
+// adding or removing one shard moves only the graphs adjacent to its
+// points, not the whole placement.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// pointsPerShard balances the ring: more virtual points smooth the
+// load split between shards at the cost of a larger sorted array.
+const pointsPerShard = 64
+
+// fnv1a is the 64-bit FNV-1a hash run through a 64-bit finalizer,
+// inlined to keep the ring dependency-free and the hash stable across
+// Go releases. Raw FNV-1a avalanches poorly on short suffix changes —
+// the virtual points "addr#0".."addr#63" land clustered on the circle
+// and starve shards of primaries — so the finalizer (the murmur3
+// fmix64 constants) spreads them.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: a position owned by a shard index.
+type ringPoint struct {
+	pos   uint64
+	shard int
+}
+
+// ring is an immutable consistent-hash circle over shard indices.
+type ring struct {
+	points []ringPoint
+	shards int
+}
+
+// newRing builds the circle for n shards named by ids.
+func newRing(ids []string) ring {
+	pts := make([]ringPoint, 0, len(ids)*pointsPerShard)
+	for i, id := range ids {
+		for p := 0; p < pointsPerShard; p++ {
+			pts = append(pts, ringPoint{pos: fnv1a(fmt.Sprintf("%s#%d", id, p)), shard: i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].pos != pts[b].pos {
+			return pts[a].pos < pts[b].pos
+		}
+		return pts[a].shard < pts[b].shard
+	})
+	return ring{points: pts, shards: len(ids)}
+}
+
+// order returns every shard index in the graph's replica preference
+// order: the distinct shards met walking clockwise from the graph's
+// hash point. The first entry is the graph's primary placement, the
+// next its first replica, and so on.
+func (r ring) order(graph string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].pos >= fnv1a(graph)
+	})
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}

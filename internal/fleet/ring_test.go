@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrder: every order is a permutation of all shards, identical
+// across independently-built rings (the no-coordination property), and
+// growing the fleet by one shard only moves placements onto the new
+// shard — never shuffles graphs between survivors.
+func TestRingOrder(t *testing.T) {
+	ids := []string{"10.0.0.1:9101", "10.0.0.2:9101", "10.0.0.3:9101"}
+	a, b := newRing(ids), newRing(ids)
+
+	names := make([]string, 200)
+	for i := range names {
+		names[i] = fmt.Sprintf("graph-%d", i)
+	}
+	primaries := make(map[int]int)
+	for _, name := range names {
+		oa, ob := a.order(name), b.order(name)
+		if len(oa) != len(ids) {
+			t.Fatalf("%s: order %v misses shards", name, oa)
+		}
+		seen := make([]bool, len(ids))
+		for _, s := range oa {
+			if seen[s] {
+				t.Fatalf("%s: order %v repeats a shard", name, oa)
+			}
+			seen[s] = true
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("%s: independent rings disagree: %v vs %v", name, oa, ob)
+			}
+		}
+		primaries[oa[0]]++
+	}
+	for i := range ids {
+		if primaries[i] == 0 {
+			t.Fatalf("shard %d never primary over %d graphs: %v", i, len(names), primaries)
+		}
+	}
+
+	grown := newRing(append(append([]string{}, ids...), "10.0.0.4:9101"))
+	moved := 0
+	for _, name := range names {
+		was, now := a.order(name)[0], grown.order(name)[0]
+		if now != was {
+			if now != 3 {
+				t.Fatalf("%s: grew the fleet and moved from shard %d to OLD shard %d", name, was, now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved == len(names) {
+		t.Fatalf("adding a shard moved %d/%d graphs; want some but not all", moved, len(names))
+	}
+}

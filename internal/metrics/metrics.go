@@ -42,6 +42,20 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is a value that can move in both directions: one atomic word
+// holding a float64 bit pattern. Set overwrites; there is no
+// accumulate — gauges report current state (a shard's health, a queue
+// depth), not totals.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // atomicFloat accumulates a float64 with compare-and-swap on its bit
 // pattern — the histogram sum must be a float in the exposition format,
 // and a mutex per Observe would be the only alternative.
@@ -120,7 +134,7 @@ func LinearBuckets(start, width float64, n int) []float64 {
 type family struct {
 	name   string
 	help   string
-	typ    string // "counter" | "histogram"
+	typ    string // "counter" | "gauge" | "histogram"
 	labels []string
 	bounds []float64 // histograms only
 
@@ -132,6 +146,7 @@ type family struct {
 type child struct {
 	rendered string // `{k="v",...}` or ""
 	counter  *Counter
+	gauge    *Gauge
 	hist     *Histogram
 }
 
@@ -153,9 +168,12 @@ func (f *family) get(values []string) *child {
 		return c
 	}
 	c = &child{rendered: renderLabels(f.labels, values)}
-	if f.typ == "histogram" {
+	switch f.typ {
+	case "histogram":
 		c.hist = &Histogram{bounds: f.bounds, buckets: make([]atomic.Uint64, len(f.bounds)+1)}
-	} else {
+	case "gauge":
+		c.gauge = &Gauge{}
+	default:
 		c.counter = &Counter{}
 	}
 	f.children[key] = c
@@ -200,6 +218,15 @@ type CounterVec struct {
 // With returns the counter for the given label values, creating it on
 // first use. Callers on hot paths should cache the returned *Counter.
 func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
 
 // HistogramVec is a histogram family keyed by label values.
 type HistogramVec struct {
@@ -280,6 +307,20 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{r.register(&family{name: name, help: help, typ: "counter", labels: labels})}
 }
 
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	return f.get(nil).gauge
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: GaugeVec %s needs labels (use Gauge)", name))
+	}
+	return &GaugeVec{r.register(&family{name: name, help: help, typ: "gauge", labels: labels})}
+}
+
 // Histogram registers and returns an unlabeled histogram with the
 // given upper-bound buckets (a +Inf bucket is implicit).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -316,9 +357,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f.mu.RLock()
 		for _, key := range f.order {
 			c := f.children[key]
-			if f.typ == "histogram" {
+			switch f.typ {
+			case "histogram":
 				writeHistogram(&b, f.name, c)
-			} else {
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, c.rendered, formatFloat(c.gauge.Value()))
+			default:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, c.rendered, c.counter.Value())
 			}
 		}

@@ -1,0 +1,179 @@
+package serve
+
+// The dispatch plane behind the HTTP handlers. A Backend answers the
+// daemon's five logical operations — CC, BFS, SSSP, the graph listing
+// and the health probe — in terms of graph NAMES, not registry
+// entries, which is exactly the boundary that lets the same handlers
+// front either an in-process batcher (Local, the single-daemon and
+// shard configuration) or a remote shard over HTTP (ShardClient, what
+// the fleet router fans queries through). Both implementations produce
+// the same response structs and the same typed errors, so a response
+// that travelled router → shard → router is byte-identical to one the
+// shard would have served directly.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bagraph"
+)
+
+// Backend is the dispatch plane: everything the query handlers need,
+// addressed by graph name. Implementations must map failures to *Error
+// when the failure has a definite HTTP status (unknown graph, bad
+// algorithm, out-of-range root) and pass context errors through
+// unwrapped so the transport maps them to 504/499 uniformly.
+type Backend interface {
+	// CC answers a connected-components query. labels requests the full
+	// per-vertex array.
+	CC(ctx context.Context, graph, algo string, labels bool) (*CCResponse, error)
+	// BFS answers a hop-distance query from root.
+	BFS(ctx context.Context, graph string, root uint32, algo string) (*BFSResponse, error)
+	// SSSP answers a weighted shortest-distance query from root.
+	SSSP(ctx context.Context, graph string, root uint32, algo string) (*SSSPResponse, error)
+	// Graphs lists the resident graphs.
+	Graphs(ctx context.Context) ([]GraphInfo, error)
+	// Healthz reports liveness and capacity.
+	Healthz(ctx context.Context) (*Health, error)
+}
+
+// Error is a query failure carrying the HTTP status it must surface
+// as. Backends return it for failures with a definite status; the
+// handlers (and the fleet router, which distinguishes an application
+// error from a dead shard by this type) unwrap it with errors.As.
+type Error struct {
+	Status  int
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds a typed query failure.
+func Errorf(status int, format string, args ...any) *Error {
+	return &Error{Status: status, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorStatus maps a backend failure to its HTTP status: a typed
+// *Error carries its own, a passed deadline is the query timeout
+// firing (504), a plain cancellation means the client went away (499),
+// and anything else is a server fault.
+func ErrorStatus(err error) int {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Health is the /healthz body. Shards reports live shards and is only
+// present on a fleet router (omitted by in-process backends, keeping
+// the single-daemon body unchanged).
+type Health struct {
+	Status  string `json:"status"`
+	Graphs  int    `json:"graphs"`
+	Workers int    `json:"workers"`
+	Shards  int    `json:"shards,omitempty"`
+}
+
+// GraphInfo is one row of the /graphs listing.
+type GraphInfo struct {
+	Name      string `json:"name"`
+	Vertices  int    `json:"vertices"`
+	Edges     int64  `json:"edges"`
+	Directed  bool   `json:"directed"`
+	Weighted  bool   `json:"weighted"`
+	Relabeled bool   `json:"relabeled"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// QueryStats is the per-query kernel observability object: the pass
+// structure, store counters and scheduler behavior of the run that
+// served the query, so batching and steal behavior are visible per
+// response without a daemon-side aggregator. Fields irrelevant to the
+// kernel that ran are omitted.
+type QueryStats struct {
+	Passes         int    `json:"passes"`
+	LabelStores    uint64 `json:"label_stores,omitempty"`
+	DistStores     uint64 `json:"dist_stores,omitempty"`
+	QueueStores    uint64 `json:"queue_stores,omitempty"`
+	CandStores     uint64 `json:"cand_stores,omitempty"`
+	TopDownLevels  int    `json:"top_down_levels,omitempty"`
+	BottomUpLevels int    `json:"bottom_up_levels,omitempty"`
+	Waves          int    `json:"waves,omitempty"`
+	Buckets        int    `json:"buckets,omitempty"`
+	Chunks         int    `json:"chunks,omitempty"`
+	Steals         uint64 `json:"steals,omitempty"`
+	StealPasses    uint64 `json:"steal_passes,omitempty"`
+	WordsScanned   uint64 `json:"words_scanned,omitempty"`
+	LightRelaxed   uint64 `json:"light_relaxed,omitempty"`
+	HeavyRelaxed   uint64 `json:"heavy_relaxed,omitempty"`
+}
+
+// statsPayload projects the facade's Stats onto the response object.
+func statsPayload(st bagraph.Stats) QueryStats {
+	return QueryStats{
+		Passes:         st.Passes,
+		LabelStores:    st.LabelStores,
+		DistStores:     st.DistStores,
+		QueueStores:    st.QueueStores,
+		CandStores:     st.CandStores,
+		TopDownLevels:  st.TopDownLevels,
+		BottomUpLevels: st.BottomUpLevels,
+		Waves:          st.Waves,
+		Buckets:        st.Buckets,
+		Chunks:         st.Chunks,
+		Steals:         st.Steals,
+		StealPasses:    st.StealPasses,
+		WordsScanned:   st.WordsScanned,
+		LightRelaxed:   st.LightRelaxed,
+		HeavyRelaxed:   st.HeavyRelaxed,
+	}
+}
+
+// CCResponse is the /query/cc response body. Stats describe the run
+// that filled the cache; a cached response repeats the fill's stats.
+type CCResponse struct {
+	Graph      string     `json:"graph"`
+	Epoch      uint64     `json:"epoch"`
+	Algo       string     `json:"algo"`
+	Components int        `json:"components"`
+	Cached     bool       `json:"cached"`
+	Stats      QueryStats `json:"stats"`
+	Labels     []uint32   `json:"labels,omitempty"`
+}
+
+// BFSResponse is the /query/bfs response body.
+type BFSResponse struct {
+	Graph   string     `json:"graph"`
+	Epoch   uint64     `json:"epoch"`
+	Algo    string     `json:"algo"`
+	Root    uint32     `json:"root"`
+	Batch   int        `json:"batch"`
+	Reached int        `json:"reached"`
+	Stats   QueryStats `json:"stats"`
+	Dist    []uint32   `json:"dist"`
+}
+
+// SSSPResponse is the /query/sssp response body. Sum (of finite
+// distances) is the order-independent digest the smoke script compares
+// against the CLI kernels without parsing the whole array.
+type SSSPResponse struct {
+	Graph   string     `json:"graph"`
+	Epoch   uint64     `json:"epoch"`
+	Algo    string     `json:"algo"`
+	Root    uint32     `json:"root"`
+	Batch   int        `json:"batch"`
+	Reached int        `json:"reached"`
+	Sum     uint64     `json:"sum"`
+	Stats   QueryStats `json:"stats"`
+	Dist    []uint64   `json:"dist"`
+}

@@ -1,0 +1,185 @@
+package serve
+
+// ShardClient is the remote Backend: it speaks the daemon's own
+// HTTP+JSON API against one shard process, decoding responses into the
+// same structs the in-process backend produces. Failures split into
+// two families the fleet router routes on: an application answer from
+// a live shard (any HTTP status, surfaced as *Error so the router
+// passes it through byte-identically) versus a transport failure (the
+// shard is unreachable or died mid-response — the router retries the
+// query on a replica). The caller's context errors pass through
+// unwrapped, so a cancelled client still maps to 499 and a fired
+// deadline to 504, exactly as with the in-process backend.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ShardClient implements Backend over one shard's HTTP API.
+type ShardClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewShardClient builds a client for a shard at addr (host:port, or a
+// full http:// base URL). hc nil means a dedicated client with
+// keep-alives and no overall timeout (per-query contexts bound each
+// call).
+func NewShardClient(addr string, hc *http.Client) *ShardClient {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &ShardClient{base: strings.TrimSuffix(addr, "/"), hc: hc}
+}
+
+// Addr returns the shard's base URL.
+func (c *ShardClient) Addr() string { return c.base }
+
+// TransportError marks a failure to reach the shard at all (dial,
+// reset, mid-body disconnect): the query never got an answer and is
+// safe to retry on a replica. Application answers — any decoded HTTP
+// status — are *Error instead.
+type TransportError struct {
+	Shard string
+	Err   error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("shard %s unreachable: %v", e.Shard, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// roundTrip POSTs (or GETs, with a nil body) one API call and decodes
+// the JSON answer into out.
+func (c *ShardClient) roundTrip(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// The caller's own context dying is not a shard fault: surface
+		// it unwrapped so it maps to 499/504 like an in-process query.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &TransportError{Shard: c.base, Err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &TransportError{Shard: c.base, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) != nil || e.Error == "" {
+			e.Error = fmt.Sprintf("shard %s: %s", c.base, strings.TrimSpace(string(raw)))
+		}
+		return &Error{Status: resp.StatusCode, Message: e.Error}
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return &TransportError{Shard: c.base, Err: fmt.Errorf("bad response body: %w", err)}
+	}
+	return nil
+}
+
+// CC implements Backend by forwarding to the shard's /query/cc.
+func (c *ShardClient) CC(ctx context.Context, graph, algo string, labels bool) (*CCResponse, error) {
+	var out CCResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/query/cc",
+		ccQuery{Graph: graph, Algo: algo, Labels: labels}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BFS implements Backend by forwarding to the shard's /query/bfs.
+func (c *ShardClient) BFS(ctx context.Context, graph string, root uint32, algo string) (*BFSResponse, error) {
+	var out BFSResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/query/bfs",
+		traversalQuery{Graph: graph, Root: root, Algo: algo}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SSSP implements Backend by forwarding to the shard's /query/sssp.
+func (c *ShardClient) SSSP(ctx context.Context, graph string, root uint32, algo string) (*SSSPResponse, error) {
+	var out SSSPResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/query/sssp",
+		traversalQuery{Graph: graph, Root: root, Algo: algo}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Graphs implements Backend by forwarding to the shard's /graphs.
+func (c *ShardClient) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	var out struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if err := c.roundTrip(ctx, http.MethodGet, "/graphs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Graphs, nil
+}
+
+// Healthz implements Backend by probing the shard's /healthz.
+func (c *ShardClient) Healthz(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.roundTrip(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Replace drives the shard's admin rollout endpoint: swap the named
+// graph for a fresh load of the METIS file at path (a path on the
+// SHARD's filesystem).
+func (c *ShardClient) Replace(ctx context.Context, graph, path string) (*ReplaceResponse, error) {
+	var out ReplaceResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/admin/replace",
+		replaceRequest{Graph: graph, Path: path}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// HealthzTimeout is a convenience probe with its own deadline, for
+// health-check loops that must not hang on a wedged shard.
+func (c *ShardClient) HealthzTimeout(parent context.Context, d time.Duration) (*Health, error) {
+	ctx, cancel := context.WithTimeout(parent, d)
+	defer cancel()
+	return c.Healthz(ctx)
+}
+
+var _ Backend = (*ShardClient)(nil)

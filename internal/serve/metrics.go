@@ -87,6 +87,10 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// Registry exposes the underlying instrument registry so co-resident
+// planes (the fleet router's series) land in the same /metrics scrape.
+func (m *Metrics) Registry() *metrics.Registry { return m.reg }
+
 // Handler serves the registry in the text exposition format.
 func (m *Metrics) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -233,6 +233,21 @@ func TestServerStatsRoundTrip(t *testing.T) {
 	if bfsRes.Stats.Chunks == 0 || bfsRes.Stats.DistStores == 0 {
 		t.Fatalf("bfs stats missing scheduler/store counters: %+v", bfsRes.Stats)
 	}
+	// Root 0 on this graph flips the direction optimizer bottom-up, so
+	// the bitset sweep counter must survive the JSON round trip (it was
+	// silently dropped from the wire payload before words_scanned).
+	if bfsRes.Stats.BottomUpLevels == 0 {
+		t.Fatalf("par-do never went bottom-up; pick a denser root: %+v", bfsRes.Stats)
+	}
+	if bfsRes.Stats.WordsScanned == 0 {
+		t.Fatalf("bfs words_scanned dropped from the wire payload: %+v", bfsRes.Stats)
+	}
+
+	_, msRes := post[travResp](t, ts.URL+"/query/bfs",
+		map[string]any{"graph": "cm", "root": 0, "algo": "ms"})
+	if msRes.Stats.WordsScanned == 0 {
+		t.Fatalf("ms words_scanned dropped from the wire payload: %+v", msRes.Stats)
+	}
 
 	_, ssspRes := post[ssspResp](t, ts.URL+"/query/sssp",
 		map[string]any{"graph": "cm", "root": 0, "algo": "par-hybrid"})

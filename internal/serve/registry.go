@@ -242,6 +242,20 @@ func (r *Registry) ReplaceWeighted(name string, w *graph.Weighted) (*Entry, erro
 // carrying per-edge weights (format code "1") publish a weighted
 // entry; unweighted files serve SSSP through the unit-weight view.
 func (r *Registry) LoadMETISFile(name, path string) (*Entry, error) {
+	return r.publishMETISFile(name, path, false)
+}
+
+// ReplaceMETISFile reads a METIS graph from path and publishes it over
+// the existing entry for name (the zero-downtime rollout path the
+// admin endpoint drives): the epoch bumps past the old entry's, in-
+// flight queries finish against the graph they started with, and the
+// old epoch's caches are never consulted again. The name may also be
+// new — a rollout that adds a graph is still a rollout.
+func (r *Registry) ReplaceMETISFile(name, path string) (*Entry, error) {
+	return r.publishMETISFile(name, path, true)
+}
+
+func (r *Registry) publishMETISFile(name, path string, replace bool) (*Entry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -253,9 +267,9 @@ func (r *Registry) LoadMETISFile(name, path string) (*Entry, error) {
 	}
 	w.SetName(name)
 	if w.HasWeights {
-		return r.AddWeighted(name, w.Weighted)
+		return r.publish(name, w.Graph, w.Weighted, replace)
 	}
-	return r.Add(name, w.Graph)
+	return r.publish(name, w.Graph, nil, replace)
 }
 
 // AddCorpus generates the named Table 2 stand-in at the given scale and

@@ -5,6 +5,13 @@
 // (see batcher.go). cmd/baserved wraps it in a binary; tests drive it
 // in-process through Handler.
 //
+// The HTTP handlers front a Backend (see backend.go): the in-process
+// Local backend (registry + batcher) in a single daemon or fleet
+// shard, or a fleet router fanning the same queries across remote
+// shards through ShardClients. Handlers decode, delegate and encode;
+// every dispatch decision lives behind the interface, which is what
+// keeps a routed response byte-identical to a direct one.
+//
 // Endpoints:
 //
 //	GET  /healthz     — liveness: status, graph count, pool size
@@ -22,6 +29,8 @@
 //	POST /query/sssp  — {"graph","root","algo"} → weighted distances
 //	                    (real edge weights for graphs loaded from
 //	                    weighted METIS files, unit weights otherwise)
+//	POST /admin/replace — (Config.Admin only) zero-downtime graph
+//	                    rollout via Registry.Replace/ReplaceWeighted
 //
 // Distance arrays use in-band sentinels for unreached vertices
 // (4294967295 for BFS hops, 2^62 for SSSP), mirroring the library's
@@ -35,12 +44,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"bagraph"
-	"bagraph/internal/bfs"
-	"bagraph/internal/sssp"
 	"bagraph/internal/tune"
 )
 
@@ -78,39 +86,62 @@ type Config struct {
 	// knob the controller turns is result-invariant: responses stay
 	// byte-identical to the static configuration.
 	Autotune bool
+	// Admin mounts the backend's admin routes (POST /admin/replace on
+	// a local backend, POST /admin/rollout on a fleet router). Off by
+	// default: the admin plane loads files from the daemon's
+	// filesystem and belongs behind the operator's network boundary,
+	// not in query traffic.
+	Admin bool
 }
 
-// Server routes the HTTP API onto a Registry and a Batcher.
+// Server routes the HTTP API onto a Backend.
 type Server struct {
-	reg          *Registry
-	batcher      *Batcher
+	backend      Backend
 	mux          *http.ServeMux
 	queryTimeout time.Duration
 	metrics      *Metrics
-	tuner        *tune.Controller
+	local        *Local // non-nil when the backend is in-process
 }
 
-// New builds a server core over the registry. Release with Close.
+// New builds a single-process server core over the registry: the
+// backend is a Local wrapping a fresh Batcher. Release with Close.
 func New(reg *Registry, cfg Config) *Server {
 	window := cfg.BatchWindow
 	if window == 0 {
 		window = 500 * time.Microsecond
 	}
+	metrics := NewMetrics()
+	batcher := NewBatcher(cfg.Workers, cfg.MaxBatch, window, cfg.Schedule)
+	batcher.SetMetrics(metrics)
+	var tuner *tune.Controller
+	if cfg.Autotune {
+		tuner = tune.New()
+		batcher.SetTuner(tuner)
+	}
+	local := NewLocal(reg, batcher, metrics, tuner)
+	s := newServer(local, cfg, metrics)
+	s.local = local
+	return s
+}
+
+// NewWithBackend builds a server core over an arbitrary backend (the
+// fleet router hands in itself). The batching knobs of cfg are unused
+// — the backend owns dispatch — but QueryTimeout, MaxBodyBytes and
+// Admin apply as usual.
+func NewWithBackend(b Backend, cfg Config) *Server {
+	return newServer(b, cfg, NewMetrics())
+}
+
+func newServer(b Backend, cfg Config, metrics *Metrics) *Server {
 	maxBody := cfg.MaxBodyBytes
 	if maxBody < 1 {
 		maxBody = 1 << 20
 	}
 	s := &Server{
-		reg:          reg,
-		batcher:      NewBatcher(cfg.Workers, cfg.MaxBatch, window, cfg.Schedule),
+		backend:      b,
 		mux:          http.NewServeMux(),
 		queryTimeout: cfg.QueryTimeout,
-		metrics:      NewMetrics(),
-	}
-	s.batcher.SetMetrics(s.metrics)
-	if cfg.Autotune {
-		s.tuner = tune.New()
-		s.batcher.SetTuner(s.tuner)
+		metrics:      metrics,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.metrics.Handler())
@@ -118,14 +149,28 @@ func New(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /query/cc", s.instrument(tune.KindCC, bodyLimited(maxBody, s.handleCC)))
 	s.mux.HandleFunc("POST /query/bfs", s.instrument(tune.KindBFS, bodyLimited(maxBody, s.handleBFS)))
 	s.mux.HandleFunc("POST /query/sssp", s.instrument(tune.KindSSSP, bodyLimited(maxBody, s.handleSSSP)))
+	if cfg.Admin {
+		if ab, ok := b.(AdminBackend); ok {
+			ab.MountAdmin(s.mux)
+		}
+	}
 	return s
 }
 
 // Handler returns the HTTP entry point.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Batcher exposes the dispatcher (benchmarks drive it directly).
-func (s *Server) Batcher() *Batcher { return s.batcher }
+// Backend exposes the dispatch plane the handlers front.
+func (s *Server) Backend() Backend { return s.backend }
+
+// Batcher exposes the in-process dispatcher (benchmarks drive it
+// directly); nil when the server fronts a remote backend.
+func (s *Server) Batcher() *Batcher {
+	if s.local == nil {
+		return nil
+	}
+	return s.local.Batcher()
+}
 
 // Metrics exposes the aggregation plane (tests read it in-process).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -169,39 +214,14 @@ func (s *Server) instrument(kind string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// resolveAuto maps the "auto" algorithm onto the tuner's current pick
-// for the entry's cell (the static serving default when autotuning is
-// off). Non-"auto" names pass through.
-func (s *Server) resolveAuto(e *Entry, kind, algo string) string {
-	if algo != "auto" {
-		return algo
+// Close releases the backend's resources (the worker pool for a local
+// backend, the health checkers for a router). Call after the HTTP
+// server has drained in-flight requests.
+func (s *Server) Close() {
+	if c, ok := s.backend.(closableBackend); ok {
+		c.Close()
 	}
-	if s.tuner == nil {
-		switch kind {
-		case tune.KindCC:
-			return ccAliases[""]
-		case tune.KindSSSP:
-			return ssspAliases[""]
-		default:
-			return bfsAliases[""]
-		}
-	}
-	var delta uint64
-	if kind == tune.KindSSSP {
-		// The cell is keyed by (graph, epoch, kind) alone; the delta
-		// only shapes the Delta decision, which the batcher re-derives,
-		// so the entry's cached width (0 before the weighted view
-		// exists) is fine here.
-		delta = e.SSSPDelta()
-	}
-	d := s.tuner.Decide(s.batcher.workload(e, kind, delta))
-	s.metrics.ObserveAutotune(kind, "algo", d.Algo)
-	return d.Algo
 }
-
-// Close releases the worker pool. Call after the HTTP server has
-// drained in-flight requests.
-func (s *Server) Close() { s.batcher.Close() }
 
 // bodyLimited wraps a handler with a request-body size cap.
 func bodyLimited(maxBody int64, h http.HandlerFunc) http.HandlerFunc {
@@ -220,22 +240,6 @@ type errorResponse struct {
 // request abandoned by its client: the response is written for logs
 // and middleware — the client is no longer listening.
 const statusClientClosedRequest = 499
-
-// queryStatus maps a traversal failure to its HTTP status: a passed
-// deadline is the server-imposed query timeout firing (504, the
-// upstream-took-too-long status), a plain cancellation means the
-// client went away and the batcher dropped or cancelled the work
-// (499); anything else is a server fault.
-func queryStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return statusClientClosedRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
 
 // queryContext derives the context a query runs under: the request's
 // own (so a departed client still cancels the work) capped by the
@@ -260,119 +264,58 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeQuery parses a JSON query body.
+// decodeQuery parses a JSON query body: exactly one JSON value, within
+// the configured size cap. A body that tripped http.MaxBytesReader
+// answers 413 naming the limit (not a generic 400 — the client must
+// know shrinking the body is the fix), and trailing data after the
+// first value is rejected rather than silently ignored, so a
+// concatenated or corrupted payload cannot half-parse into a valid
+// query.
 func decodeQuery(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"query body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad query body: %v", err)
 		return false
 	}
-	return true
-}
-
-// lookup resolves a graph name to its current entry.
-func (s *Server) lookup(w http.ResponseWriter, name string) (*Entry, bool) {
-	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing graph name")
-		return nil, false
-	}
-	e, ok := s.reg.Get(name)
-	if !ok {
-		writeError(w, http.StatusNotFound, "graph %q not loaded", name)
-		return nil, false
-	}
-	return e, true
-}
-
-// checkRoot validates a traversal source against the entry's graph.
-func checkRoot(w http.ResponseWriter, e *Entry, root uint32) bool {
-	if n := e.Graph().NumVertices(); int(root) >= n {
-		writeError(w, http.StatusBadRequest, "root %d out of range for %d vertices", root, n)
+	if _, err := dec.Token(); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// The value parsed, but the body keeps going past the cap.
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"query body exceeds the %d-byte limit", mbe.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad query body: trailing data after JSON value")
 		return false
 	}
 	return true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
-		Graphs  int    `json:"graphs"`
-		Workers int    `json:"workers"`
-	}{"ok", len(s.reg.Entries()), s.batcher.Workers()})
-}
-
-// graphInfo is one row of the /graphs listing.
-type graphInfo struct {
-	Name      string `json:"name"`
-	Vertices  int    `json:"vertices"`
-	Edges     int64  `json:"edges"`
-	Directed  bool   `json:"directed"`
-	Weighted  bool   `json:"weighted"`
-	Relabeled bool   `json:"relabeled"`
-	Epoch     uint64 `json:"epoch"`
+	h, err := s.backend.Healthz(r.Context())
+	if err != nil {
+		writeError(w, ErrorStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	entries := s.reg.Entries()
-	infos := make([]graphInfo, 0, len(entries))
-	for _, e := range entries {
-		g := e.Graph()
-		infos = append(infos, graphInfo{
-			Name:      e.Name(),
-			Vertices:  g.NumVertices(),
-			Edges:     g.NumEdges(),
-			Directed:  g.Directed(),
-			Weighted:  e.HasEdgeWeights(),
-			Relabeled: e.Relabeled(),
-			Epoch:     e.Epoch(),
-		})
+	infos, err := s.backend.Graphs(r.Context())
+	if err != nil {
+		writeError(w, ErrorStatus(err), "%v", err)
+		return
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Graphs []graphInfo `json:"graphs"`
+		Graphs []GraphInfo `json:"graphs"`
 	}{infos})
-}
-
-// queryStats is the per-query kernel observability object: the pass
-// structure, store counters and scheduler behavior of the run that
-// served the query, so batching and steal behavior are visible per
-// response without a daemon-side aggregator. Fields irrelevant to the
-// kernel that ran are omitted.
-type queryStats struct {
-	Passes         int    `json:"passes"`
-	LabelStores    uint64 `json:"label_stores,omitempty"`
-	DistStores     uint64 `json:"dist_stores,omitempty"`
-	QueueStores    uint64 `json:"queue_stores,omitempty"`
-	CandStores     uint64 `json:"cand_stores,omitempty"`
-	TopDownLevels  int    `json:"top_down_levels,omitempty"`
-	BottomUpLevels int    `json:"bottom_up_levels,omitempty"`
-	Waves          int    `json:"waves,omitempty"`
-	Buckets        int    `json:"buckets,omitempty"`
-	Chunks         int    `json:"chunks,omitempty"`
-	Steals         uint64 `json:"steals,omitempty"`
-	StealPasses    uint64 `json:"steal_passes,omitempty"`
-	LightRelaxed   uint64 `json:"light_relaxed,omitempty"`
-	HeavyRelaxed   uint64 `json:"heavy_relaxed,omitempty"`
-}
-
-// statsPayload projects the facade's Stats onto the response object.
-func statsPayload(st bagraph.Stats) queryStats {
-	return queryStats{
-		Passes:         st.Passes,
-		LabelStores:    st.LabelStores,
-		DistStores:     st.DistStores,
-		QueueStores:    st.QueueStores,
-		CandStores:     st.CandStores,
-		TopDownLevels:  st.TopDownLevels,
-		BottomUpLevels: st.BottomUpLevels,
-		Waves:          st.Waves,
-		Buckets:        st.Buckets,
-		Chunks:         st.Chunks,
-		Steals:         st.Steals,
-		StealPasses:    st.StealPasses,
-		LightRelaxed:   st.LightRelaxed,
-		HeavyRelaxed:   st.HeavyRelaxed,
-	}
 }
 
 // ccQuery is the /query/cc request body.
@@ -384,53 +327,17 @@ type ccQuery struct {
 	Labels bool `json:"labels"`
 }
 
-// ccResponse is the /query/cc response body. Stats describe the run
-// that filled the cache; a cached response repeats the fill's stats.
-type ccResponse struct {
-	Graph      string     `json:"graph"`
-	Epoch      uint64     `json:"epoch"`
-	Algo       string     `json:"algo"`
-	Components int        `json:"components"`
-	Cached     bool       `json:"cached"`
-	Stats      queryStats `json:"stats"`
-	Labels     []uint32   `json:"labels,omitempty"`
-}
-
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	var q ccQuery
 	if !decodeQuery(w, r, &q) {
 		return
 	}
-	if q.Algo == "" && s.tuner != nil {
-		q.Algo = "auto"
-	}
-	algo, err := canon(ccAliases, q.Algo, "CC")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	e, ok := s.lookup(w, q.Graph)
-	if !ok {
-		return
-	}
-	algo = s.resolveAuto(e, tune.KindCC, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	labels, components, stats, shared, err := s.batcher.CC(ctx, e, algo)
+	resp, err := s.backend.CC(ctx, q.Graph, q.Algo, q.Labels)
 	if err != nil {
-		writeError(w, queryStatus(err), "%v", err)
+		writeError(w, ErrorStatus(err), "%v", err)
 		return
-	}
-	resp := ccResponse{
-		Graph:      e.Name(),
-		Epoch:      e.Epoch(),
-		Algo:       algo,
-		Components: components,
-		Cached:     shared,
-		Stats:      statsPayload(stats),
-	}
-	if q.Labels {
-		resp.Labels = labels
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -442,74 +349,19 @@ type traversalQuery struct {
 	Algo  string `json:"algo"`
 }
 
-// bfsResponse is the /query/bfs response body.
-type bfsResponse struct {
-	Graph   string     `json:"graph"`
-	Epoch   uint64     `json:"epoch"`
-	Algo    string     `json:"algo"`
-	Root    uint32     `json:"root"`
-	Batch   int        `json:"batch"`
-	Reached int        `json:"reached"`
-	Stats   queryStats `json:"stats"`
-	Dist    []uint32   `json:"dist"`
-}
-
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	var q traversalQuery
 	if !decodeQuery(w, r, &q) {
 		return
 	}
-	if q.Algo == "" && s.tuner != nil {
-		q.Algo = "auto"
-	}
-	algo, err := canon(bfsAliases, q.Algo, "BFS")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	e, ok := s.lookup(w, q.Graph)
-	if !ok || !checkRoot(w, e, q.Root) {
-		return
-	}
-	algo = s.resolveAuto(e, tune.KindBFS, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res := s.batcher.BFS(ctx, e, algo, q.Root)
-	if res.Err != nil {
-		writeError(w, queryStatus(res.Err), "%v", res.Err)
+	resp, err := s.backend.BFS(ctx, q.Graph, q.Root, q.Algo)
+	if err != nil {
+		writeError(w, ErrorStatus(err), "%v", err)
 		return
 	}
-	reached := 0
-	for _, d := range res.Hops {
-		if d != bfs.Inf {
-			reached++
-		}
-	}
-	writeJSON(w, http.StatusOK, bfsResponse{
-		Graph:   e.Name(),
-		Epoch:   e.Epoch(),
-		Algo:    algo,
-		Root:    q.Root,
-		Batch:   res.Batch,
-		Reached: reached,
-		Stats:   statsPayload(res.Stats),
-		Dist:    res.Hops,
-	})
-}
-
-// ssspResponse is the /query/sssp response body. Sum (of finite
-// distances) is the order-independent digest the smoke script compares
-// against the CLI kernels without parsing the whole array.
-type ssspResponse struct {
-	Graph   string     `json:"graph"`
-	Epoch   uint64     `json:"epoch"`
-	Algo    string     `json:"algo"`
-	Root    uint32     `json:"root"`
-	Batch   int        `json:"batch"`
-	Reached int        `json:"reached"`
-	Sum     uint64     `json:"sum"`
-	Stats   queryStats `json:"stats"`
-	Dist    []uint64   `json:"dist"`
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
@@ -517,43 +369,12 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if !decodeQuery(w, r, &q) {
 		return
 	}
-	if q.Algo == "" && s.tuner != nil {
-		q.Algo = "auto"
-	}
-	algo, err := canon(ssspAliases, q.Algo, "SSSP")
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	e, ok := s.lookup(w, q.Graph)
-	if !ok || !checkRoot(w, e, q.Root) {
-		return
-	}
-	algo = s.resolveAuto(e, tune.KindSSSP, algo)
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	res := s.batcher.SSSP(ctx, e, algo, q.Root)
-	if res.Err != nil {
-		writeError(w, queryStatus(res.Err), "%v", res.Err)
+	resp, err := s.backend.SSSP(ctx, q.Graph, q.Root, q.Algo)
+	if err != nil {
+		writeError(w, ErrorStatus(err), "%v", err)
 		return
 	}
-	reached := 0
-	sum := uint64(0)
-	for _, d := range res.Dists {
-		if d != sssp.Inf {
-			reached++
-			sum += d
-		}
-	}
-	writeJSON(w, http.StatusOK, ssspResponse{
-		Graph:   e.Name(),
-		Epoch:   e.Epoch(),
-		Algo:    algo,
-		Root:    q.Root,
-		Batch:   res.Batch,
-		Reached: reached,
-		Sum:     sum,
-		Stats:   statsPayload(res.Stats),
-		Dist:    res.Dists,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -70,6 +71,7 @@ type statsResp struct {
 	Chunks         int    `json:"chunks"`
 	Steals         uint64 `json:"steals"`
 	StealPasses    uint64 `json:"steal_passes"`
+	WordsScanned   uint64 `json:"words_scanned"`
 	LightRelaxed   uint64 `json:"light_relaxed"`
 	HeavyRelaxed   uint64 `json:"heavy_relaxed"`
 }
@@ -426,6 +428,86 @@ func TestServerErrorPaths(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("truncated body: %d", resp.StatusCode)
+	}
+}
+
+// TestServerBodyTooLarge: a body over the configured cap answers 413
+// naming the limit, not a generic 400 — and a body exactly at the cap
+// still parses. Regression: http.MaxBytesReader's error used to fall
+// through the generic bad-body branch.
+func TestServerBodyTooLarge(t *testing.T) {
+	g, err := bagraph.CorpusGraph("cond-mat-2005", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("cm", g); err != nil {
+		t.Fatal(err)
+	}
+	const cap = 64
+	core := serve.New(reg, serve.Config{Workers: 2, BatchWindow: -1, MaxBodyBytes: cap})
+	ts := httptest.NewServer(core.Handler())
+	defer func() {
+		ts.Close()
+		core.Close()
+	}()
+
+	// Pad a valid query with trailing spaces (whitespace is legal JSON
+	// filler) to hit the cap exactly, then overshoot by one byte.
+	query := []byte(`{"graph":"cm"}`)
+	atCap := append(query, bytes.Repeat([]byte(" "), cap-len(query))...)
+	overCap := append(query, bytes.Repeat([]byte(" "), cap-len(query)+1)...)
+
+	resp, err := http.Post(ts.URL+"/query/cc", "application/json", bytes.NewReader(atCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("body at the %d-byte cap: status %d, want 200", cap, resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/query/cc", "application/json", bytes.NewReader(overCap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errResp
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("body one byte over the cap: status %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "64-byte limit") {
+		t.Fatalf("413 body does not name the limit: %q", e.Error)
+	}
+}
+
+// TestServerTrailingGarbage: bytes after the first JSON value reject
+// with 400 instead of silently half-parsing a concatenated payload.
+func TestServerTrailingGarbage(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, body := range []string{
+		`{"graph":"cm"}{"graph":"cm"}`,
+		`{"graph":"cm"} trailing`,
+		`{"graph":"cm"}]`,
+	} {
+		resp, err := http.Post(ts.URL+"/query/cc", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e errResp
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if !strings.Contains(e.Error, "trailing data") {
+			t.Fatalf("body %q: error %q does not mention trailing data", body, e.Error)
+		}
 	}
 }
 

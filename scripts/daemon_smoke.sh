@@ -6,15 +6,20 @@
 # adaptive controller's picks are exercised against the same
 # equivalence bars — scrape /metrics and fail unless the query-count,
 # CC-cache-hit and batch-size-histogram series are present and
-# non-zero, and verify the daemon drains cleanly on SIGTERM. Run from
-# the repository root; CI runs it as a dedicated job.
+# non-zero, and verify the daemon drains cleanly on SIGTERM. A second
+# phase smokes the fleet plane: a router over two replicated shards
+# must answer byte-identically to a single daemon, survive a SIGTERM
+# of one shard mid-traffic with zero failed queries (failover to the
+# replica), and expose non-zero router metrics. Run from the
+# repository root; CI runs it as a dedicated job.
 set -euo pipefail
 
 workdir=$(mktemp -d)
 bindir="$workdir/bin"
 addr=127.0.0.1:18421
 daemon_pid=""
-trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+fleet_pids=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; [ -n "$fleet_pids" ] && kill $fleet_pids 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 echo "== build"
 mkdir -p "$bindir"
@@ -140,5 +145,134 @@ wait "$daemon_pid" || status=$?
 [ "$status" -eq 0 ] || { echo "daemon exited $status" >&2; cat "$workdir/baserved.log" >&2; exit 1; }
 grep -q "drained, bye" "$workdir/baserved.log" \
     || { echo "no drain marker in log" >&2; cat "$workdir/baserved.log" >&2; exit 1; }
+
+#
+# ---- fleet phase -----------------------------------------------------
+#
+# Two shards replicate both graphs; a stateless router fronts them. A
+# reference daemon with the identical static configuration (no
+# autotune, static schedule, same worker count) pins the bar: every
+# response through the router must be byte-identical to the single
+# daemon's. Then one shard takes a SIGTERM mid-traffic and the replica
+# must absorb every query — zero failures — with the failover visible
+# in the router's /metrics.
+shard1_addr=127.0.0.1:18431
+shard2_addr=127.0.0.1:18432
+ref_addr=127.0.0.1:18433
+router_addr=127.0.0.1:18434
+
+echo "== fleet: start two shards, a reference daemon and a router"
+shard_flags=(-workers 2 -batch-window 1ms -schedule static
+    -graph "smoke=$workdir/smoke.metis" -graph "wsmoke=$workdir/wsmoke.metis")
+"$bindir/baserved" -listen "$shard1_addr" "${shard_flags[@]}" >"$workdir/shard1.log" 2>&1 &
+shard1_pid=$!
+"$bindir/baserved" -listen "$shard2_addr" "${shard_flags[@]}" >"$workdir/shard2.log" 2>&1 &
+shard2_pid=$!
+"$bindir/baserved" -listen "$ref_addr" "${shard_flags[@]}" >"$workdir/ref.log" 2>&1 &
+ref_pid=$!
+fleet_pids="$shard1_pid $shard2_pid $ref_pid"
+for a in "$shard1_addr" "$shard2_addr" "$ref_addr"; do
+    for i in $(seq 1 50); do
+        curl -sf "http://$a/healthz" >/dev/null 2>&1 && break
+        sleep 0.2
+    done
+done
+# A long health interval keeps the router from noticing the SIGTERM on
+# its own: the query path must discover the death and fail over.
+"$bindir/baserved" -router -shard "$shard1_addr,$shard2_addr" \
+    -listen "$router_addr" -health-interval 30s >"$workdir/router.log" 2>&1 &
+router_pid=$!
+fleet_pids="$fleet_pids $router_pid"
+for i in $(seq 1 50); do
+    if curl -sf "http://$router_addr/healthz" 2>/dev/null | grep -q '"shards":2'; then
+        break
+    fi
+    if ! kill -0 "$router_pid" 2>/dev/null; then
+        echo "router died during startup:" >&2
+        cat "$workdir/router.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -sf "http://$router_addr/healthz" | grep -q '"shards":2' \
+    || { echo "router never saw both shards live" >&2; cat "$workdir/router.log" >&2; exit 1; }
+
+echo "== fleet: router answers byte-identical to a single daemon"
+# Prime the reference daemon's CC caches: the router warmed its shards
+# on join, so the comparable answer is the cached replay on both sides.
+curl -sf -d '{"graph":"smoke","algo":"par-hybrid"}' "http://$ref_addr/query/cc" >/dev/null
+curl -sf -d '{"graph":"wsmoke","algo":"par-hybrid"}' "http://$ref_addr/query/cc" >/dev/null
+fleet_query() {
+    local path=$1 body=$2 tag=$3
+    curl -sf -d "$body" "http://$ref_addr$path" >"$workdir/ref-$tag.json"
+    curl -sf -d "$body" "http://$router_addr$path" >"$workdir/router-$tag.json"
+    cmp -s "$workdir/ref-$tag.json" "$workdir/router-$tag.json" || {
+        echo "router answer differs from single daemon for $tag:" >&2
+        diff "$workdir/ref-$tag.json" "$workdir/router-$tag.json" >&2 || true
+        exit 1
+    }
+    echo "  $tag: byte-identical"
+}
+fleet_query /query/cc '{"graph":"smoke","algo":"par-hybrid","labels":true}' cc
+fleet_query /query/cc '{"graph":"wsmoke","algo":"par-hybrid"}' wcc
+fleet_query /query/bfs '{"graph":"smoke","root":0,"algo":"par-do"}' bfs
+fleet_query /query/bfs '{"graph":"smoke","root":0,"algo":"ms"}' ms
+fleet_query /query/sssp '{"graph":"wsmoke","root":0,"algo":"par-hybrid"}' sssp
+# The fleet-wide listing carries both graphs exactly once.
+[ "$(curl -sf "http://$router_addr/graphs" | grep -o '"name"' | wc -l)" -eq 2 ] \
+    || { echo "fleet /graphs listing wrong" >&2; exit 1; }
+
+echo "== fleet: SIGTERM one shard mid-traffic, zero failed queries"
+# The shard the router prefers for graph "smoke" is the one whose
+# death exercises failover; find it by watching which shard's cc
+# request counter moves (ring preference order is per graph name).
+cc_count() {
+    curl -sf "http://$router_addr/metrics" \
+        | awk -v s="shard=\"http://$1\"" \
+            '/^baserved_router_shard_requests_total\{/ && $0 ~ s && /kind="cc"/ {n=$NF} END {printf "%d", n+0}'
+}
+before1=$(cc_count "$shard1_addr")
+curl -sf -d '{"graph":"smoke","algo":"par-hybrid"}' "http://$router_addr/query/cc" >/dev/null
+after1=$(cc_count "$shard1_addr")
+if [ "$after1" -gt "$before1" ]; then
+    victim_pid=$shard1_pid; victim_addr=$shard1_addr; survivor_addr=$shard2_addr; victim_log="$workdir/shard1.log"
+else
+    victim_pid=$shard2_pid; victim_addr=$shard2_addr; survivor_addr=$shard1_addr; victim_log="$workdir/shard2.log"
+fi
+echo "  victim shard: $victim_addr"
+kill -TERM "$victim_pid"
+failed=0
+for i in $(seq 1 20); do
+    body=$(curl -sf -d '{"graph":"smoke","algo":"par-hybrid","labels":true}' \
+        "http://$router_addr/query/cc" || true)
+    [ "$body" = "$(cat "$workdir/router-cc.json")" ] || failed=$((failed + 1))
+done
+[ "$failed" -eq 0 ] || { echo "$failed/20 queries failed during shard rotation" >&2; exit 1; }
+echo "  20/20 queries answered by the replica"
+status=0
+wait "$victim_pid" || status=$?
+[ "$status" -eq 0 ] || { echo "shard exited $status on SIGTERM" >&2; cat "$victim_log" >&2; exit 1; }
+grep -q "drained, bye" "$victim_log" \
+    || { echo "no drain marker in shard log" >&2; cat "$victim_log" >&2; exit 1; }
+
+echo "== fleet: router metrics"
+curl -sf "http://$router_addr/metrics" >"$metrics"
+metric_nonzero '^baserved_router_shard_requests_total\{.*kind="cc"\}'
+metric_nonzero '^baserved_router_retries_total'
+metric_nonzero '^baserved_router_failovers_total'
+metric_nonzero '^baserved_router_health_checks_total\{.*result="ok"\}'
+metric_nonzero '^baserved_router_warm_queries_total'
+grep -q "^baserved_router_shard_up{shard=\"http://$survivor_addr\"} 1" "$metrics" \
+    || { echo "survivor shard not up in metrics" >&2; grep '^baserved_router_shard_up' "$metrics" >&2; exit 1; }
+grep -q "^baserved_router_shard_up{shard=\"http://$victim_addr\"} 0" "$metrics" \
+    || { echo "victim shard still up in metrics" >&2; grep '^baserved_router_shard_up' "$metrics" >&2; exit 1; }
+
+echo "== fleet: router drains on SIGTERM"
+kill -TERM "$router_pid"
+status=0
+wait "$router_pid" || status=$?
+[ "$status" -eq 0 ] || { echo "router exited $status" >&2; cat "$workdir/router.log" >&2; exit 1; }
+grep -q "drained, bye" "$workdir/router.log" \
+    || { echo "no drain marker in router log" >&2; cat "$workdir/router.log" >&2; exit 1; }
 
 echo "daemon smoke: OK"
