@@ -1,0 +1,219 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// x/tools package of the same name on the standard library only.
+//
+// Fixtures live under the calling test's testdata/src directory, one
+// subdirectory per import path (testdata/src/a, testdata/src/bagraph,
+// testdata/src/bagraph/internal/core, ...). A fixture package may
+// import other fixture packages — imports resolve inside testdata/src
+// first — and standard-library packages, which are type-checked from
+// GOROOT source (the container has no pre-compiled export data for a
+// separate test build context).
+//
+// Expectations are comments of the form
+//
+//	code // want "regexp"
+//	code // want "regexp1" "regexp2"
+//
+// Each diagnostic must be matched by a want regexp on its line, and
+// each want regexp must match exactly one diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bagraph/internal/analysis"
+)
+
+// Run loads the fixture package at pkgPath under testdata/src, runs the
+// analyzer on it, and reports mismatches between diagnostics and want
+// comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*fixture),
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	fx, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     fx.files,
+		Pkg:       fx.pkg,
+		TypesInfo: fx.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+	check(t, ld.fset, fx.files, diags)
+}
+
+// fixture is one loaded testdata package.
+type fixture struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader type-checks fixture packages, resolving fixture-internal
+// imports inside srcRoot and everything else from GOROOT source.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixture
+	std     types.Importer
+	loading []string // cycle detection
+}
+
+func (l *loader) load(path string) (*fixture, error) {
+	if fx, ok := l.pkgs[path]; ok {
+		return fx, nil
+	}
+	for _, p := range l.loading {
+		if p == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if st, err := os.Stat(filepath.Join(l.srcRoot, filepath.FromSlash(importPath))); err == nil && st.IsDir() {
+			fx, err := l.load(importPath)
+			if err != nil {
+				return nil, err
+			}
+			return fx.pkg, nil
+		}
+		return l.std.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fx := &fixture{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fx
+	return fx, nil
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	posn token.Position // file and line of the want comment
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches the quoted regexps of a want comment — double-quoted
+// or backquoted, as in x/tools.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// check compares diagnostics against the fixtures' want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", posn, q, err)
+						continue
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{posn: posn, rx: rx})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.posn.Filename == posn.Filename && w.posn.Line == posn.Line && w.rx.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic matched want %q", w.posn, w.rx)
+		}
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,99 @@
+// Package atomicfree enforces the atomic-free half of the kernel
+// contract: inside a //ba:atomic-free or //ba:branch-free region no
+// atomic operation, mutex, or channel operation may appear.
+//
+// The engine's whole design (PR 1/5) is that synchronization happens at
+// pass barriers and chunk handoffs, never per element: workers own
+// disjoint state and the inner loops pay zero coherence traffic. One
+// atomic.AddUint64 dropped into a relaxation loop to "just count
+// something" serializes the cache line it touches and the tests stay
+// green. The sanctioned exceptions — the work-stealing chunk cursor in
+// internal/par — carry //ba:allow-atomic escapes, so every atomic a
+// marked region performs is visible in the diff with its justification.
+//
+// Flagged inside a marked region:
+//
+//   - calls into sync/atomic (free functions and the atomic.* types'
+//     methods) and sync (Mutex, RWMutex, WaitGroup, Once, ...)
+//   - channel sends, receives, close, and range over a channel
+//     (select is already rejected by branchfree in branch-free
+//     regions; in atomic-free regions it is flagged here)
+package atomicfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bagraph/internal/analysis"
+	"bagraph/internal/analysis/directive"
+)
+
+// Analyzer is the atomicfree check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfree",
+	Doc:  "reject atomics, mutexes, and channel ops inside //ba:atomic-free and //ba:branch-free regions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := directive.Parse(pass)
+	for _, r := range info.Regions {
+		// Both region kinds are atomic-free; branch-free is the stronger
+		// contract.
+		body := r.RegionBody()
+		if body == nil {
+			continue
+		}
+		check(pass, info, r, body)
+	}
+	return nil, nil
+}
+
+func check(pass *analysis.Pass, info directive.Info, r directive.Region, body ast.Node) {
+	allowed := func(pos token.Pos) bool {
+		return info.Escaped(directive.AllowAtomic, pos)
+	}
+	region := func() string {
+		return "//ba:" + r.Name + " region (marked at " + pass.Fset.Position(r.Pos).String() + ")"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, n)
+			if fn == nil {
+				if analysis.BuiltinName(pass.TypesInfo, n) == "close" && !allowed(n.Pos()) {
+					pass.Reportf(n.Pos(), "channel close in %s", region())
+				}
+				return true
+			}
+			if pkg := fn.Pkg(); pkg != nil && !allowed(n.Pos()) {
+				switch pkg.Path() {
+				case "sync/atomic":
+					pass.Reportf(n.Pos(), "atomic operation %s in %s", fn.FullName(), region())
+				case "sync":
+					pass.Reportf(n.Pos(), "sync primitive %s in %s", fn.FullName(), region())
+				}
+			}
+		case *ast.SendStmt:
+			if !allowed(n.Pos()) {
+				pass.Reportf(n.Pos(), "channel send in %s", region())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !allowed(n.Pos()) {
+				pass.Reportf(n.Pos(), "channel receive in %s", region())
+			}
+		case *ast.SelectStmt:
+			if !allowed(n.Pos()) {
+				pass.Reportf(n.Pos(), "select in %s", region())
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !allowed(n.Pos()) {
+					pass.Reportf(n.Pos(), "range over channel in %s", region())
+				}
+			}
+		}
+		return true
+	})
+}

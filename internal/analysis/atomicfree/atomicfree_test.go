@@ -1,0 +1,12 @@
+package atomicfree_test
+
+import (
+	"testing"
+
+	"bagraph/internal/analysis/analysistest"
+	"bagraph/internal/analysis/atomicfree"
+)
+
+func TestAtomicFree(t *testing.T) {
+	analysistest.Run(t, atomicfree.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Fixture for the atomicfree analyzer: synchronization inside
+// //ba:atomic-free and //ba:branch-free regions.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var counter int64
+var mu sync.Mutex
+
+//ba:atomic-free
+func dirtyWorker(ch chan int, done chan struct{}) {
+	for i := 0; i < 8; i++ {
+		atomic.AddInt64(&counter, 1) // want `atomic operation sync/atomic.AddInt64 in //ba:atomic-free region`
+		mu.Lock()                    // want `sync primitive \(\*sync.Mutex\).Lock in //ba:atomic-free region`
+		mu.Unlock()                  // want `sync primitive \(\*sync.Mutex\).Unlock in //ba:atomic-free region`
+		ch <- i                      // want `channel send in //ba:atomic-free region`
+		<-ch                         // want `channel receive in //ba:atomic-free region`
+	}
+	select { // want `select in //ba:atomic-free region`
+	case <-done: // want `channel receive in //ba:atomic-free region`
+	default:
+	}
+	close(ch)      // want `channel close in //ba:atomic-free region`
+	for range ch { // want `range over channel in //ba:atomic-free region`
+	}
+}
+
+// The branch-free contract implies atomic-free.
+//
+//ba:branch-free
+func dirtyKernel(dst []int64) {
+	for i := range dst {
+		atomic.StoreInt64(&dst[i], 0) // want `atomic operation sync/atomic.StoreInt64 in //ba:branch-free region`
+	}
+}
+
+//ba:atomic-free
+func sanctionedWorker(cursors []int64, hi int64) int64 {
+	var sum int64
+	for {
+		//ba:allow-atomic the chunk cursor: one fetch per chunk handoff, never per element
+		i := atomic.AddInt64(&cursors[0], 1) - 1
+		if i >= hi {
+			break
+		}
+		sum += i
+	}
+	return sum
+}
+
+// Unmarked code may synchronize freely.
+func barrier(ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	atomic.AddInt64(&counter, 1)
+	ch <- 1
+}

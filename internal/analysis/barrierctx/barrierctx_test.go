@@ -1,0 +1,16 @@
+package barrierctx_test
+
+import (
+	"testing"
+
+	"bagraph/internal/analysis/analysistest"
+	"bagraph/internal/analysis/barrierctx"
+)
+
+func TestKernelPackage(t *testing.T) {
+	analysistest.Run(t, barrierctx.Analyzer, "bagraph/internal/cc")
+}
+
+func TestNonKernelPackageExempt(t *testing.T) {
+	analysistest.Run(t, barrierctx.Analyzer, "a")
+}

@@ -1,0 +1,14 @@
+// Fixture for the barrierctx analyzer: a non-kernel package, where the
+// contract does not apply and nothing is flagged.
+package a
+
+import "context"
+
+func free(ctx context.Context, n int) {
+	<-ctx.Done()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			_ = ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package branchfree_test
+
+import (
+	"testing"
+
+	"bagraph/internal/analysis/analysistest"
+	"bagraph/internal/analysis/branchfree"
+)
+
+func TestBranchFree(t *testing.T) {
+	analysistest.Run(t, branchfree.Analyzer, "a")
+}

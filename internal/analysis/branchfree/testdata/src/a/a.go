@@ -1,0 +1,83 @@
+// Fixture for the branchfree analyzer: violations and sanctioned
+// patterns inside //ba:branch-free regions.
+package a
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bagraph/internal/core"
+)
+
+// minMask is itself marked, so marked callers may call it.
+//
+//ba:branch-free
+func minMask(a, b uint32) uint32 {
+	return core.Select32(core.MaskLess32(a, b), a, b)
+}
+
+func helper(x uint32) uint32 { return x + 1 }
+
+//ba:branch-free
+func cleanKernel(labels []uint32, adj []uint32) uint32 {
+	cv := labels[0]
+	for _, u := range adj {
+		cu := labels[u]
+		cv = minMask(cu, cv)                       // marked same-package callee: ok
+		cv = core.Select32(cv, cu, cv)             // intrinsic: ok
+		cv += uint32(bits.TrailingZeros32(cu + 1)) // intrinsic + conversion: ok
+		_ = len(adj)                               // branchless builtin: ok
+	}
+	return cv
+}
+
+//ba:branch-free
+func branchyKernel(labels []uint32, adj []uint32, m map[int]int) uint32 {
+	cv := labels[0]
+	for _, u := range adj {
+		if u < cv { // want `if statement in //ba:branch-free region`
+			cv = u
+		}
+		ok := u > 0 && cv > 0 // want `short-circuit && in //ba:branch-free region`
+		_ = ok
+		cv = helper(u) // want `call to a.helper in //ba:branch-free region`
+		fmt.Sprint(u)  // want `call to fmt.Sprint in //ba:branch-free region`
+	}
+	for k := range m { // want `map iteration in //ba:branch-free region`
+		_ = k
+	}
+	switch cv { // want `switch statement in //ba:branch-free region`
+	case 0:
+	}
+	return cv
+}
+
+//ba:branch-free
+func indirectCall(fns []func() uint32) uint32 {
+	return fns[0]() // want `call through a function value in //ba:branch-free region`
+}
+
+func loopRegion(labels []uint32, adj []uint32) uint32 {
+	cv := labels[0]
+	// Only the marked loop is a region; branches before and after it
+	// are free.
+	if cv == 0 {
+		cv = 1
+	}
+	//ba:branch-free
+	for _, u := range adj {
+		cv = minMask(labels[u], cv)
+	}
+	//ba:branch-free
+	for _, u := range adj {
+		//ba:allow-branch predictable early exit, taken once
+		if cv == 0 {
+			break
+		}
+		cv = minMask(labels[u], cv)
+	}
+	if cv == 7 {
+		cv = 8
+	}
+	return cv
+}

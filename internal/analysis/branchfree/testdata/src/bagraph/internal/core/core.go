@@ -1,0 +1,15 @@
+// Package core is a fixture stand-in for the real intrinsic package:
+// branchfree allowlists every function here by package path.
+package core
+
+func MaskLess32(a, b uint32) uint32 {
+	return uint32((int64(a) - int64(b)) >> 63)
+}
+
+func Select32(mask, a, b uint32) uint32 {
+	return (a & mask) | (b &^ mask)
+}
+
+func Bit(mask uint32) int {
+	return int(mask & 1)
+}

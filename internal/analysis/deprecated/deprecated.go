@@ -1,0 +1,79 @@
+// Package deprecated is the type-resolved replacement for the grep-based
+// deprecation guard (scripts/deprecation_guard.sh, retired in PR 9).
+//
+// PR 4 replaced the per-kernel facade entry points with the unified
+// Run(ctx, g, Request) API; the old functions survive only as deprecated
+// wrappers for external callers mid-migration. First-party code — the
+// CLIs, the examples, the serving layer, every internal package — must
+// go through Run / WorkerPool.Run, which carry cancellation, kernel
+// Stats, and reusable workspaces the wrappers discard.
+//
+// The grep guard matched the literal call text, so an aliased import
+// (ba "bagraph"; ba.ShortestHops(...)), a dot import, or a method value
+// walked straight past it. This analyzer resolves every call through
+// the type checker instead: any call whose callee is one of the listed
+// *types.Func objects of package bagraph is flagged, however the name
+// was spelled at the call site. The root package itself (and its tests,
+// which pin wrapper-vs-Run equivalence) is exempt — it is where the
+// wrappers live.
+package deprecated
+
+import (
+	"go/ast"
+	"strings"
+
+	"bagraph/internal/analysis"
+)
+
+// Analyzer is the deprecated-facade check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc:  "reject first-party calls to the deprecated facade wrappers; use Run / WorkerPool.Run",
+	Run:  run,
+}
+
+// rootPkg is the package that owns the wrappers (and is exempt).
+const rootPkg = "bagraph"
+
+// wrappers are the deprecated entry points: the free functions and the
+// WorkerPool methods PR 4 turned into shims over Run. Matching is by
+// (package, name) on the resolved callee, so free function and method
+// homonyms (ConnectedComponents) are both covered.
+var wrappers = map[string]bool{
+	"ConnectedComponents":         true,
+	"ConnectedComponentsParallel": true,
+	"ShortestHops":                true,
+	"ShortestHopsParallel":        true,
+	"ShortestHopsBatch":           true,
+	"ShortestHopsMultiSource":     true,
+	"ShortestPaths":               true,
+	"ShortestPathsParallel":       true,
+	"ShortestPathsInto":           true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The wrappers live in the root package; its own files (including
+	// in-package and external tests, which pin wrapper equivalence) may
+	// call them.
+	if path := pass.Pkg.Path(); path == rootPkg || path == rootPkg+"_test" ||
+		strings.HasPrefix(path, rootPkg+" [") || strings.HasPrefix(path, rootPkg+"_test [") {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == rootPkg && wrappers[fn.Name()] {
+				pass.Reportf(call.Pos(), "call to deprecated facade %s: first-party code uses bagraph.Run / WorkerPool.Run (cancellation, Stats, workspaces; see run.go)", fn.FullName())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

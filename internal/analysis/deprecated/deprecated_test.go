@@ -1,0 +1,20 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"bagraph/internal/analysis/analysistest"
+	"bagraph/internal/analysis/deprecated"
+)
+
+func TestFirstParty(t *testing.T) {
+	analysistest.Run(t, deprecated.Analyzer, "a")
+}
+
+func TestDotImport(t *testing.T) {
+	analysistest.Run(t, deprecated.Analyzer, "b")
+}
+
+func TestRootPackageExempt(t *testing.T) {
+	analysistest.Run(t, deprecated.Analyzer, "bagraph")
+}

@@ -1,0 +1,24 @@
+// Fixture for the deprecated analyzer: the plain, aliased, dot-import,
+// and method-value spellings the grep-based guard could not all see.
+package a
+
+import (
+	"bagraph"
+	ba "bagraph"
+)
+
+func plain(g *bagraph.Graph) {
+	bagraph.ConnectedComponents(g, 0) // want `call to deprecated facade bagraph.ConnectedComponents`
+	bagraph.Run(g)                    // the replacement API: ok
+}
+
+func aliased(g *ba.Graph) {
+	ba.ShortestHops(g, 0) // want `call to deprecated facade bagraph.ShortestHops`
+}
+
+func methodAndValue(p *bagraph.WorkerPool, g *bagraph.Graph) {
+	p.ShortestHopsParallel(g, 0) // want `call to deprecated facade \(\*bagraph.WorkerPool\).ShortestHopsParallel`
+	f := bagraph.ShortestPaths
+	f(g, 0) // a function value: resolved at the binding, not flagged here
+	_ = f
+}

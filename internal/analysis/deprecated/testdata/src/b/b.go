@@ -1,0 +1,10 @@
+// Fixture for the deprecated analyzer: a dot import, where the wrapper
+// name appears with no package qualifier at all.
+package b
+
+import . "bagraph"
+
+func dotted(g *Graph) {
+	ShortestPaths(g, 0) // want `call to deprecated facade bagraph.ShortestPaths`
+	Run(g)              // ok
+}

@@ -1,0 +1,32 @@
+// Package bagraph is a fixture stand-in for the root package: the
+// deprecated analyzer matches the facade wrappers by (package, name) on
+// the resolved callee.
+package bagraph
+
+type Graph struct{}
+
+type CCAlgorithm int
+
+type WorkerPool struct{}
+
+// Deprecated: use Run.
+func ConnectedComponents(g *Graph, algo CCAlgorithm) ([]uint32, error) { return nil, nil }
+
+// Deprecated: use Run.
+func ShortestHops(g *Graph, root uint32) ([]uint32, error) { return nil, nil }
+
+// Deprecated: use Run.
+func ShortestPaths(g *Graph, src uint32) ([]uint64, error) { return nil, nil }
+
+// Deprecated: use WorkerPool.Run.
+func (p *WorkerPool) ShortestHopsParallel(g *Graph, root uint32) ([]uint32, error) { return nil, nil }
+
+// Run is the unified entry point.
+func Run(g *Graph) error { return nil }
+
+// rootMayCall shows the root package itself is exempt: the wrappers
+// live here and the equivalence tests call them.
+func rootMayCall(g *Graph) {
+	ConnectedComponents(g, 0)
+	ShortestHops(g, 0)
+}

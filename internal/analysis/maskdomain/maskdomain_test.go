@@ -1,0 +1,12 @@
+package maskdomain_test
+
+import (
+	"testing"
+
+	"bagraph/internal/analysis/analysistest"
+	"bagraph/internal/analysis/maskdomain"
+)
+
+func TestMaskDomain(t *testing.T) {
+	analysistest.Run(t, maskdomain.Analyzer, "a")
+}

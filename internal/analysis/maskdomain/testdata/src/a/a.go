@@ -1,0 +1,30 @@
+// Fixture for the maskdomain analyzer: operands of the domain-limited
+// mask primitives.
+package a
+
+import "bagraph/internal/core"
+
+func constants(d uint64) uint64 {
+	m := core.MaskLess64(d, ^uint64(0))  // want `constant 18446744073709551615 exceeds core.MaskLess64's 2\^62 operand domain`
+	m |= core.MaskGreater64(d, 1<<63)    // want `constant 9223372036854775808 exceeds core.MaskGreater64's 2\^62 operand domain`
+	m |= core.Min64(d, 1<<62)            // exactly the cap: ok
+	m |= core.MaskLess64(d, 1<<33)       // the disabled-threshold idiom: ok
+	m |= core.Select64(m, d, ^uint64(0)) // Select64 is total: ok
+	return m
+}
+
+func conversions(d uint64, i int, i64 int64, u uint64, up uintptr, f float64, w uint32, b uint8) uint64 {
+	m := core.MaskLess64(d, uint64(i))    // want `conversion from int may exceed core.MaskLess64's 2\^62 operand domain`
+	m |= core.MaskLess64(d, uint64(i64))  // want `conversion from int64 may exceed core.MaskLess64's 2\^62 operand domain`
+	m |= core.MaskGreater64(d, uint64(f)) // want `conversion from float64 may exceed core.MaskGreater64's 2\^62 operand domain`
+	m |= core.Min64(d, uint64(up))        // want `conversion from uintptr may exceed core.Min64's 2\^62 operand domain`
+	m |= core.MaskLess64(d, uint64(w))    // uint32 cannot exceed the domain: ok
+	m |= core.MaskLess64(d, uint64(b))    // uint8 cannot exceed the domain: ok
+	m |= core.MaskLess64(d, u)            // plain uint64 expression: caller's proof obligation, ok
+	return m
+}
+
+func escaped(d uint64, i int64) uint64 {
+	//ba:allow-mask i is a vertex count, bounded by 2^31 at graph build
+	return core.MaskLess64(d, uint64(i))
+}

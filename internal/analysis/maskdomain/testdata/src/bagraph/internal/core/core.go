@@ -1,0 +1,19 @@
+// Package core is a fixture stand-in for the real mask-primitive
+// package: maskdomain matches its domain-limited functions by path.
+package core
+
+func MaskLess64(a, b uint64) uint64 {
+	return uint64((int64(a) - int64(b)) >> 63)
+}
+
+func MaskGreater64(a, b uint64) uint64 {
+	return MaskLess64(b, a)
+}
+
+func Min64(a, b uint64) uint64 {
+	return Select64(MaskLess64(a, b), a, b)
+}
+
+func Select64(mask, a, b uint64) uint64 {
+	return (a & mask) | (b &^ mask)
+}

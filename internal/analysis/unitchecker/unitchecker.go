@@ -1,0 +1,277 @@
+// Package unitchecker lets a suite of analyzers run as a "go vet
+// -vettool" backend without depending on x/tools. The go command drives
+// vet tools through a small protocol:
+//
+//   - tool -V=full        print an identifying line ending in a build ID
+//     (the go command hashes it into its action cache, so a rebuilt
+//     tool invalidates cached vet results);
+//   - tool -flags         print a JSON description of the tool's flags
+//     (the go command validates user-passed vet flags against it);
+//   - tool <unit>.cfg     analyze one compilation unit described by the
+//     JSON config file: parse the listed Go files, type-check against
+//     the export data of already-compiled dependencies, run the
+//     analyzers, print diagnostics to stderr, and write the (for this
+//     suite, empty) facts file the config names.
+//
+// Type-checking imports re-uses the compiler's export data through
+// go/importer's lookup mode — the same mechanism x/tools' gcexportdata
+// wraps — so the driver needs nothing outside the standard library.
+// The suite's analyzers are purely local (no cross-package facts), so
+// dependency units in VetxOnly mode are satisfied by an empty facts
+// file without running anything.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"bagraph/internal/analysis"
+)
+
+// Config is the JSON schema of the .cfg file the go command hands a vet
+// tool, one per compilation unit (field set mirrors x/tools
+// unitchecker.Config; unused fields are accepted and ignored).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet tool built on this driver: parse the
+// protocol flags, then analyze the unit config named on the command
+// line. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if err := analysis.Validate(analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+
+	args := os.Args[1:]
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// No tool-specific flags: the suite runs whole.
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "help" || arg == "-h" || arg == "-help" || arg == "--help":
+			usage(progname, analyzers)
+			os.Exit(0)
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+
+	diags, err := Run(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// usage prints the tool's own documentation. Direct invocation is for
+// humans reading --help; analysis runs always come from the go command.
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: the branch-avoiding kernel contract checker.\n\n", progname)
+	fmt.Fprintf(os.Stderr, "Run it through the go command:\n\n\tgo vet -vettool=$(which %s) ./...\n\nChecks:\n", progname)
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "\t%-12s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion implements the -V=full handshake: the line must end in a
+// token the go command can treat as a build ID, so the binary hashes
+// itself — a rebuilt balint then invalidates prior cached vet results.
+func printVersion() {
+	name, err := os.Executable()
+	if err != nil {
+		name = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(name); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", name, h.Sum(nil))
+}
+
+// A posDiagnostic is one rendered finding.
+type posDiagnostic struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// Run analyzes the unit described by cfgFile and returns the rendered
+// diagnostics, which it also prints to stderr.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]posDiagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The facts file must exist whether or not we have facts (the go
+	// command registers it as the action's output); this suite's
+	// analyzers are fact-free, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency unit analyzed only for facts: nothing to do.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	var diags []posDiagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, posDiagnostic{
+				Analyzer: a.Name,
+				Posn:     fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Posn, diags[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Posn, d.Message)
+	}
+	return diags, nil
+}
+
+// typecheck builds the unit's *types.Package against the export data of
+// its already-compiled dependencies.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	// The gc importer's lookup mode reads export data from wherever the
+	// driver says — here, the per-dependency files the go command listed
+	// in the unit config.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// goVersion normalizes the config's language version for types.Config,
+// which rejects versions with a point release or with no "go" prefix.
+func goVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -194,6 +194,7 @@ func TopDownBranchAvoidingCtx(ctx context.Context, g *graph.Graph, root uint32) 
 			v := buf[head]
 			head++
 			next := dist[v] + 1
+			//ba:branch-free
 			for _, w := range adj[offs[v]:offs[v+1]] {
 				temp := dist[w]
 				// Unconditional store "outside" the queue; overwritten if

@@ -197,6 +197,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 		}
 
 		for level := uint32(1); ; level++ {
+			//ba:allow-ctx the per-level sweep barrier: one check per level inside the wave loop, never per vertex or per arc
 			if err := ctx.Err(); err != nil {
 				return dists, st, err
 			}
@@ -205,6 +206,9 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 			// swapped-in array must read zero for them.
 			clear(next)
 			active.BuildRank()
+			// Workers own whole words of the active bitset (64-aligned
+			// chunks), so the sweep is atomic-free.
+			//ba:atomic-free
 			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
 				a := &acc[t]
 				// The final probe (v == -1) also loaded words before
@@ -216,6 +220,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 					}
 					sv := seen[v]
 					acquired := uint64(0)
+					//ba:branch-free
 					for _, u := range adj[offs[v]:offs[v+1]] {
 						acquired |= frontier[u]
 					}
@@ -229,6 +234,7 @@ func MultiSource(g *graph.Graph, roots []uint32, opt MultiSourceOptions) ([][]ui
 					if fresh != 0 {
 						a.advanced |= fresh
 						dv := level
+						//ba:branch-free
 						for m := fresh; m != 0; m &= m - 1 {
 							i := bits.TrailingZeros64(m)
 							dists[lo+i][v] = dv

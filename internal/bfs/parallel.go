@@ -179,6 +179,9 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 				}
 			}
 			unvisited.BuildRank()
+			// Workers own whole bitset words (64-aligned chunks), so the
+			// bottom-up sweep needs no atomics at all.
+			//ba:atomic-free
 			cst := pool.RunChunks(vchunks, opt.Schedule, func(t int, r par.Range) {
 				a := &acc[t]
 				// The final probe (v == -1) also loaded words before
@@ -189,8 +192,10 @@ func ParallelDO(g *graph.Graph, root uint32, opt ParallelOptions) ([]uint32, Sta
 						break
 					}
 					found := uint32(0)
+					//ba:branch-free
 					for _, u := range adj[offs[v]:offs[v+1]] {
 						found |= frontierBits.Bit(int(u))
+						//ba:allow-branch early exit taken once per vertex and predicted until then; the membership probe itself stays a mask accumulation
 						if found != 0 {
 							break
 						}

@@ -141,6 +141,7 @@ func SVBranchAvoidingCtx(ctx context.Context, g *graph.Graph) ([]uint32, Stats, 
 		change = 0
 		changed := 0
 		start := time.Now()
+		//ba:branch-free
 		for v := 0; v < n; v++ {
 			cinit := labels[v]
 			cv := cinit
@@ -212,6 +213,7 @@ func SVHybridCtx(ctx context.Context, g *graph.Graph, opt HybridOptions) ([]uint
 		start := time.Now()
 		if avoiding {
 			var diffAccum uint32
+			//ba:branch-free
 			for v := 0; v < n; v++ {
 				cinit := labels[v]
 				cv := cinit

@@ -156,9 +156,11 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 		var cst par.ChunkStats
 		var err error
 		if avoiding {
+			//ba:atomic-free
 			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {
 				changed := 0
 				pf := uint32(0)
+				//ba:branch-free
 				for v := r.Lo; v < r.Hi; v++ {
 					cv := prev[v]
 					row := adj[offs[v]:offs[v+1]]
@@ -187,6 +189,7 @@ func SVParallel(g *graph.Graph, opt ParallelOptions) ([]uint32, Stats, error) {
 				sink[t] ^= pf
 			})
 		} else {
+			//ba:atomic-free
 			cst, err = pool.RunChunksCtx(ctx, chunks, opt.Schedule, func(t int, r par.Range) {
 				changed := 0
 				for v := r.Lo; v < r.Hi; v++ {

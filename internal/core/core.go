@@ -20,21 +20,29 @@ package core
 // MaskLess32 returns 0xFFFFFFFF when a < b (unsigned), else 0, without
 // branching. The subtraction is widened to int64 so the full uint32 range
 // is handled.
+//
+//ba:branch-free
 func MaskLess32(a, b uint32) uint32 {
 	return uint32((int64(a) - int64(b)) >> 63)
 }
 
 // MaskGreater32 returns 0xFFFFFFFF when a > b (unsigned), else 0.
+//
+//ba:branch-free
 func MaskGreater32(a, b uint32) uint32 {
 	return MaskLess32(b, a)
 }
 
 // MaskLessEq32 returns 0xFFFFFFFF when a <= b (unsigned), else 0.
+//
+//ba:branch-free
 func MaskLessEq32(a, b uint32) uint32 {
 	return ^MaskLess32(b, a)
 }
 
 // MaskEqual32 returns 0xFFFFFFFF when a == b, else 0.
+//
+//ba:branch-free
 func MaskEqual32(a, b uint32) uint32 {
 	d := int64(a ^ b)
 	// d == 0 iff equal; (d-1)>>63 is all-ones only when d == 0 given
@@ -44,6 +52,8 @@ func MaskEqual32(a, b uint32) uint32 {
 
 // Select32 returns a when mask is all-ones and b when mask is zero. Any
 // other mask blends bits and is a caller error.
+//
+//ba:branch-free
 func Select32(mask, a, b uint32) uint32 {
 	return (a & mask) | (b &^ mask)
 }
@@ -51,18 +61,24 @@ func Select32(mask, a, b uint32) uint32 {
 // Min32 returns the unsigned minimum of a and b without branching — the
 // conditional-move at the heart of the branch-avoiding Shiloach-Vishkin
 // kernel (Algorithm 3).
+//
+//ba:branch-free
 func Min32(a, b uint32) uint32 {
 	m := MaskLess32(a, b)
 	return Select32(m, a, b)
 }
 
 // Max32 returns the unsigned maximum of a and b without branching.
+//
+//ba:branch-free
 func Max32(a, b uint32) uint32 {
 	m := MaskLess32(a, b)
 	return Select32(m, b, a)
 }
 
 // CondAssignLess32 performs *dst = val when val < *dst, without branching.
+//
+//ba:branch-free
 func CondAssignLess32(dst *uint32, val uint32) {
 	m := MaskLess32(val, *dst)
 	*dst = Select32(m, val, *dst)
@@ -71,6 +87,8 @@ func CondAssignLess32(dst *uint32, val uint32) {
 // Bit returns 1 when mask is all-ones, 0 when mask is zero — the
 // conditional-add operand used by the branch-avoiding BFS (Algorithm 5's
 // COND_ADD on the queue length).
+//
+//ba:branch-free
 func Bit(mask uint32) int {
 	return int(mask & 1)
 }

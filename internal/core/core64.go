@@ -13,16 +13,22 @@ package core
 const MaxDist64 = 1<<62 - 1
 
 // MaskLess64 returns all-ones when a < b, else 0, for a, b ≤ 2^62.
+//
+//ba:branch-free
 func MaskLess64(a, b uint64) uint64 {
 	return uint64((int64(a) - int64(b)) >> 63)
 }
 
 // MaskGreater64 returns all-ones when a > b, else 0, for a, b ≤ 2^62.
+//
+//ba:branch-free
 func MaskGreater64(a, b uint64) uint64 {
 	return MaskLess64(b, a)
 }
 
 // MaskEqual64 returns all-ones when a == b, else 0.
+//
+//ba:branch-free
 func MaskEqual64(a, b uint64) uint64 {
 	d := a ^ b
 	// Branchless "d == 0": OR together all bits of d, then the low bit of
@@ -32,16 +38,22 @@ func MaskEqual64(a, b uint64) uint64 {
 }
 
 // Select64 returns a when mask is all-ones and b when mask is zero.
+//
+//ba:branch-free
 func Select64(mask, a, b uint64) uint64 {
 	return (a & mask) | (b &^ mask)
 }
 
 // Min64 returns the minimum of a and b without branching, for a, b ≤ 2^62.
+//
+//ba:branch-free
 func Min64(a, b uint64) uint64 {
 	return Select64(MaskLess64(a, b), a, b)
 }
 
 // Bit64 returns 1 when mask is all-ones, 0 when mask is zero.
+//
+//ba:branch-free
 func Bit64(mask uint64) uint64 {
 	return mask & 1
 }

@@ -301,10 +301,15 @@ func (p *Pool) RunChunks(chunks []Range, sched Schedule, fn func(worker int, c R
 	// Per-worker steal counters, padded like the cursors; folded into
 	// st after the barrier (the barrier is the happens-before edge).
 	counts := make([]chunkCursor, 2*len(blocks))
+	// The scheduler's cursor fetches are the only sanctioned atomics in
+	// the engine: one per chunk handoff, never per element. The chunk
+	// bodies (fn) stay atomic-free — balint enforces it.
+	//ba:atomic-free
 	p.Run(len(blocks), func(w int) {
 		// Drain the worker's own block. The owner pops through the same
 		// cursor thieves steal from, so a chunk runs exactly once.
 		for {
+			//ba:allow-atomic owner pop: one cursor fetch per chunk, shared with thieves so each chunk runs exactly once
 			i := atomic.AddInt64(&cursors[w].next, 1) - 1
 			if i >= int64(blocks[w].Hi) {
 				break
@@ -320,6 +325,7 @@ func (p *Pool) RunChunks(chunks []Range, sched Schedule, fn func(worker int, c R
 				if v == w {
 					continue
 				}
+				//ba:allow-atomic victim scan: cursor loads to find the most-loaded backlog, one scan per steal
 				if rem := int64(blocks[v].Hi) - atomic.LoadInt64(&cursors[v].next); rem > best {
 					best, victim = rem, v
 				}
@@ -328,6 +334,7 @@ func (p *Pool) RunChunks(chunks []Range, sched Schedule, fn func(worker int, c R
 				break
 			}
 			counts[2*w+1].next++ // steal pass
+			//ba:allow-atomic steal fetch: the one cursor increment that transfers a chunk to the thief
 			i := atomic.AddInt64(&cursors[victim].next, 1) - 1
 			if i >= int64(blocks[victim].Hi) {
 				continue // another thief won the last chunk; rescan

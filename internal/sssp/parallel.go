@@ -285,6 +285,9 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 		start := time.Now()
 		scanned := vOffs[len(vOffs)-1]
 		chunks := par.Partition(vOffs, chunkTarget, 1)
+		// Workers fill private candidate buffers; all folding happens at
+		// the pass barrier below.
+		//ba:atomic-free
 		cst := pool.RunChunks(chunks, opt.Schedule, func(t int, r par.Range) {
 			buf := cands[t]
 			stores := candStores[t]
@@ -318,6 +321,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 					switch {
 					case !split:
 						j := lo
+						//ba:branch-free
 						for ; j < la; j++ {
 							pf ^= dist[adj[j+core.Lookahead]]
 							u := adj[j]
@@ -326,6 +330,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 							buf[tail] = candidate{u, c}
 							tail += int(core.Bit64(m))
 						}
+						//ba:branch-free
 						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])
@@ -335,6 +340,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 						}
 					case heavy:
 						j := lo
+						//ba:branch-free
 						for ; j < la; j++ {
 							pf ^= dist[adj[j+core.Lookahead]]
 							u := adj[j]
@@ -343,6 +349,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 							buf[tail] = candidate{u, c}
 							tail += int(core.Bit64(m))
 						}
+						//ba:branch-free
 						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])
@@ -352,6 +359,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 						}
 					default:
 						j := lo
+						//ba:branch-free
 						for ; j < la; j++ {
 							pf ^= dist[adj[j+core.Lookahead]]
 							u := adj[j]
@@ -360,6 +368,7 @@ func Parallel(g *graph.Weighted, src uint32, opt ParallelOptions) ([]uint64, Sta
 							buf[tail] = candidate{u, c}
 							tail += int(core.Bit64(m))
 						}
+						//ba:branch-free
 						for ; j < hi; j++ {
 							u := adj[j]
 							c := dv + uint64(ws[j])

@@ -185,6 +185,7 @@ func BellmanFordBranchAvoidingCtx(ctx context.Context, g *graph.Weighted, src ui
 		change = 0
 		changed := 0
 		start := time.Now()
+		//ba:branch-free
 		for v := 0; v < n; v++ {
 			dinit := dist[v]
 			dv := dinit

@@ -1,0 +1,65 @@
+package bagraph
+
+import (
+	"context"
+	"testing"
+)
+
+// pathWeighted builds a weighted path 0-1-...-n-1 with unit weights.
+// The pull-style Bellman-Ford sweeps vertices in ascending order and
+// relaxes in place, so from the far end (root n-1) distances propagate
+// one vertex per pass and the pass count is controlled by n.
+func pathWeighted(t *testing.T, n int) *WeightedGraph {
+	t.Helper()
+	edges := make([]WeightedEdge, n-1)
+	for i := range edges {
+		edges[i] = WeightedEdge{U: uint32(i), V: uint32(i + 1), W: 1}
+	}
+	g, err := NewWeightedGraph(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRunWarmWorkspaceAllocs pins the per-pass heap allocation count of
+// the Run dispatch path at zero on a warm Workspace.
+//
+// A Run can never be literally allocation-free: it returns a fresh
+// *Result and appends per-pass observability records (PassDurations,
+// PassChanges) into slices that grow 1→2→4→…. But those growth
+// allocations depend only on the *bracket* the pass count falls in, not
+// on the count itself. So the guard compares two warm-workspace runs
+// whose pass counts differ but sit inside the same append-growth
+// bracket (16, 32]: every allocation that is per-run or per-bracket
+// cancels, and any allocation made once per pass — a conversion that
+// boxes, a buffer the kernel forgot to reuse, a map the dispatch grew —
+// shows up as a difference and fails the test.
+func TestRunWarmWorkspaceAllocs(t *testing.T) {
+	const bracketLo, bracketHi = 16, 32
+	ctx := context.Background()
+	measure := func(n int) float64 {
+		t.Helper()
+		g := pathWeighted(t, n)
+		ws := &Workspace{}
+		req := Request{Kind: KindSSSP, SSSP: SSSPBellmanFordBranchAvoiding, Root: uint32(n - 1), Workspace: ws}
+		// Warm the workspace and check the run lands in the bracket.
+		res, err := Run(ctx, g, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := res.Stats.Passes; p <= bracketLo || p > bracketHi {
+			t.Fatalf("n=%d: %d passes, outside the (%d, %d] growth bracket the test needs", n, p, bracketLo, bracketHi)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := Run(ctx, g, req); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(18)
+	long := measure(26)
+	if short != long {
+		t.Fatalf("allocations grew with pass count: %.1f allocs at 18 passes vs %.1f at 26 — some allocation is per-pass, not per-run", short, long)
+	}
+}
