@@ -136,7 +136,17 @@ func main() {
 	flag.Var(&shards, "shard", "router mode: shard address host:port (repeatable or comma-separated)")
 	replicas := flag.Int("replicas", 2, "router mode: shards a rollout places a NEW graph on")
 	healthInterval := flag.Duration("health-interval", time.Second,
-		"router mode: live-shard probe period (dead shards back off to 8x)")
+		"router mode: live-shard probe period (dead shards back off to 8x); also the Retry-After hint on 503s")
+	retryBudget := flag.Int("retry-budget", 3,
+		"router mode: max attempts one query spends across a graph's replicas")
+	hedgeAfter := flag.Duration("hedge-after", 0,
+		"router mode: duplicate a slow query on the next live replica after this delay (0: adapt to the observed p95; negative: never hedge)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second,
+		"router mode: first open->half-open wait of a shard's circuit breaker (doubles per consecutive open, capped at 8x)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"router mode: concurrent-query cap; excess answers 503 + Retry-After before touching any shard (0: unlimited)")
+	maxStale := flag.Duration("max-stale", 0,
+		"router mode: serve the last good CC answer, marked \"stale\", for up to this long when no live replica holds the graph (0: never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown limit")
 	flag.Parse()
 
@@ -153,10 +163,15 @@ func main() {
 			log.Fatal("baserved: -router needs at least one -shard address")
 		}
 		fl, err := fleet.New(fleet.Config{
-			Shards:         shards,
-			Replicas:       *replicas,
-			HealthInterval: *healthInterval,
-			Logf:           log.Printf,
+			Shards:          shards,
+			Replicas:        *replicas,
+			HealthInterval:  *healthInterval,
+			RetryBudget:     *retryBudget,
+			HedgeAfter:      *hedgeAfter,
+			BreakerCooldown: *breakerCooldown,
+			MaxInflight:     *maxInflight,
+			MaxStale:        *maxStale,
+			Logf:            log.Printf,
 		})
 		if err != nil {
 			log.Fatalf("baserved: %v", err)

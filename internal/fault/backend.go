@@ -1,0 +1,96 @@
+package fault
+
+// The dispatch-plane edge of the injection layer: a serve.Backend
+// decorator, for driving failure paths in a shard's own process —
+// behind real HTTP handlers or fully in-process — without touching
+// sockets. Byte-level faults (Truncate, Corrupt) have no meaning at
+// this layer and pass through; Refuse and Hang map onto the 502 a
+// dying upstream would produce once the handlers serialize them.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"bagraph/internal/serve"
+)
+
+// Backend wraps an inner serve.Backend with a fault plan. The plan is
+// consulted once per query (CC, BFS, SSSP); listing and health calls
+// pass through so health loops see the process as alive — the injected
+// failures hit query traffic, which is the path under test.
+type Backend struct {
+	inner  serve.Backend
+	plan   Plan
+	target string
+}
+
+// NewBackend decorates inner; target names this backend in the plan.
+func NewBackend(plan Plan, inner serve.Backend, target string) *Backend {
+	return &Backend{inner: inner, plan: plan, target: target}
+}
+
+// apply runs one scheduled fault; a nil return means proceed.
+func (b *Backend) apply(ctx context.Context) error {
+	f := b.plan.Next(b.target)
+	switch f.Kind {
+	case Refuse:
+		return serve.Errorf(http.StatusBadGateway, "fault: injected refusal on %s", b.target)
+	case Status:
+		status := f.Status
+		if status == 0 {
+			status = http.StatusServiceUnavailable
+		}
+		return serve.Errorf(status, "fault: injected %d on %s", status, b.target)
+	case Latency:
+		select {
+		case <-time.After(f.Delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case Hang:
+		select {
+		case <-time.After(f.Delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return serve.Errorf(http.StatusBadGateway, "fault: injected hang on %s", b.target)
+	}
+	return nil
+}
+
+// CC implements serve.Backend.
+func (b *Backend) CC(ctx context.Context, graph, algo string, labels bool) (*serve.CCResponse, error) {
+	if err := b.apply(ctx); err != nil {
+		return nil, err
+	}
+	return b.inner.CC(ctx, graph, algo, labels)
+}
+
+// BFS implements serve.Backend.
+func (b *Backend) BFS(ctx context.Context, graph string, root uint32, algo string) (*serve.BFSResponse, error) {
+	if err := b.apply(ctx); err != nil {
+		return nil, err
+	}
+	return b.inner.BFS(ctx, graph, root, algo)
+}
+
+// SSSP implements serve.Backend.
+func (b *Backend) SSSP(ctx context.Context, graph string, root uint32, algo string) (*serve.SSSPResponse, error) {
+	if err := b.apply(ctx); err != nil {
+		return nil, err
+	}
+	return b.inner.SSSP(ctx, graph, root, algo)
+}
+
+// Graphs implements serve.Backend (pass-through).
+func (b *Backend) Graphs(ctx context.Context) ([]serve.GraphInfo, error) {
+	return b.inner.Graphs(ctx)
+}
+
+// Healthz implements serve.Backend (pass-through).
+func (b *Backend) Healthz(ctx context.Context) (*serve.Health, error) {
+	return b.inner.Healthz(ctx)
+}
+
+var _ serve.Backend = (*Backend)(nil)

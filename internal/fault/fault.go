@@ -1,0 +1,226 @@
+// Package fault is the deterministic fault-injection layer: a plan of
+// scheduled faults — connection refusals, latency spikes, mid-body
+// hangs, 5xx answers, truncated or corrupted JSON — produced either
+// from an explicit script or from a seed, applied to traffic through
+// an http.RoundTripper wrapper (transport.go) or a serve.Backend
+// decorator (backend.go).
+//
+// The point is reproducibility: every failure path in the fleet router
+// (retry budgets, hedging, circuit breaking, stale-serve degradation)
+// is drivable from a unit test under -race without SIGTERM-ing real
+// processes. A Script plan pins exact fault sequences per target for
+// deterministic unit tests; a Seeded plan derives per-call faults and
+// sustained outage windows from a single uint64 seed, so a chaos soak
+// can be re-run from its logged seed. Neither plan touches the global
+// rand or the wall clock for decisions — all randomness is splitmix64
+// over (seed, target, per-target call counter).
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// None passes the operation through untouched.
+	None Kind = iota
+	// Refuse fails the operation before any bytes move, as a refused
+	// connection would: the caller sees a transport error and the
+	// request is safe to retry elsewhere.
+	Refuse
+	// Latency delays the operation by Delay, then forwards it. The
+	// operation still succeeds — this drives hedging, not retries.
+	Latency
+	// Hang forwards the request but stalls mid-body for Delay, then
+	// resets: the caller gets headers and a byte prefix, then a
+	// transport error. The nastiest real-world failure shape — the
+	// answer looked like it was coming.
+	Hang
+	// Status short-circuits the operation with a synthesized HTTP
+	// error status (Fault.Status; 503 when zero).
+	Status
+	// Truncate forwards the operation but cuts the response body in
+	// half, so the JSON no longer parses.
+	Truncate
+	// Corrupt forwards the operation but overwrites a byte of the
+	// response body with NUL, which is invalid anywhere in JSON.
+	Corrupt
+)
+
+// String names the kind for logs and metrics.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Refuse:
+		return "refuse"
+	case Latency:
+		return "latency"
+	case Hang:
+		return "hang"
+	case Status:
+		return "status"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled fault.
+type Fault struct {
+	Kind   Kind
+	Delay  time.Duration // Latency: added delay; Hang: stall before the reset
+	Status int           // Status faults; 0 means 503
+}
+
+// Plan produces the fault schedule. Next is called once per operation
+// against target (a shard address for the transport wrapper, the
+// configured name for a backend decorator) and must be safe for
+// concurrent use.
+type Plan interface {
+	Next(target string) Fault
+}
+
+// Script is an explicit per-target fault queue: tests pin the exact
+// sequence each target sees. Targets with no queued faults (or whose
+// queue has drained) pass through.
+type Script struct {
+	mu   sync.Mutex
+	seqs map[string][]Fault
+}
+
+// NewScript returns an empty script (everything passes through until
+// faults are queued).
+func NewScript() *Script {
+	return &Script{seqs: make(map[string][]Fault)}
+}
+
+// Queue appends faults to target's schedule; they are consumed in
+// order, one per operation.
+func (s *Script) Queue(target string, faults ...Fault) {
+	s.mu.Lock()
+	s.seqs[target] = append(s.seqs[target], faults...)
+	s.mu.Unlock()
+}
+
+// Next pops target's next scheduled fault.
+func (s *Script) Next(target string) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.seqs[target]
+	if len(q) == 0 {
+		return Fault{}
+	}
+	f := q[0]
+	s.seqs[target] = q[1:]
+	return f
+}
+
+// Seeded derives faults from a single seed: per-call fault classes by
+// configured rate, plus sustained outage windows during which one
+// target at a time refuses everything — the schedule a chaos soak
+// replays from its logged seed. The zero value injects nothing.
+//
+// Determinism: each draw is splitmix64 over (Seed, target, the
+// target's own call counter), so a target's fault sequence depends
+// only on how many calls it has seen, not on cross-target
+// interleaving. Outage windows advance on a global call counter, so
+// their exact call-boundaries shift with goroutine interleaving, but
+// which windows are outages and who they hit is pure seed.
+type Seeded struct {
+	// Seed drives every decision. Two runs with the same seed and the
+	// same per-target call counts see the same faults.
+	Seed uint64
+	// Per-call fault rates in [0, 1); their sum must stay below 1.
+	Refuse, Latency, Hang, Status, Truncate, Corrupt float64
+	// MaxDelay bounds latency spikes and hang stalls; 0 means 20ms.
+	// The actual delay is seed-derived in [MaxDelay/4, MaxDelay].
+	MaxDelay time.Duration
+	// OutageEvery is the outage-window width in global calls; 0
+	// disables windows. Each window picks (by seed) whether an outage
+	// happens and which of Targets it takes down; a down target
+	// refuses every call for the window's duration — the sustained
+	// kill/recover schedule that exercises breakers and health loops.
+	OutageEvery uint64
+	// OutageRate is the per-window probability of an outage.
+	OutageRate float64
+	// Targets lists the addresses eligible for outage windows.
+	Targets []string
+
+	total    atomic.Uint64 // global call counter (outage windows)
+	counters sync.Map      // target → *atomic.Uint64
+}
+
+// splitmix64 is the SplitMix64 output function: a fast, well-mixed
+// 64-bit finalizer, the standard seed expander.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string into a uint64 (FNV-1a).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit maps a 64-bit draw onto [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Next implements Plan.
+func (s *Seeded) Next(target string) Fault {
+	call := s.total.Add(1) - 1
+	c, _ := s.counters.LoadOrStore(target, new(atomic.Uint64))
+	mine := c.(*atomic.Uint64).Add(1) - 1
+
+	// Sustained outage window: one target at a time refuses everything.
+	if s.OutageEvery > 0 && len(s.Targets) > 0 {
+		window := call / s.OutageEvery
+		draw := splitmix64(s.Seed ^ 0xa0d1e5c4b3f29687 ^ window)
+		if unit(draw) < s.OutageRate {
+			victim := s.Targets[int(splitmix64(draw)%uint64(len(s.Targets)))]
+			if victim == target {
+				return Fault{Kind: Refuse}
+			}
+		}
+	}
+
+	draw := splitmix64(s.Seed ^ hashString(target) ^ splitmix64(mine))
+	u := unit(draw)
+	maxDelay := s.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 20 * time.Millisecond
+	}
+	// The delay draw reuses the class draw's upper mix so it stays a
+	// pure function of (seed, target, counter).
+	delay := maxDelay/4 + time.Duration(splitmix64(draw)%uint64(3*maxDelay/4+1))
+	for _, c := range []struct {
+		rate float64
+		f    Fault
+	}{
+		{s.Refuse, Fault{Kind: Refuse}},
+		{s.Latency, Fault{Kind: Latency, Delay: delay}},
+		{s.Hang, Fault{Kind: Hang, Delay: delay}},
+		{s.Status, Fault{Kind: Status, Status: []int{500, 502, 503}[draw%3]}},
+		{s.Truncate, Fault{Kind: Truncate}},
+		{s.Corrupt, Fault{Kind: Corrupt}},
+	} {
+		if u < c.rate {
+			return c.f
+		}
+		u -= c.rate
+	}
+	return Fault{}
+}

@@ -1,0 +1,271 @@
+package fault
+
+// The injection layer's own contract tests: plan determinism (the
+// whole point — a chaos run must replay from its seed), and the
+// transport wrapper producing exactly the failure classes the fleet's
+// ShardClient routes on.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"bagraph/internal/serve"
+)
+
+func TestScriptPopsInOrderThenPassesThrough(t *testing.T) {
+	s := NewScript()
+	s.Queue("a", Fault{Kind: Refuse}, Fault{Kind: Status, Status: 500})
+	s.Queue("b", Fault{Kind: Hang, Delay: time.Millisecond})
+
+	if f := s.Next("a"); f.Kind != Refuse {
+		t.Fatalf("a[0] = %v, want refuse", f.Kind)
+	}
+	if f := s.Next("b"); f.Kind != Hang {
+		t.Fatalf("b[0] = %v, want hang", f.Kind)
+	}
+	if f := s.Next("a"); f.Kind != Status || f.Status != 500 {
+		t.Fatalf("a[1] = %+v, want status 500", f)
+	}
+	// Drained (and never-scripted) targets pass through.
+	for _, target := range []string{"a", "b", "never"} {
+		if f := s.Next(target); f.Kind != None {
+			t.Fatalf("drained %q injected %v", target, f.Kind)
+		}
+	}
+}
+
+func TestSeededZeroValueInjectsNothing(t *testing.T) {
+	var s Seeded
+	for i := 0; i < 100; i++ {
+		if f := s.Next("x"); f.Kind != None {
+			t.Fatalf("zero-value plan injected %v", f.Kind)
+		}
+	}
+}
+
+// TestSeededReplays: the same seed gives each target the same fault
+// sequence, regardless of how other targets' calls interleave.
+func TestSeededReplays(t *testing.T) {
+	mk := func(seed uint64) *Seeded {
+		return &Seeded{
+			Seed: seed, Refuse: 0.1, Latency: 0.1, Hang: 0.1,
+			Status: 0.1, Truncate: 0.1, Corrupt: 0.1,
+		}
+	}
+	const n = 400
+	run := func(s *Seeded, target string, interleave bool) []Fault {
+		out := make([]Fault, n)
+		for i := range out {
+			if interleave {
+				s.Next("noise-" + target) // other targets must not shift the sequence
+			}
+			out[i] = s.Next(target)
+		}
+		return out
+	}
+	a := run(mk(42), "shard-1", false)
+	b := run(mk(42), "shard-1", true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged under interleaving: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	kinds := make(map[Kind]int)
+	for _, f := range a {
+		kinds[f.Kind]++
+	}
+	for _, k := range []Kind{None, Refuse, Latency, Hang, Status, Truncate, Corrupt} {
+		if kinds[k] == 0 {
+			t.Fatalf("seed 42 never produced %v over %d calls: %v", k, n, kinds)
+		}
+	}
+	c := run(mk(43), "shard-1", false)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestSeededOutageWindows: windows deterministically pick one victim
+// that refuses everything while the window lasts.
+func TestSeededOutageWindows(t *testing.T) {
+	s := &Seeded{Seed: 7, OutageEvery: 50, OutageRate: 0.5, Targets: []string{"a", "b"}}
+	refusals := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		target := []string{"a", "b"}[i%2]
+		if s.Next(target).Kind == Refuse {
+			refusals[target]++
+		}
+	}
+	if refusals["a"]+refusals["b"] == 0 {
+		t.Fatal("no outage window ever fired")
+	}
+	// Re-running the same seed reproduces the same refusal totals when
+	// the call sequence is identical.
+	s2 := &Seeded{Seed: 7, OutageEvery: 50, OutageRate: 0.5, Targets: []string{"a", "b"}}
+	refusals2 := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		target := []string{"a", "b"}[i%2]
+		if s2.Next(target).Kind == Refuse {
+			refusals2[target]++
+		}
+	}
+	if refusals["a"] != refusals2["a"] || refusals["b"] != refusals2["b"] {
+		t.Fatalf("outage schedule not reproducible: %v vs %v", refusals, refusals2)
+	}
+}
+
+// TestTransportClassification drives every fault kind through a real
+// HTTP round-trip and asserts the ShardClient classifies it into the
+// family the router routes on: transport errors retry on a replica,
+// application answers pass through.
+func TestTransportClassification(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Long enough that a Hang's 16-byte prefix is a strict subset.
+		w.Write([]byte(`{"status":"ok","graphs":3,"workers":2,"shards":0}`))
+	}))
+	defer ts.Close()
+	u, _ := url.Parse(ts.URL)
+	target := u.Host
+
+	script := NewScript()
+	tr := NewTransport(script, nil)
+	defer tr.CloseIdleConnections()
+	client := serve.NewShardClient(ts.URL, &http.Client{Transport: tr})
+	ctx := context.Background()
+
+	isTransport := func(err error) bool {
+		var te *serve.TransportError
+		return errors.As(err, &te)
+	}
+
+	// Baseline: no fault scheduled, the call succeeds.
+	if h, err := client.Healthz(ctx); err != nil || h.Graphs != 3 {
+		t.Fatalf("pass-through failed: %+v, %v", h, err)
+	}
+
+	for _, tc := range []struct {
+		fault Fault
+		check func(error) bool
+		want  string
+	}{
+		{Fault{Kind: Refuse}, isTransport, "transport error"},
+		{Fault{Kind: Hang, Delay: time.Millisecond}, isTransport, "transport error"},
+		{Fault{Kind: Truncate}, isTransport, "transport error"},
+		{Fault{Kind: Corrupt}, isTransport, "transport error"},
+		{Fault{Kind: Status, Status: 503}, func(err error) bool {
+			var se *serve.Error
+			return errors.As(err, &se) && se.Status == 503
+		}, "*serve.Error 503"},
+	} {
+		script.Queue(target, tc.fault)
+		_, err := client.Healthz(ctx)
+		if err == nil || !tc.check(err) {
+			t.Fatalf("%v: got %v, want %s", tc.fault.Kind, err, tc.want)
+		}
+		if strings.Contains(strings.ToLower(tc.want), "transport") && isTransport(err) {
+			var te *serve.TransportError
+			errors.As(err, &te)
+			if te.Shard != ts.URL {
+				t.Fatalf("%v blamed %q, want %q", tc.fault.Kind, te.Shard, ts.URL)
+			}
+		}
+	}
+
+	// Latency: slow but correct — hedging bait, not a failure.
+	script.Queue(target, Fault{Kind: Latency, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	h, err := client.Healthz(ctx)
+	if err != nil || h.Graphs != 3 {
+		t.Fatalf("latency fault broke the answer: %+v, %v", h, err)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Fatalf("latency fault added only %v", took)
+	}
+
+	// Disarmed, scheduled faults do not fire.
+	script.Queue(target, Fault{Kind: Refuse})
+	tr.SetEnabled(false)
+	if _, err := client.Healthz(ctx); err != nil {
+		t.Fatalf("disarmed transport still injected: %v", err)
+	}
+	tr.SetEnabled(true)
+	if _, err := client.Healthz(ctx); !isTransport(err) {
+		t.Fatalf("re-armed transport did not fire the queued refusal: %v", err)
+	}
+}
+
+// stubBackend answers every query with fixed bodies — the in-process
+// target for the Backend decorator tests.
+type stubBackend struct{}
+
+func (stubBackend) CC(context.Context, string, string, bool) (*serve.CCResponse, error) {
+	return &serve.CCResponse{Graph: "g", Components: 1}, nil
+}
+func (stubBackend) BFS(context.Context, string, uint32, string) (*serve.BFSResponse, error) {
+	return &serve.BFSResponse{Graph: "g"}, nil
+}
+func (stubBackend) SSSP(context.Context, string, uint32, string) (*serve.SSSPResponse, error) {
+	return &serve.SSSPResponse{Graph: "g"}, nil
+}
+func (stubBackend) Graphs(context.Context) ([]serve.GraphInfo, error) {
+	return []serve.GraphInfo{{Name: "g"}}, nil
+}
+func (stubBackend) Healthz(context.Context) (*serve.Health, error) {
+	return &serve.Health{Status: "ok"}, nil
+}
+
+func TestBackendDecorator(t *testing.T) {
+	script := NewScript()
+	b := NewBackend(script, stubBackend{}, "shard-0")
+	ctx := context.Background()
+
+	script.Queue("shard-0",
+		Fault{Kind: Refuse},
+		Fault{Kind: Status, Status: 500},
+		Fault{Kind: None},
+	)
+	if _, err := b.CC(ctx, "g", "", false); serve.ErrorStatus(err) != http.StatusBadGateway {
+		t.Fatalf("refusal: %v, want 502", err)
+	}
+	if _, err := b.BFS(ctx, "g", 0, ""); serve.ErrorStatus(err) != http.StatusInternalServerError {
+		t.Fatalf("status fault: %v, want 500", err)
+	}
+	if out, err := b.SSSP(ctx, "g", 0, ""); err != nil || out.Graph != "g" {
+		t.Fatalf("pass-through query: %+v, %v", out, err)
+	}
+
+	// Listing and health never consume the plan: the injected failures
+	// hit query traffic, not the health loop's view of the process.
+	script.Queue("shard-0", Fault{Kind: Refuse})
+	if _, err := b.Graphs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CC(ctx, "g", "", false); serve.ErrorStatus(err) != http.StatusBadGateway {
+		t.Fatalf("queued refusal should still be waiting for a query: %v", err)
+	}
+
+	// A latency fault under a dead caller context surfaces the caller's
+	// error, not a shard-blamed one.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	script.Queue("shard-0", Fault{Kind: Latency, Delay: time.Hour})
+	if _, err := b.CC(cctx, "g", "", false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled caller got %v, want context.Canceled", err)
+	}
+}

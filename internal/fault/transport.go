@@ -1,0 +1,201 @@
+package fault
+
+// The HTTP edge of the injection layer: a RoundTripper wrapper that
+// consults the plan once per request and produces the scheduled fault
+// at the transport level, where the fleet's ShardClient classifies
+// failures. Refuse and Hang surface as transport errors (retried on a
+// replica), Status as an application answer (passed through or
+// retried by status), Truncate and Corrupt as undecodable bodies
+// (transport errors at the decode step), and Latency as a slow but
+// correct answer (hedging bait).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Transport wraps an inner RoundTripper with a fault plan. Targets are
+// addressed by request host (URL.Host).
+type Transport struct {
+	plan    Plan
+	inner   http.RoundTripper
+	enabled atomic.Bool
+}
+
+// NewTransport builds an armed fault transport over inner (nil means a
+// fresh *http.Transport, so fault tests never pollute the shared
+// http.DefaultTransport connection pool).
+func NewTransport(plan Plan, inner http.RoundTripper) *Transport {
+	if inner == nil {
+		inner = &http.Transport{}
+	}
+	t := &Transport{plan: plan, inner: inner}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled arms or disarms injection; disarmed, every request passes
+// straight through. Chaos tests capture their fault-free oracle
+// disarmed, then arm the same transport.
+func (t *Transport) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// CloseIdleConnections forwards to the inner transport so clients
+// holding a fault transport can release keep-alive connections.
+func (t *Transport) CloseIdleConnections() {
+	if c, ok := t.inner.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}
+
+// Error is the transport-level failure an injected fault produces;
+// callers see it wrapped in *url.Error like any dial failure.
+type Error struct {
+	Target string
+	Kind   Kind
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s against %s", e.Kind, e.Target)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !t.enabled.Load() {
+		return t.inner.RoundTrip(req)
+	}
+	f := t.plan.Next(req.URL.Host)
+	switch f.Kind {
+	case Refuse:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &Error{Target: req.URL.Host, Kind: Refuse}
+	case Latency:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case Status:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synthesized(req, f), nil
+	case Hang:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &hangBody{
+			inner:  resp.Body,
+			allow:  16,
+			stall:  f.Delay,
+			done:   req.Context().Done(),
+			target: req.URL.Host,
+		}
+		return resp, nil
+	case Truncate, Corrupt:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		mangleBody(resp, f.Kind)
+		return resp, nil
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// synthesized builds the Status fault's answer: a JSON error body with
+// the scheduled status, shaped like a real upstream failure.
+func synthesized(req *http.Request, f Fault) *http.Response {
+	status := f.Status
+	if status == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	body := fmt.Sprintf("{\"error\":\"fault: injected %d from %s\"}\n", status, req.URL.Host)
+	h := make(http.Header)
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// mangleBody reads the whole response body and replaces it with a
+// damaged copy: half the bytes (Truncate) or a NUL overwrite near the
+// middle (Corrupt). Either way the JSON no longer decodes, which is a
+// transport-class failure to the shard client.
+func mangleBody(resp *http.Response, kind Kind) {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		raw = nil
+	}
+	switch kind {
+	case Truncate:
+		raw = raw[:len(raw)/2]
+	case Corrupt:
+		if len(raw) > 0 {
+			raw = append([]byte(nil), raw...)
+			raw[len(raw)/2] = 0x00
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	resp.ContentLength = int64(len(raw))
+	resp.Header.Del("Content-Length")
+	resp.TransferEncoding = nil
+}
+
+// hangBody yields a small prefix of the real body, then stalls for the
+// scheduled duration (or until the request context dies) and reports a
+// reset. The caller saw headers and bytes — the failure happens
+// mid-answer, after the decision to trust this replica was made.
+type hangBody struct {
+	inner   io.ReadCloser
+	allow   int
+	stall   time.Duration
+	done    <-chan struct{}
+	target  string
+	stalled bool
+}
+
+func (b *hangBody) Read(p []byte) (int, error) {
+	if b.allow > 0 {
+		if len(p) > b.allow {
+			p = p[:b.allow]
+		}
+		n, err := b.inner.Read(p)
+		b.allow -= n
+		if err != nil {
+			return n, err
+		}
+		return n, nil
+	}
+	if !b.stalled {
+		b.stalled = true
+		select {
+		case <-time.After(b.stall):
+		case <-b.done:
+		}
+	}
+	return 0, &Error{Target: b.target, Kind: Hang}
+}
+
+func (b *hangBody) Close() error { return b.inner.Close() }

@@ -44,7 +44,7 @@ func (r *Router) rolloutTargets(graph string) []*shard {
 	var holders, fresh []*shard
 	for _, idx := range r.ring.order(graph) {
 		s := r.shards[idx]
-		if s.state.Load() != stateLive {
+		if !s.live() {
 			continue
 		}
 		if s.holds(graph) {

@@ -1,0 +1,168 @@
+package fleet
+
+// The per-shard circuit breaker: the principled replacement for PR 8's
+// binary live/dead flag. Closed admits traffic; enough consecutive
+// shard faults open the circuit, which refuses traffic for a cooldown
+// that doubles on every consecutive open (capped at 8x); an elapsed
+// cooldown admits exactly ONE half-open trial request, whose outcome
+// either closes the circuit or re-opens it with the next escalation.
+// The health loop uses the same state machine — probe streaks trip it,
+// a successful probe (after re-warming) closes it — so the query path
+// and the prober can never disagree about whether a shard takes
+// traffic.
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState enumerates the circuit positions. The numeric values
+// are exported as the breaker-state gauge: 0 closed, 1 half-open,
+// 2 open.
+type breakerState int32
+
+const (
+	breakerClosed   breakerState = iota // admitting traffic
+	breakerHalfOpen                     // cooldown elapsed; one trial in flight
+	breakerOpen                         // refusing traffic until the cooldown passes
+)
+
+// String names the state for logs and metric labels.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "open"
+}
+
+// breaker is one shard's circuit. All methods are safe for concurrent
+// use; now is injectable so tests drive the cooldown clock.
+type breaker struct {
+	threshold int           // consecutive faults that open a closed circuit
+	cooldown  time.Duration // first open→half-open wait; doubles per consecutive open, capped at 8x
+	now       func() time.Time
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive faults while closed
+	opens     int // consecutive opens without an intervening close
+	openUntil time.Time
+	trial     bool // a half-open trial is outstanding
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// effective returns the circuit position with the lazy open→half-open
+// transition applied (the breaker has no timer of its own; an elapsed
+// cooldown shows as half-open to the next observer). Callers hold mu.
+func (b *breaker) effective() breakerState {
+	if b.state == breakerOpen && !b.now().Before(b.openUntil) {
+		return breakerHalfOpen
+	}
+	return b.state
+}
+
+// state reports the effective circuit position without consuming a
+// trial; the candidate scan peeks with this.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.effective()
+}
+
+// allow asks to send one request: closed admits freely; half-open
+// (including an open circuit whose cooldown has elapsed) admits one
+// trial at a time; open refuses. trial is true when this request IS
+// the half-open probe — its outcome decides the circuit, and the
+// caller must report it via onSuccess/onFailure or release it.
+func (b *breaker) allow() (ok, trial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.effective() {
+	case breakerClosed:
+		return true, false
+	case breakerHalfOpen:
+		if b.trial {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true, true
+	}
+	return false, false
+}
+
+// onSuccess closes the circuit: the shard answered, so failure streaks
+// and cooldown escalation reset.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.opens = 0
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// onFailure counts one shard fault (the caller has already classified
+// it — context cancellations never reach here). A half-open trial
+// failure re-opens with the next cooldown escalation; a closed-state
+// streak reaching the threshold opens. Returns true when THIS call
+// opened the circuit — the caller owns the transition's metrics/log.
+func (b *breaker) onFailure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	if b.effective() == breakerHalfOpen {
+		b.open()
+		return true
+	}
+	if b.state == breakerOpen {
+		return false
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.open()
+		return true
+	}
+	return false
+}
+
+// trip opens the circuit unconditionally (the health loop's demotion
+// after a probe streak). Returns false if it was already open.
+func (b *breaker) trip() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.now().Before(b.openUntil) {
+		return false
+	}
+	b.open()
+	return true
+}
+
+// release returns an unused half-open trial slot (the request it was
+// granted to died of caller-context cancellation, which says nothing
+// about the shard).
+func (b *breaker) release() {
+	b.mu.Lock()
+	b.trial = false
+	b.mu.Unlock()
+}
+
+// open moves to the open state with the escalated cooldown. Callers
+// hold mu.
+func (b *breaker) open() {
+	shift := b.opens
+	if shift > 3 {
+		shift = 3
+	}
+	b.opens++
+	b.state = breakerOpen
+	b.failures = 0
+	b.trial = false
+	b.openUntil = b.now().Add(b.cooldown << shift)
+}

@@ -9,13 +9,31 @@
 // the shard list, so any number of stateless routers agree without
 // coordination. A graph's candidates are the live shards that actually
 // hold it (the router learns holdings from each shard's /graphs,
-// refreshed by the health loop), tried least-loaded first. A shard
-// that fails at the transport level mid-query is marked dead on the
-// spot and the query retries on the next replica — the caller sees one
-// answer, not the failover — and 503 surfaces only when no live
-// replica holds the graph. Dead shards are probed with backoff and
-// re-join through a warming state: the router refills their CC cache
-// per held graph before they take traffic again.
+// refreshed by the health loop), tried least-loaded first.
+//
+// The failure path is budgeted, hedged, breaker-guarded and degradable
+// (see breaker.go and stale.go):
+//
+//   - Each query gets a retry budget (Config.RetryBudget attempts)
+//     with capped, seed-jittered exponential backoff between attempts;
+//     transport failures and retryable 5xx answers move to the next
+//     replica, final application answers end the query.
+//   - A per-shard circuit breaker subsumes the old live/dead flag:
+//     transport faults open it, an escalating cooldown leads to a
+//     half-open state that admits exactly one trial query, and either
+//     the trial or the health loop's probe-and-warm closes it.
+//   - Queries hedge: after a latency-percentile delay (or a fixed
+//     Config.HedgeAfter) the query is duplicated on the next live
+//     replica; the first decisive answer wins and the loser is
+//     cancelled.
+//   - Admission control sheds load at Config.MaxInflight with a 503
+//     carrying Retry-After, before any shard is touched.
+//   - When no live replica holds a graph, a CC query can still be
+//     answered from the router's own cache of the last good response,
+//     marked "stale": true and bounded by Config.MaxStale.
+//
+// A query that fails because the CALLER's context died is returned
+// unwrapped (the 499/504 path) and never counts against a shard.
 package fleet
 
 import (
@@ -31,13 +49,6 @@ import (
 	"bagraph/internal/serve"
 )
 
-// Shard lifecycle states.
-const (
-	stateWarming int32 = iota // known but not yet taking traffic
-	stateLive                 // healthy, in the candidate set
-	stateDead                 // failed; probed with backoff
-)
-
 // Config shapes a Router.
 type Config struct {
 	// Shards lists the shard addresses (host:port or http:// URLs).
@@ -46,23 +57,61 @@ type Config struct {
 	// rollout introduces it (existing graphs live wherever they are
 	// already loaded). < 1 means 2.
 	Replicas int
-	// HealthInterval is the live-shard probe period; 0 means 1s. Dead
-	// shards back off to 8x this.
+	// HealthInterval is the live-shard probe period; 0 means 1s. Shards
+	// with an open circuit back off to 8x this. It also sets the
+	// Retry-After hint on 503s.
 	HealthInterval time.Duration
 	// HealthTimeout bounds one probe; 0 means 2s.
 	HealthTimeout time.Duration
-	// FailAfter is how many consecutive probe failures demote a live
-	// shard; < 1 means 2. (A query-path transport failure demotes
-	// immediately — a refused connection is not a flaky probe.)
+	// FailAfter is how many consecutive probe failures trip a shard's
+	// circuit from the health loop; < 1 means 2. (Query-path transport
+	// faults have their own threshold — see BreakerThreshold.)
 	FailAfter int
 	// WarmTimeout bounds each CC warm-up query on a joining shard; 0
 	// means 30s.
 	WarmTimeout time.Duration
+	// RetryBudget is the maximum attempts one query spends across the
+	// replica set (first try included); < 1 means 3.
+	RetryBudget int
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt up to RetryBackoffCap and is jittered into [d/2, d].
+	// 0 means 5ms.
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds the exponential growth; 0 means 250ms.
+	RetryBackoffCap time.Duration
+	// HedgeAfter controls request hedging: > 0 is a fixed delay after
+	// which the query is duplicated on the next live replica; 0 (the
+	// default) adapts the delay to the observed per-kind latency
+	// percentile (HedgePercentile, once 16 samples exist, floored at
+	// 1ms); < 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgePercentile is the adaptive hedge trigger in (0, 1);
+	// 0 means 0.95.
+	HedgePercentile float64
+	// BreakerThreshold is how many consecutive query-path transport
+	// faults open a shard's circuit; < 1 means 1 (a refused connection
+	// is not a flaky probe).
+	BreakerThreshold int
+	// BreakerCooldown is the first open→half-open wait; it doubles per
+	// consecutive open up to 8x. 0 means 5s.
+	BreakerCooldown time.Duration
+	// MaxInflight caps concurrent queries through the router; excess is
+	// shed with a 503 + Retry-After before any shard is touched. 0
+	// means unlimited.
+	MaxInflight int
+	// MaxStale is how old a router-cached CC answer may be and still be
+	// served (marked "stale": true) when no live replica holds the
+	// graph. 0 disables stale serving.
+	MaxStale time.Duration
+	// Seed drives the retry-jitter PRNG; 0 means 1. Fixing it makes a
+	// test run's backoff schedule reproducible.
+	Seed uint64
 	// Client is the HTTP client the shard clients share; nil means a
-	// dedicated keep-alive client.
+	// dedicated keep-alive client whose idle connections the Router
+	// closes on Close.
 	Client *http.Client
-	// Logf, when set, receives shard lifecycle events (join, death,
-	// warm-up); nil disables logging.
+	// Logf, when set, receives shard lifecycle events (join, circuit
+	// transitions, stale serves); nil disables logging.
 	Logf func(format string, args ...any)
 }
 
@@ -70,7 +119,8 @@ type Config struct {
 type shard struct {
 	addr     string
 	client   *serve.ShardClient
-	state    atomic.Int32
+	brk      *breaker
+	joined   atomic.Bool  // completed at least one probe+warm; holdings known
 	inflight atomic.Int64 // queries in progress, the load signal
 
 	mu      sync.RWMutex
@@ -86,6 +136,12 @@ func (s *shard) holds(graph string) bool {
 	return ok
 }
 
+// live reports whether the shard is taking normal traffic: joined and
+// circuit closed.
+func (s *shard) live() bool {
+	return s.joined.Load() && s.brk.currentState() == breakerClosed
+}
+
 func (s *shard) setListing(infos []serve.GraphInfo, workers int) {
 	m := make(map[string]serve.GraphInfo, len(infos))
 	for _, g := range infos {
@@ -97,6 +153,22 @@ func (s *shard) setListing(infos []serve.GraphInfo, workers int) {
 	s.mu.Unlock()
 }
 
+func (s *shard) listing() []serve.GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]serve.GraphInfo, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		out = append(out, g)
+	}
+	return out
+}
+
+func (s *shard) workerCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.workers
+}
+
 // Router is the stateless query front: a serve.Backend whose dispatch
 // plane is the fleet.
 type Router struct {
@@ -104,9 +176,16 @@ type Router struct {
 	shards  []*shard
 	ring    ring
 	metrics *Metrics
+	stale   *staleCache
+
+	inflight atomic.Int64  // router-wide, for admission control
+	rng      atomic.Uint64 // splitmix64 state for retry jitter
+
+	lat map[string]*sampler // per-kind latency reservoirs (hedge trigger)
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	wg   sync.WaitGroup // health loops
+	legs sync.WaitGroup // query attempt legs, hedges included
 }
 
 // New builds a router over the configured shards. Call SetMetrics (if
@@ -131,7 +210,39 @@ func New(cfg Config) (*Router, error) {
 	if cfg.WarmTimeout <= 0 {
 		cfg.WarmTimeout = 30 * time.Second
 	}
-	r := &Router{cfg: cfg, stop: make(chan struct{})}
+	if cfg.RetryBudget < 1 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	if cfg.RetryBackoffCap <= 0 {
+		cfg.RetryBackoffCap = 250 * time.Millisecond
+	}
+	if cfg.HedgePercentile <= 0 || cfg.HedgePercentile >= 1 {
+		cfg.HedgePercentile = 0.95
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 1
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Transport: &http.Transport{}}
+	}
+	r := &Router{
+		cfg:   cfg,
+		stale: newStaleCache(),
+		lat: map[string]*sampler{
+			"cc": new(sampler), "bfs": new(sampler), "sssp": new(sampler),
+		},
+		stop: make(chan struct{}),
+	}
+	r.rng.Store(cfg.Seed)
 	seen := make(map[string]bool, len(cfg.Shards))
 	for _, addr := range cfg.Shards {
 		c := serve.NewShardClient(addr, cfg.Client)
@@ -139,7 +250,11 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("fleet: duplicate shard %s", c.Addr())
 		}
 		seen[c.Addr()] = true
-		r.shards = append(r.shards, &shard{addr: c.Addr(), client: c})
+		r.shards = append(r.shards, &shard{
+			addr:   c.Addr(),
+			client: c,
+			brk:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
 	}
 	ids := make([]string, len(r.shards))
 	for i, s := range r.shards {
@@ -157,16 +272,21 @@ func (r *Router) SetMetrics(m *Metrics) { r.metrics = m }
 // land.
 func (r *Router) Start() {
 	for _, s := range r.shards {
+		r.noteState(s)
 		r.wg.Add(1)
 		go r.healthLoop(s)
 	}
 }
 
-// Close stops the health loops. In-flight queries must have drained
-// (the HTTP server's shutdown guarantees that).
+// Close stops the health loops, waits for outstanding attempt legs
+// (cancelled hedges included) and releases the dedicated client's idle
+// connections. In-flight queries must have drained (the HTTP server's
+// shutdown guarantees that).
 func (r *Router) Close() {
 	close(r.stop)
 	r.wg.Wait()
+	r.legs.Wait()
+	r.cfg.Client.CloseIdleConnections()
 }
 
 func (r *Router) logf(format string, args ...any) {
@@ -175,23 +295,52 @@ func (r *Router) logf(format string, args ...any) {
 	}
 }
 
-// markDead demotes a shard. Its graphs re-route to their replicas on
-// the next candidate selection; the health loop keeps probing with
-// backoff and re-warms it on recovery.
-func (r *Router) markDead(s *shard, cause string) {
-	if s.state.CompareAndSwap(stateLive, stateDead) {
+// splitmix is the SplitMix64 output function, the jitter PRNG.
+func splitmix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// nextRand draws from the router's seeded PRNG: deterministic for a
+// given Config.Seed, lock-free under concurrent queries.
+func (r *Router) nextRand() uint64 {
+	return splitmix(r.rng.Add(0x9e3779b97f4a7c15))
+}
+
+// noteState refreshes the shard's gauges after a circuit transition.
+func (r *Router) noteState(s *shard) {
+	st := s.brk.currentState()
+	r.metrics.setBreaker(s.addr, st)
+	r.metrics.setUp(s.addr, s.joined.Load() && st == breakerClosed)
+}
+
+// noteFailure counts one classified shard fault against its circuit.
+func (r *Router) noteFailure(s *shard, cause string) {
+	if s.brk.onFailure() {
 		r.metrics.observeFailover(s.addr)
-		r.metrics.setUp(s.addr, false)
-		r.logf("fleet: shard %s dead (%s); rerouting its graphs to replicas", s.addr, cause)
+		r.logf("fleet: shard %s circuit opened (%s); rerouting its graphs to replicas", s.addr, cause)
+	}
+	r.noteState(s)
+}
+
+// noteSuccess closes the shard's circuit (any answer — success or a
+// typed application error — proves the shard alive).
+func (r *Router) noteSuccess(s *shard) {
+	reopened := s.brk.currentState() != breakerClosed
+	s.brk.onSuccess()
+	if reopened {
+		r.noteState(s)
+		r.logf("fleet: shard %s circuit closed by a successful query", s.addr)
 	}
 }
 
-// healthLoop probes one shard forever: live shards every
-// HealthInterval, dead ones with exponential backoff up to 8x. A probe
+// healthLoop probes one shard forever: closed-circuit shards every
+// HealthInterval, open ones with exponential backoff up to 8x. A probe
 // is a /healthz round-trip plus a /graphs refresh (holdings drive
 // placement, so they must track rollouts); FailAfter consecutive
-// failures demote a live shard, and a recovering shard is warmed
-// before it rejoins the candidate set.
+// failures trip a closed circuit, and a recovering shard is warmed
+// before its circuit closes.
 func (r *Router) healthLoop(s *shard) {
 	defer r.wg.Done()
 	failures := 0
@@ -208,12 +357,20 @@ func (r *Router) healthLoop(s *shard) {
 			continue
 		}
 		failures++
-		if failures >= r.cfg.FailAfter {
-			r.markDead(s, fmt.Sprintf("%d consecutive failed probes", failures))
+		if failures >= r.cfg.FailAfter && s.brk.currentState() == breakerClosed {
+			if s.brk.trip() {
+				r.metrics.observeFailover(s.addr)
+				r.logf("fleet: shard %s circuit opened (%d consecutive failed probes)", s.addr, failures)
+			}
+			r.noteState(s)
 		}
-		if s.state.Load() == stateDead {
-			// Exponential backoff while dead, capped at 8 intervals.
+		if s.brk.currentState() != breakerClosed {
+			// Exponential backoff while the circuit is open, capped at 8
+			// intervals.
 			shift := failures - r.cfg.FailAfter
+			if shift < 0 {
+				shift = 0
+			}
 			if shift > 3 {
 				shift = 3
 			}
@@ -225,7 +382,10 @@ func (r *Router) healthLoop(s *shard) {
 }
 
 // probe runs one health check; true means the shard answered and its
-// listing is fresh.
+// listing is fresh. A probe landing on a shard whose circuit is not
+// closed re-warms it and closes the circuit — the health loop is the
+// recovery path that restores caches; the query path's half-open trial
+// is the fast path for transient partitions.
 func (r *Router) probe(s *shard) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
 	defer cancel()
@@ -241,10 +401,11 @@ func (r *Router) probe(s *shard) bool {
 	if err != nil {
 		return false
 	}
-	if s.state.Load() != stateLive {
+	if !s.joined.Load() || s.brk.currentState() != breakerClosed {
 		r.warm(s)
-		s.state.Store(stateLive)
-		r.metrics.setUp(s.addr, true)
+		s.brk.onSuccess()
+		s.joined.Store(true)
+		r.noteState(s)
 		r.logf("fleet: shard %s live (%d graphs, %d workers)", s.addr, len(s.listing()), s.workerCount())
 	}
 	return true
@@ -268,26 +429,11 @@ func (r *Router) warm(s *shard) {
 	}
 }
 
-func (s *shard) listing() []serve.GraphInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]serve.GraphInfo, 0, len(s.graphs))
-	for _, g := range s.graphs {
-		out = append(out, g)
-	}
-	return out
-}
-
-func (s *shard) workerCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.workers
-}
-
-// candidates returns the live shards holding the graph, ring
-// preference order re-sorted least-loaded first (ties keep ring
-// order), plus whether ANY shard — live or not — holds it (the
-// 404-vs-503 distinction).
+// candidates returns the holders taking normal traffic (circuit
+// closed), ring preference order re-sorted least-loaded first (ties
+// keep ring order), plus whether ANY shard — live or not — holds the
+// graph (the 404-vs-503 distinction). This is the peek view; the
+// query path picks through pick(), which also admits half-open trials.
 func (r *Router) candidates(graph string) (cands []*shard, known bool) {
 	for _, idx := range r.ring.order(graph) {
 		s := r.shards[idx]
@@ -295,7 +441,7 @@ func (r *Router) candidates(graph string) (cands []*shard, known bool) {
 			continue
 		}
 		known = true
-		if s.state.Load() == stateLive {
+		if s.live() {
 			cands = append(cands, s)
 		}
 	}
@@ -305,54 +451,379 @@ func (r *Router) candidates(graph string) (cands []*shard, known bool) {
 	return cands, known
 }
 
-// route runs one query against the graph's replica set: the
-// least-loaded live holder first, failing over on transport errors
-// (the failed shard is marked dead immediately) until a replica
-// answers. An application-level answer from a shard — success or a
-// typed *serve.Error — ends the loop either way; only an unreachable
-// shard triggers the next replica.
+// deadHolders counts graph's holders that cannot take traffic right
+// now — the number the router's 503 bodies report.
+func (r *Router) deadHolders(graph string) (dead, holders int) {
+	for _, idx := range r.ring.order(graph) {
+		s := r.shards[idx]
+		if !s.holds(graph) {
+			continue
+		}
+		holders++
+		if !s.live() {
+			dead++
+		}
+	}
+	return dead, holders
+}
+
+// pick selects the next shard to try for graph: closed-circuit holders
+// least-loaded first, then half-open holders (whose admission is the
+// circuit's one trial). Shards in tried are avoided while a fresh
+// alternative exists; with none left they are re-admitted — a shard
+// may have recovered across a backoff. trial reports whether the
+// granted request is a half-open probe the caller must settle.
+func (r *Router) pick(graph string, tried map[string]bool) (s *shard, trial, known bool) {
+	var closed, half []*shard
+	for _, idx := range r.ring.order(graph) {
+		sh := r.shards[idx]
+		if !sh.holds(graph) {
+			continue
+		}
+		known = true
+		if !sh.joined.Load() {
+			continue
+		}
+		switch sh.brk.currentState() {
+		case breakerClosed:
+			closed = append(closed, sh)
+		case breakerHalfOpen:
+			half = append(half, sh)
+		}
+	}
+	sort.SliceStable(closed, func(a, b int) bool {
+		return closed[a].inflight.Load() < closed[b].inflight.Load()
+	})
+	for _, skipTried := range []bool{true, false} {
+		for _, set := range [][]*shard{closed, half} {
+			for _, sh := range set {
+				if skipTried && tried[sh.addr] {
+					continue
+				}
+				if ok, tr := sh.brk.allow(); ok {
+					return sh, tr, known
+				}
+			}
+		}
+	}
+	return nil, false, known
+}
+
+// retryAfter is the whole-seconds Retry-After hint on 503s: one health
+// interval, the soonest the candidate set can plausibly change.
+func (r *Router) retryAfter() int {
+	s := int((r.cfg.HealthInterval + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// admit applies router-side admission control; a non-nil return is the
+// shed answer (503 + Retry-After), recorded before any shard is
+// touched.
+func (r *Router) admit(kind string) *serve.Error {
+	if max := r.cfg.MaxInflight; max > 0 && r.inflight.Load() >= int64(max) {
+		r.metrics.observeShed(kind)
+		return &serve.Error{
+			Status:     http.StatusServiceUnavailable,
+			RetryAfter: r.retryAfter(),
+			Message:    fmt.Sprintf("router at capacity: %d queries in flight", max),
+		}
+	}
+	return nil
+}
+
+// backoff sleeps the capped, jittered exponential delay before the
+// attempt'th retry (1-based), observing ctx. The jitter draw comes
+// from the router's seeded PRNG, landing in [d/2, d].
+func (r *Router) backoff(ctx context.Context, attempt int) error {
+	d := r.cfg.RetryBackoff << (attempt - 1)
+	if d > r.cfg.RetryBackoffCap || d <= 0 {
+		d = r.cfg.RetryBackoffCap
+	}
+	d = d/2 + time.Duration(r.nextRand()%uint64(d/2+1))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// hedgeDelay returns the delay after which a query should hedge to a
+// second replica, or < 0 when hedging is off (disabled, or no latency
+// history yet for the adaptive trigger).
+func (r *Router) hedgeDelay(kind string) time.Duration {
+	switch {
+	case r.cfg.HedgeAfter > 0:
+		return r.cfg.HedgeAfter
+	case r.cfg.HedgeAfter < 0:
+		return -1
+	}
+	p, ok := r.lat[kind].percentile(r.cfg.HedgePercentile)
+	if !ok {
+		return -1
+	}
+	if p < time.Millisecond {
+		p = time.Millisecond
+	}
+	return p
+}
+
+// retryableStatus reports whether a shard's application answer is
+// worth retrying on a replica: 5xx a replica may not share. 504 is the
+// shard's own query deadline firing — a replica would burn the same
+// time — and stays final, as do all 4xx (authoritative).
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// merged copies tried with addr added — the hedge's exclusion set,
+// built without mutating the caller's map before the primary settles.
+func merged(tried map[string]bool, addr string) map[string]bool {
+	m := make(map[string]bool, len(tried)+1)
+	for k, v := range tried {
+		m[k] = v
+	}
+	m[addr] = true
+	return m
+}
+
+// leg is one attempt leg's outcome (primary or hedge).
+type leg[T any] struct {
+	out   T
+	err   error
+	s     *shard
+	trial bool
+	hedge bool
+	took  time.Duration
+}
+
+// attempt runs one budgeted attempt: a primary call on s, hedged onto
+// the next admissible replica after the hedge delay. The first
+// decisive answer — a success or a final application error — wins and
+// the loser's context is cancelled; a transport fault or retryable
+// 5xx from one leg is counted (breaker, tried set) and the other leg
+// is awaited. The caller's own context error returns unwrapped and is
+// never blamed on a shard: a cancelled client is the 499 path, not a
+// dead replica.
+func attempt[T any](r *Router, ctx context.Context, kind, graph string, s *shard, trial bool,
+	tried map[string]bool, call func(context.Context, *serve.ShardClient) (T, error)) (T, error) {
+	var zero T
+	ch := make(chan leg[T], 2)
+	launch := func(cctx context.Context, sh *shard, tr, hedge bool) {
+		r.legs.Add(1)
+		go func() {
+			defer r.legs.Done()
+			sh.inflight.Add(1)
+			start := time.Now()
+			out, err := call(cctx, sh.client)
+			sh.inflight.Add(-1)
+			ch <- leg[T]{out: out, err: err, s: sh, trial: tr, hedge: hedge, took: time.Since(start)}
+		}()
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+
+	r.metrics.observeRequest(s.addr, kind)
+	launch(pctx, s, trial, false)
+	outstanding := 1
+
+	var timerC <-chan time.Time
+	if hd := r.hedgeDelay(kind); hd >= 0 && !trial {
+		timer := time.NewTimer(hd)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+
+	var lastErr error
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			// Hedge onto the next admissible replica. Half-open trials
+			// are not duplicated — a probe should be one request — so a
+			// granted trial slot is returned unused.
+			hs, htrial, _ := r.pick(graph, merged(tried, s.addr))
+			if hs == nil || hs == s {
+				continue
+			}
+			if htrial {
+				hs.brk.release()
+				continue
+			}
+			r.metrics.observeHedge(kind)
+			r.metrics.observeRequest(hs.addr, kind)
+			launch(hctx, hs, false, true)
+			outstanding++
+		case lg := <-ch:
+			outstanding--
+			if lg.err == nil {
+				pcancel()
+				hcancel()
+				r.noteSuccess(lg.s)
+				r.lat[kind].observe(lg.took)
+				if lg.hedge {
+					r.metrics.observeHedgeWon(kind)
+				}
+				return lg.out, nil
+			}
+			if pe := ctx.Err(); pe != nil {
+				// The caller died; release any unsettled trial and let
+				// the cancelled legs drain on their own.
+				if lg.trial {
+					lg.s.brk.release()
+				}
+				pcancel()
+				hcancel()
+				return zero, pe
+			}
+			var te *serve.TransportError
+			var se *serve.Error
+			switch {
+			case errors.As(lg.err, &te):
+				// Genuine transport fault: count it against the shard.
+				tried[lg.s.addr] = true
+				lastErr = lg.err
+				r.noteFailure(lg.s, te.Err.Error())
+				r.metrics.observeRetry(lg.s.addr)
+			case errors.As(lg.err, &se) && retryableStatus(se.Status):
+				// The shard answered (it is alive — the circuit resets),
+				// but a replica may do better: retry without blame.
+				tried[lg.s.addr] = true
+				lastErr = lg.err
+				r.noteSuccess(lg.s)
+				r.metrics.observeRetry(lg.s.addr)
+			default:
+				// Final application answer (4xx, 504): decisive.
+				pcancel()
+				hcancel()
+				r.noteSuccess(lg.s)
+				return zero, lg.err
+			}
+			if outstanding == 0 {
+				return zero, lastErr
+			}
+		}
+	}
+}
+
+// route runs one query against the graph's replica set under the
+// retry budget: each attempt picks the least-loaded admissible holder
+// (hedging to a second), transport faults and retryable 5xx move on
+// after a jittered backoff, and a final application answer ends the
+// query. An exhausted budget answers 503 with a Retry-After hint and
+// a body naming the graph and its dead-holder count.
 func route[T any](r *Router, ctx context.Context, graph, kind string,
 	call func(context.Context, *serve.ShardClient) (T, error)) (T, error) {
 	var zero T
-	cands, known := r.candidates(graph)
-	if len(cands) == 0 {
-		if known {
-			return zero, serve.Errorf(http.StatusServiceUnavailable,
-				"graph %q: no live replica", graph)
-		}
-		return zero, serve.Errorf(http.StatusNotFound, "graph %q not loaded", graph)
-	}
+	r.inflight.Add(1)
+	defer r.inflight.Add(-1)
+	tried := make(map[string]bool, 2)
+	known := false
 	var lastErr error
-	for _, s := range cands {
-		if err := ctx.Err(); err != nil {
-			return zero, err
+	budget := r.cfg.RetryBudget
+	for a := 0; a < budget; a++ {
+		if a > 0 {
+			if err := r.backoff(ctx, a); err != nil {
+				return zero, err
+			}
 		}
-		r.metrics.observeRequest(s.addr, kind)
-		s.inflight.Add(1)
-		out, err := call(ctx, s.client)
-		s.inflight.Add(-1)
-		var te *serve.TransportError
-		if errors.As(err, &te) {
-			r.markDead(s, te.Err.Error())
-			r.metrics.observeRetry(s.addr)
-			lastErr = err
+		s, trial, k := r.pick(graph, tried)
+		known = known || k
+		if s == nil {
+			if !known {
+				break // authoritatively absent: don't burn the budget
+			}
+			// No admissible holder this instant; the next backoff gives
+			// a cooldown or the health loop time to return one.
 			continue
 		}
-		return out, err
+		out, err := attempt(r, ctx, kind, graph, s, trial, tried, call)
+		if err == nil {
+			return out, nil
+		}
+		var te *serve.TransportError
+		var se *serve.Error
+		switch {
+		case errors.As(err, &te),
+			errors.As(err, &se) && retryableStatus(se.Status):
+			lastErr = err
+			continue
+		default:
+			// Final application answers and caller-context errors pass
+			// through unwrapped (the 4xx/499/504 paths).
+			return zero, err
+		}
 	}
-	return zero, serve.Errorf(http.StatusServiceUnavailable,
-		"graph %q: every replica failed (%v)", graph, lastErr)
+	if !known {
+		return zero, serve.Errorf(http.StatusNotFound, "graph %q not loaded", graph)
+	}
+	r.metrics.observeBudgetExhausted(kind)
+	dead, holders := r.deadHolders(graph)
+	msg := fmt.Sprintf("graph %q: no live replica (%d of %d holders dead; retry budget %d exhausted)",
+		graph, dead, holders, budget)
+	if lastErr != nil {
+		msg += fmt.Sprintf(": %v", lastErr)
+	}
+	return zero, &serve.Error{
+		Status:     http.StatusServiceUnavailable,
+		RetryAfter: r.retryAfter(),
+		Message:    msg,
+	}
 }
 
-// CC implements serve.Backend across the fleet.
+// CC implements serve.Backend across the fleet. Successful answers
+// refresh the router's degradation cache; a 503 (no live replica
+// within the budget) falls back to the cached answer, marked stale,
+// when one exists within Config.MaxStale.
 func (r *Router) CC(ctx context.Context, graph, algo string, labels bool) (*serve.CCResponse, error) {
-	return route(r, ctx, graph, "cc", func(ctx context.Context, c *serve.ShardClient) (*serve.CCResponse, error) {
+	if se := r.admit("cc"); se != nil {
+		return nil, se
+	}
+	out, err := route(r, ctx, graph, "cc", func(ctx context.Context, c *serve.ShardClient) (*serve.CCResponse, error) {
 		return c.CC(ctx, graph, algo, labels)
 	})
+	if err == nil {
+		r.stale.store(graph, algo, labels, out)
+		return out, nil
+	}
+	if resp, ok := r.staleFor(graph, algo, labels, err); ok {
+		return resp, nil
+	}
+	return nil, err
+}
+
+// staleFor serves the degraded answer for a 503: the last good CC
+// response for the same (graph, algo, labels) request, if it is
+// younger than MaxStale, marked "stale": true.
+func (r *Router) staleFor(graph, algo string, labels bool, err error) (*serve.CCResponse, bool) {
+	if r.cfg.MaxStale <= 0 {
+		return nil, false
+	}
+	var se *serve.Error
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		return nil, false
+	}
+	resp, age, ok := r.stale.get(graph, algo, labels, r.cfg.MaxStale)
+	if !ok {
+		return nil, false
+	}
+	r.metrics.observeStale(graph)
+	r.logf("fleet: serving stale CC for %q (age %v, no live replica)", graph, age.Round(time.Millisecond))
+	return resp, true
 }
 
 // BFS implements serve.Backend across the fleet.
 func (r *Router) BFS(ctx context.Context, graph string, root uint32, algo string) (*serve.BFSResponse, error) {
+	if se := r.admit("bfs"); se != nil {
+		return nil, se
+	}
 	return route(r, ctx, graph, "bfs", func(ctx context.Context, c *serve.ShardClient) (*serve.BFSResponse, error) {
 		return c.BFS(ctx, graph, root, algo)
 	})
@@ -360,6 +831,9 @@ func (r *Router) BFS(ctx context.Context, graph string, root uint32, algo string
 
 // SSSP implements serve.Backend across the fleet.
 func (r *Router) SSSP(ctx context.Context, graph string, root uint32, algo string) (*serve.SSSPResponse, error) {
+	if se := r.admit("sssp"); se != nil {
+		return nil, se
+	}
 	return route(r, ctx, graph, "sssp", func(ctx context.Context, c *serve.ShardClient) (*serve.SSSPResponse, error) {
 		return c.SSSP(ctx, graph, root, algo)
 	})
@@ -371,7 +845,7 @@ func (r *Router) SSSP(ctx context.Context, graph string, root uint32, algo strin
 func (r *Router) Graphs(ctx context.Context) ([]serve.GraphInfo, error) {
 	byName := make(map[string]serve.GraphInfo)
 	for _, s := range r.shards {
-		if s.state.Load() != stateLive {
+		if !s.live() {
 			continue
 		}
 		for _, g := range s.listing() {
@@ -395,7 +869,7 @@ func (r *Router) Healthz(ctx context.Context) (*serve.Health, error) {
 	h := &serve.Health{Status: "ok"}
 	names := make(map[string]bool)
 	for _, s := range r.shards {
-		if s.state.Load() != stateLive {
+		if !s.live() {
 			continue
 		}
 		h.Shards++

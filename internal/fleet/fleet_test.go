@@ -110,8 +110,11 @@ func TestRouterFailoverMidTraffic(t *testing.T) {
 			t.Fatalf("replica answered differently: %d/%d components", got.Components, want.Components)
 		}
 	}
-	if preferred.state.Load() != stateDead {
-		t.Fatal("failed shard was not marked dead by the query path")
+	if preferred.live() {
+		t.Fatal("failed shard's circuit was not opened by the query path")
+	}
+	if st := preferred.brk.currentState(); st != breakerOpen {
+		t.Fatalf("failed shard's circuit is %v, want open", st)
 	}
 	if cands, _ := r.candidates("cm"); len(cands) != 1 {
 		t.Fatalf("dead shard still a candidate: %d", len(cands))

@@ -1,0 +1,55 @@
+package fleet
+
+// The hedge trigger's latency estimator: a small per-query-kind
+// reservoir of recent winning-leg latencies, queried for a percentile.
+// 128 samples bound both memory and the per-query sort, and recent-N
+// (rather than a decayed histogram) tracks regime changes — a graph
+// swap that doubles CC latency ages out of the window in 128 queries.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	samplerSize = 128
+	samplerMin  = 16 // no hedging until this much history exists
+)
+
+// sampler is a fixed ring of recent latencies. The zero value is
+// ready to use.
+type sampler struct {
+	mu  sync.Mutex
+	buf [samplerSize]time.Duration
+	n   int // filled entries, up to samplerSize
+	idx int // next write position
+}
+
+// observe records one successful attempt's latency.
+func (s *sampler) observe(d time.Duration) {
+	s.mu.Lock()
+	s.buf[s.idx] = d
+	s.idx = (s.idx + 1) % samplerSize
+	if s.n < samplerSize {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// percentile returns the p'th (0 < p < 1) latency over the window, or
+// false while fewer than samplerMin samples exist — hedging on a
+// cold estimate would duplicate every early query.
+func (s *sampler) percentile(p float64) (time.Duration, bool) {
+	s.mu.Lock()
+	n := s.n
+	var tmp [samplerSize]time.Duration
+	copy(tmp[:n], s.buf[:n])
+	s.mu.Unlock()
+	if n < samplerMin {
+		return 0, false
+	}
+	w := tmp[:n]
+	sort.Slice(w, func(a, b int) bool { return w[a] < w[b] })
+	return w[int(p*float64(n-1))], true
+}

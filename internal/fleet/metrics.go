@@ -15,6 +15,12 @@ type Metrics struct {
 	up        *metrics.GaugeVec   // baserved_router_shard_up{shard}
 	health    *metrics.CounterVec // baserved_router_health_checks_total{shard,result}
 	warms     *metrics.CounterVec // baserved_router_warm_queries_total{shard}
+	breaker   *metrics.GaugeVec   // baserved_router_breaker_state{shard}
+	hedges    *metrics.CounterVec // baserved_router_hedges_total{kind}
+	hedgeWins *metrics.CounterVec // baserved_router_hedge_wins_total{kind}
+	exhausted *metrics.CounterVec // baserved_router_retry_budget_exhausted_total{kind}
+	staleHits *metrics.CounterVec // baserved_router_stale_serves_total{graph}
+	shed      *metrics.CounterVec // baserved_router_shed_total{kind}
 }
 
 // NewMetrics registers the router series on reg (typically the serving
@@ -33,6 +39,18 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Health probes per shard, by result (ok | fail).", "shard", "result"),
 		warms: reg.CounterVec("baserved_router_warm_queries_total",
 			"CC cache warm-up queries issued to joining shards.", "shard"),
+		breaker: reg.GaugeVec("baserved_router_breaker_state",
+			"Per-shard circuit position: 0 closed, 1 half-open, 2 open.", "shard"),
+		hedges: reg.CounterVec("baserved_router_hedges_total",
+			"Hedge legs fired (query duplicated on a second replica), by kind.", "kind"),
+		hedgeWins: reg.CounterVec("baserved_router_hedge_wins_total",
+			"Hedge legs that answered before the primary, by kind.", "kind"),
+		exhausted: reg.CounterVec("baserved_router_retry_budget_exhausted_total",
+			"Queries that burned their whole retry budget and answered 503, by kind.", "kind"),
+		staleHits: reg.CounterVec("baserved_router_stale_serves_total",
+			"Degraded CC answers served from the router's cache, by graph.", "graph"),
+		shed: reg.CounterVec("baserved_router_shed_total",
+			"Queries shed by admission control (inflight cap), by kind.", "kind"),
 	}
 }
 
@@ -77,5 +95,41 @@ func (m *Metrics) observeHealth(shard string, ok bool) {
 func (m *Metrics) observeWarm(shard string) {
 	if m != nil {
 		m.warms.With(shard).Inc()
+	}
+}
+
+func (m *Metrics) setBreaker(shard string, st breakerState) {
+	if m != nil {
+		m.breaker.With(shard).Set(float64(st))
+	}
+}
+
+func (m *Metrics) observeHedge(kind string) {
+	if m != nil {
+		m.hedges.With(kind).Inc()
+	}
+}
+
+func (m *Metrics) observeHedgeWon(kind string) {
+	if m != nil {
+		m.hedgeWins.With(kind).Inc()
+	}
+}
+
+func (m *Metrics) observeBudgetExhausted(kind string) {
+	if m != nil {
+		m.exhausted.With(kind).Inc()
+	}
+}
+
+func (m *Metrics) observeStale(graph string) {
+	if m != nil {
+		m.staleHits.With(graph).Inc()
+	}
+}
+
+func (m *Metrics) observeShed(kind string) {
+	if m != nil {
+		m.shed.With(kind).Inc()
 	}
 }

@@ -1,0 +1,69 @@
+package fleet
+
+// The router-side degradation cache: the last good CC answer per
+// (graph, algo, labels) request shape, served — marked "stale": true —
+// when every replica holding the graph is gone and the entry is still
+// younger than Config.MaxStale. CC is the one query this is sound for:
+// the answer is per-graph (no per-query root), so the last response IS
+// the best available approximation of the current one. Traversals stay
+// 503 — a stale distance array rooted at someone else's vertex is not
+// a degraded answer, it is a wrong one.
+
+import (
+	"sync"
+	"time"
+
+	"bagraph/internal/serve"
+)
+
+type staleKey struct {
+	graph  string
+	algo   string
+	labels bool
+}
+
+type staleEntry struct {
+	resp serve.CCResponse
+	at   time.Time
+}
+
+// staleCache holds last-good CC responses. now is injectable so tests
+// can age entries without sleeping.
+type staleCache struct {
+	now func() time.Time
+
+	mu sync.RWMutex
+	m  map[staleKey]staleEntry
+}
+
+func newStaleCache() *staleCache {
+	return &staleCache{now: time.Now, m: make(map[staleKey]staleEntry)}
+}
+
+// store records a fresh answer for its request shape.
+func (c *staleCache) store(graph, algo string, labels bool, resp *serve.CCResponse) {
+	k := staleKey{graph: graph, algo: algo, labels: labels}
+	c.mu.Lock()
+	c.m[k] = staleEntry{resp: *resp, at: c.now()}
+	c.mu.Unlock()
+}
+
+// get returns a copy of the cached answer with Stale set, plus its
+// age, when one exists within maxAge. The copy is shallow: the Labels
+// slice is shared with the stored entry and treated read-only.
+func (c *staleCache) get(graph, algo string, labels bool, maxAge time.Duration) (*serve.CCResponse, time.Duration, bool) {
+	k := staleKey{graph: graph, algo: algo, labels: labels}
+	c.mu.RLock()
+	e, ok := c.m[k]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	age := c.now().Sub(e.at)
+	if age > maxAge {
+		return nil, 0, false
+	}
+	resp := e.resp
+	resp.Stale = true
+	return &resp, age, true
+}

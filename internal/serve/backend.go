@@ -46,6 +46,12 @@ type Backend interface {
 type Error struct {
 	Status  int
 	Message string
+	// RetryAfter, when positive, is the whole-seconds hint the client
+	// should wait before retrying; the HTTP edge emits it as a
+	// Retry-After header and a retry_after body field. Routers set it
+	// on 503s (no live replica, admission shed) so well-behaved
+	// clients back off instead of hammering a degraded fleet.
+	RetryAfter int
 }
 
 func (e *Error) Error() string { return e.Message }
@@ -141,12 +147,16 @@ func statsPayload(st bagraph.Stats) QueryStats {
 
 // CCResponse is the /query/cc response body. Stats describe the run
 // that filled the cache; a cached response repeats the fill's stats.
+// Stale marks a degraded answer a fleet router served from its own
+// cache because no live replica held the graph (bounded by the
+// router's -max-stale age); in-process backends never set it.
 type CCResponse struct {
 	Graph      string     `json:"graph"`
 	Epoch      uint64     `json:"epoch"`
 	Algo       string     `json:"algo"`
 	Components int        `json:"components"`
 	Cached     bool       `json:"cached"`
+	Stale      bool       `json:"stale,omitempty"`
 	Stats      QueryStats `json:"stats"`
 	Labels     []uint32   `json:"labels,omitempty"`
 }

@@ -100,7 +100,7 @@ func (c *ShardClient) roundTrip(ctx context.Context, method, path string, body, 
 		if json.Unmarshal(raw, &e) != nil || e.Error == "" {
 			e.Error = fmt.Sprintf("shard %s: %s", c.base, strings.TrimSpace(string(raw)))
 		}
-		return &Error{Status: resp.StatusCode, Message: e.Error}
+		return &Error{Status: resp.StatusCode, Message: e.Error, RetryAfter: e.RetryAfter}
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		return &TransportError{Shard: c.base, Err: fmt.Errorf("bad response body: %w", err)}

@@ -1,0 +1,46 @@
+package serve_test
+
+// Shutdown hygiene: a daemon core that has served real traffic —
+// batched traversals included — must unwind every goroutine it spawned
+// (worker pool, batcher windows, per-request timers) when Close
+// returns. The guard registers first, so it runs after the harness
+// cleanup closes the server and core.
+
+import (
+	"testing"
+	"time"
+
+	"bagraph"
+	"bagraph/internal/serve"
+	"bagraph/internal/testleak"
+)
+
+func TestBatcherShutdownLeavesNoGoroutines(t *testing.T) {
+	testleak.Check(t)
+	g, err := bagraph.CorpusGraph("cond-mat-2005", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("cm", g); err != nil {
+		t.Fatal(err)
+	}
+	// A positive batch window keeps the batching goroutines honest: the
+	// dispatch timer path runs, not just the immediate path.
+	core := serve.New(reg, serve.Config{Workers: 2, BatchWindow: 200 * time.Microsecond})
+	t.Cleanup(core.Close)
+
+	b := core.Backend()
+	ctx := t.Context()
+	if _, err := b.CC(ctx, "cm", "", false); err != nil {
+		t.Fatal(err)
+	}
+	for root := uint32(0); root < 4; root++ {
+		if _, err := b.BFS(ctx, "cm", root, ""); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.SSSP(ctx, "cm", root, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

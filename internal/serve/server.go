@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"bagraph"
@@ -231,9 +232,13 @@ func bodyLimited(maxBody int64, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// errorResponse is the uniform failure body.
+// errorResponse is the uniform failure body. RetryAfter mirrors the
+// Retry-After header on backoff-worthy failures (router 503s), so
+// clients that never see headers (logs, body-only tooling) still get
+// the hint.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after,omitempty"`
 }
 
 // statusClientClosedRequest is the (nginx-popularized) status for a
@@ -262,6 +267,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBackendError maps a backend failure onto the wire: the status
+// from ErrorStatus, plus — when the typed *Error carries a retry hint
+// — a Retry-After header and the matching retry_after body field.
+func writeBackendError(w http.ResponseWriter, err error) {
+	retry := 0
+	var se *Error
+	if errors.As(err, &se) {
+		retry = se.RetryAfter
+	}
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	}
+	writeJSON(w, ErrorStatus(err), errorResponse{Error: err.Error(), RetryAfter: retry})
 }
 
 // decodeQuery parses a JSON query body: exactly one JSON value, within
@@ -301,7 +321,7 @@ func decodeQuery(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h, err := s.backend.Healthz(r.Context())
 	if err != nil {
-		writeError(w, ErrorStatus(err), "%v", err)
+		writeBackendError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, h)
@@ -310,7 +330,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	infos, err := s.backend.Graphs(r.Context())
 	if err != nil {
-		writeError(w, ErrorStatus(err), "%v", err)
+		writeBackendError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -336,7 +356,7 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp, err := s.backend.CC(ctx, q.Graph, q.Algo, q.Labels)
 	if err != nil {
-		writeError(w, ErrorStatus(err), "%v", err)
+		writeBackendError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -358,7 +378,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp, err := s.backend.BFS(ctx, q.Graph, q.Root, q.Algo)
 	if err != nil {
-		writeError(w, ErrorStatus(err), "%v", err)
+		writeBackendError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -373,7 +393,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp, err := s.backend.SSSP(ctx, q.Graph, q.Root, q.Algo)
 	if err != nil {
-		writeError(w, ErrorStatus(err), "%v", err)
+		writeBackendError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,40 @@
+// Package testleak is the goroutine-leak guard the robustness tests
+// hang off t.Cleanup: snapshot the goroutine count when the test
+// starts, and after every other cleanup has run (servers closed,
+// routers drained, batchers shut down) insist the count settles back.
+// Health loops, hedged-request losers and batcher workers all die by
+// this check if anything forgets to reap them.
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check registers the guard. Call it FIRST in a test, before any
+// t.Cleanup the test wants counted — cleanups run LIFO, so the first
+// registration runs last, after the test's servers and routers have
+// closed.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Goroutines unwind asynchronously after a Close returns; give
+		// them a grace window before calling it a leak.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d live, started with %d\n%s", n, base, buf)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -180,7 +180,7 @@ done
 # A long health interval keeps the router from noticing the SIGTERM on
 # its own: the query path must discover the death and fail over.
 "$bindir/baserved" -router -shard "$shard1_addr,$shard2_addr" \
-    -listen "$router_addr" -health-interval 30s >"$workdir/router.log" 2>&1 &
+    -listen "$router_addr" -health-interval 30s -max-stale 5m >"$workdir/router.log" 2>&1 &
 router_pid=$!
 fleet_pids="$fleet_pids $router_pid"
 for i in $(seq 1 50); do
@@ -235,9 +235,11 @@ before1=$(cc_count "$shard1_addr")
 curl -sf -d '{"graph":"smoke","algo":"par-hybrid"}' "http://$router_addr/query/cc" >/dev/null
 after1=$(cc_count "$shard1_addr")
 if [ "$after1" -gt "$before1" ]; then
-    victim_pid=$shard1_pid; victim_addr=$shard1_addr; survivor_addr=$shard2_addr; victim_log="$workdir/shard1.log"
+    victim_pid=$shard1_pid; victim_addr=$shard1_addr; victim_log="$workdir/shard1.log"
+    survivor_addr=$shard2_addr; survivor_pid=$shard2_pid
 else
-    victim_pid=$shard2_pid; victim_addr=$shard2_addr; survivor_addr=$shard1_addr; victim_log="$workdir/shard2.log"
+    victim_pid=$shard2_pid; victim_addr=$shard2_addr; victim_log="$workdir/shard2.log"
+    survivor_addr=$shard1_addr; survivor_pid=$shard1_pid
 fi
 echo "  victim shard: $victim_addr"
 kill -TERM "$victim_pid"
@@ -266,6 +268,39 @@ grep -q "^baserved_router_shard_up{shard=\"http://$survivor_addr\"} 1" "$metrics
     || { echo "survivor shard not up in metrics" >&2; grep '^baserved_router_shard_up' "$metrics" >&2; exit 1; }
 grep -q "^baserved_router_shard_up{shard=\"http://$victim_addr\"} 0" "$metrics" \
     || { echo "victim shard still up in metrics" >&2; grep '^baserved_router_shard_up' "$metrics" >&2; exit 1; }
+
+echo "== fleet: total holder loss answers 503 + Retry-After, CC degrades to stale"
+# Kill the survivor too: nothing holds the graphs now. Traversals must
+# answer the full 503 contract (Retry-After header, a body naming the
+# graph and its dead-holder count); CC must degrade to the router's
+# cached answer, marked stale but otherwise byte-identical.
+kill -TERM "$survivor_pid"
+wait "$survivor_pid" 2>/dev/null || true
+code=$(curl -s -o "$workdir/bfs-503.json" -D "$workdir/bfs-503.hdr" -w '%{http_code}' \
+    -d '{"graph":"smoke","root":0,"algo":"par-do"}' "http://$router_addr/query/bfs")
+[ "$code" = "503" ] \
+    || { echo "BFS with no holder answered $code, want 503" >&2; cat "$workdir/bfs-503.json" >&2; exit 1; }
+grep -qi '^Retry-After:' "$workdir/bfs-503.hdr" \
+    || { echo "503 without Retry-After header" >&2; cat "$workdir/bfs-503.hdr" >&2; exit 1; }
+grep -q '"retry_after":' "$workdir/bfs-503.json" \
+    || { echo "503 body without retry_after" >&2; cat "$workdir/bfs-503.json" >&2; exit 1; }
+grep -q 'holders dead' "$workdir/bfs-503.json" && grep -q 'smoke' "$workdir/bfs-503.json" \
+    || { echo "503 body does not name the graph and dead-holder count" >&2; cat "$workdir/bfs-503.json" >&2; exit 1; }
+echo "  BFS: 503 with Retry-After and dead-holder body"
+code=$(curl -s -o "$workdir/cc-stale.json" -w '%{http_code}' \
+    -d '{"graph":"smoke","algo":"par-hybrid","labels":true}' "http://$router_addr/query/cc")
+[ "$code" = "200" ] \
+    || { echo "CC with no holder answered $code, want a 200 stale serve" >&2; cat "$workdir/cc-stale.json" >&2; exit 1; }
+grep -q '"stale":true' "$workdir/cc-stale.json" \
+    || { echo "degraded CC answer not marked stale" >&2; cat "$workdir/cc-stale.json" >&2; exit 1; }
+sed 's/"stale":true,//' "$workdir/cc-stale.json" | cmp -s - "$workdir/router-cc.json" \
+    || { echo "stale CC answer diverges from the cached bytes" >&2; exit 1; }
+echo "  CC: 200 stale serve, byte-identical modulo the marker"
+curl -sf "http://$router_addr/metrics" >"$metrics"
+metric_nonzero '^baserved_router_stale_serves_total'
+metric_nonzero '^baserved_router_retry_budget_exhausted_total'
+grep -q "^baserved_router_breaker_state{shard=\"http://$survivor_addr\"} 2" "$metrics" \
+    || { echo "dead survivor's breaker not open in metrics" >&2; grep '^baserved_router_breaker_state' "$metrics" >&2; exit 1; }
 
 echo "== fleet: router drains on SIGTERM"
 kill -TERM "$router_pid"
